@@ -1,0 +1,298 @@
+// Benchmarks regenerating every evaluation artifact of the paper, plus
+// ablation benches for the design choices called out in DESIGN.md.
+//
+// One benchmark exists per table/figure:
+//
+//	BenchmarkTable2_M1..M6        — Table 2 rows (train+evaluate one fold)
+//	BenchmarkFigure3_PositionWeights — Figure 3 (full M6 fit + extraction)
+//	BenchmarkTable4_Top / _RHS    — Table 4 columns
+//	BenchmarkClickModel_*         — the S1 click-model substrate
+//
+// The benchmark corpora are small so `go test -bench=.` stays quick; the
+// full-scale numbers come from cmd/experiments (see EXPERIMENTS.md).
+package microbrowsing_test
+
+import (
+	"sync"
+	"testing"
+
+	micro "repro"
+	"repro/internal/classifier"
+	"repro/internal/clickmodel"
+	"repro/internal/experiments"
+	"repro/internal/ml"
+	"repro/internal/rewrite"
+	"repro/internal/serp"
+	"repro/internal/snippet"
+)
+
+// benchData lazily builds one shared small experiment corpus.
+var benchData = struct {
+	once  sync.Once
+	data  *experiments.Data
+	rhs   *experiments.Data
+	setup experiments.Setup
+}{}
+
+func getBenchData(b *testing.B) (*experiments.Data, experiments.Setup) {
+	b.Helper()
+	benchData.once.Do(func() {
+		benchData.setup = experiments.Setup{
+			Seed: 404, Groups: 200, StatsGroups: 600, Impressions: 500, Folds: 3,
+		}
+		benchData.data = experiments.BuildData(benchData.setup)
+		rhsSetup := benchData.setup
+		rhsSetup.Placement = serp.RHS
+		benchData.rhs = experiments.BuildData(rhsSetup)
+	})
+	return benchData.data, benchData.setup
+}
+
+// benchTable2Model trains and scores one Table 2 row on a single fold.
+func benchTable2Model(b *testing.B, spec classifier.ModelSpec) {
+	data, setup := getBenchData(b)
+	pipe := classifier.NewPipeline(spec, data.DB)
+	pipe.Seed = setup.Seed
+	ds := pipe.Dataset(data.Pairs)
+	folds, err := ml.KFold(ds.Len(), setup.Folds, setup.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model, err := classifier.Train(ds, folds[0].Train, classifier.Options{Epochs: 40, Rounds: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		preds := model.PredictIdx(ds, folds[0].Test)
+		labels := make([]bool, len(folds[0].Test))
+		for k, j := range folds[0].Test {
+			labels[k] = ds.Labels[j]
+		}
+		met := ml.EvaluateBinary(preds, labels)
+		if met.Accuracy < 0.3 {
+			b.Fatalf("%s collapsed: %v", spec.Name, met.Accuracy)
+		}
+	}
+}
+
+func BenchmarkTable2_M1(b *testing.B) { benchTable2Model(b, classifier.M1) }
+func BenchmarkTable2_M2(b *testing.B) { benchTable2Model(b, classifier.M2) }
+func BenchmarkTable2_M3(b *testing.B) { benchTable2Model(b, classifier.M3) }
+func BenchmarkTable2_M4(b *testing.B) { benchTable2Model(b, classifier.M4) }
+func BenchmarkTable2_M5(b *testing.B) { benchTable2Model(b, classifier.M5) }
+func BenchmarkTable2_M6(b *testing.B) { benchTable2Model(b, classifier.M6) }
+
+// BenchmarkFigure3_PositionWeights regenerates Figure 3: full M6 training
+// plus extraction of the learned per-line position weights.
+func BenchmarkFigure3_PositionWeights(b *testing.B) {
+	data, setup := getBenchData(b)
+	pipe := classifier.NewPipeline(classifier.M6, data.DB)
+	pipe.Seed = setup.Seed
+	ds := pipe.Dataset(data.Pairs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model, err := classifier.Train(ds, nil, classifier.Options{Epochs: 40, Rounds: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if table := model.PositionWeights(); len(table) == 0 {
+			b.Fatal("no position weights learned")
+		}
+	}
+}
+
+// benchTable4Column runs one placement column of Table 4 (M6 only, one
+// fold) against the placement-specific corpus.
+func benchTable4Column(b *testing.B, data *experiments.Data, seed int64) {
+	pipe := classifier.NewPipeline(classifier.M6, data.DB)
+	pipe.Seed = seed
+	ds := pipe.Dataset(data.Pairs)
+	folds, err := ml.KFold(ds.Len(), 3, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model, err := classifier.Train(ds, folds[0].Train, classifier.Options{Epochs: 40, Rounds: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		model.PredictIdx(ds, folds[0].Test)
+	}
+}
+
+func BenchmarkTable4_Top(b *testing.B) {
+	data, setup := getBenchData(b)
+	benchTable4Column(b, data, setup.Seed)
+}
+
+func BenchmarkTable4_RHS(b *testing.B) {
+	_, setup := getBenchData(b)
+	benchTable4Column(b, benchData.rhs, setup.Seed)
+}
+
+// --- S1: click-model substrate benches ---
+
+var benchSessions = struct {
+	once     sync.Once
+	sessions []clickmodel.Session
+}{}
+
+func getBenchSessions(b *testing.B) []clickmodel.Session {
+	b.Helper()
+	benchSessions.once.Do(func() {
+		corpus := micro.GenerateCorpus(micro.CorpusConfig{Seed: 405, Groups: 150}, micro.DefaultLexicon())
+		sim := micro.NewSimulator(micro.SimConfig{Seed: 406})
+		benchSessions.sessions = sim.Sessions(corpus, 4000, 4)
+	})
+	return benchSessions.sessions
+}
+
+func benchClickModel(b *testing.B, newModel func() clickmodel.Model) {
+	sessions := getBenchSessions(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := newModel()
+		if err := m.Fit(sessions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClickModel_PBM(b *testing.B) {
+	benchClickModel(b, func() clickmodel.Model { m := clickmodel.NewPBM(); m.Iterations = 5; return m })
+}
+
+func BenchmarkClickModel_Cascade(b *testing.B) {
+	benchClickModel(b, func() clickmodel.Model { return clickmodel.NewCascade() })
+}
+
+func BenchmarkClickModel_DCM(b *testing.B) {
+	benchClickModel(b, func() clickmodel.Model { return clickmodel.NewDCM() })
+}
+
+func BenchmarkClickModel_UBM(b *testing.B) {
+	benchClickModel(b, func() clickmodel.Model { m := clickmodel.NewUBM(); m.Iterations = 5; return m })
+}
+
+func BenchmarkClickModel_DBN(b *testing.B) {
+	benchClickModel(b, func() clickmodel.Model { m := clickmodel.NewDBN(); m.Iterations = 5; return m })
+}
+
+func BenchmarkClickModel_SDBN(b *testing.B) {
+	benchClickModel(b, func() clickmodel.Model { return clickmodel.NewSDBN() })
+}
+
+// --- ablation benches for DESIGN.md section 5 ---
+
+// BenchmarkAblation_GreedyMatching vs _NaiveMatching compare the
+// DB-scored greedy matcher against position-only matching.
+func BenchmarkAblation_GreedyMatching(b *testing.B) {
+	data, _ := getBenchData(b)
+	m := rewrite.NewMatcher(data.DB)
+	r, s := ablationPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatchPair(r, s)
+	}
+}
+
+func BenchmarkAblation_NaiveMatching(b *testing.B) {
+	m := &rewrite.Matcher{Scorer: rewrite.PositionScorer{}}
+	r, s := ablationPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatchPair(r, s)
+	}
+}
+
+func ablationPair() (snippet.Creative, snippet.Creative) {
+	return snippet.MustNew("r",
+			"XYZ Airlines official site",
+			"Find cheap flights to New York today",
+			"No reservation costs. Great rates"),
+		snippet.MustNew("s",
+			"XYZ Airlines official site",
+			"Flying to New York? Get discounts.",
+			"No reservation costs. Great rates!")
+}
+
+// BenchmarkAblation_StatsInit vs _ZeroInit measure the cost/benefit of
+// statistics-database initialisation (M1 with and without).
+func benchInitAblation(b *testing.B, useInit bool) {
+	data, setup := getBenchData(b)
+	spec := classifier.M1
+	spec.UseStatsInit = useInit
+	pipe := classifier.NewPipeline(spec, data.DB)
+	pipe.Seed = setup.Seed
+	ds := pipe.Dataset(data.Pairs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := classifier.Train(ds, nil, classifier.Options{Epochs: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_StatsInit(b *testing.B) { benchInitAblation(b, true) }
+func BenchmarkAblation_ZeroInit(b *testing.B)  { benchInitAblation(b, false) }
+
+// BenchmarkAblation_FTRL vs _BatchLR compare the two L1 optimisers on
+// the same M1 dataset.
+func BenchmarkAblation_BatchLR(b *testing.B) {
+	data, setup := getBenchData(b)
+	pipe := classifier.NewPipeline(classifier.M1, data.DB)
+	pipe.Seed = setup.Seed
+	ds := pipe.Dataset(data.Pairs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &ml.LogisticRegression{L1: 1e-4, Epochs: 40, LearningRate: 0.5}
+		if err := m.Fit(ds.Flat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_FTRL(b *testing.B) {
+	data, setup := getBenchData(b)
+	pipe := classifier.NewPipeline(classifier.M1, data.DB)
+	pipe.Seed = setup.Seed
+	ds := pipe.Dataset(data.Pairs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := ml.NewFTRL()
+		if err := m.Fit(ds.Flat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_InitSmoothing measures evidence-shrunk
+// initialisation lookups against the raw odds (featstats layer).
+func BenchmarkAblation_InitSmoothing(b *testing.B) {
+	data, _ := getBenchData(b)
+	keys := make([]string, 0, 256)
+	for k := range data.DB.Stats {
+		keys = append(keys, k)
+		if len(keys) == 256 {
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			_ = data.DB.LogOddsSmoothed(k, 8)
+		}
+	}
+}

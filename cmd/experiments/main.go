@@ -1,0 +1,86 @@
+// Command experiments reproduces the paper's evaluation artifacts —
+// Table 2 (feature ablation), Figure 3 (learned term position weights)
+// and Table 4 (top vs RHS placement) — on the synthetic ADCORPUS.
+//
+// Usage:
+//
+//	experiments [-run table2|figure3|table4|all] [-groups N]
+//	            [-impressions N] [-folds K] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	run := flag.String("run", "all", "experiment to run: table2, figure3, table4 or all")
+	groups := flag.Int("groups", 0, "adgroups in the synthetic corpus (default 1200)")
+	impressions := flag.Int("impressions", 0, "impressions per creative (default 4000)")
+	folds := flag.Int("folds", 0, "cross-validation folds (default 10)")
+	seed := flag.Int64("seed", 0, "base random seed (default 2019)")
+	flag.Parse()
+
+	setup := experiments.DefaultSetup()
+	if *groups > 0 {
+		setup.Groups = *groups
+	}
+	if *impressions > 0 {
+		setup.Impressions = *impressions
+	}
+	if *folds > 0 {
+		setup.Folds = *folds
+	}
+	if *seed != 0 {
+		setup.Seed = *seed
+	}
+
+	start := time.Now()
+	switch *run {
+	case "table2":
+		res, err := experiments.Table2(setup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatTable2(res))
+	case "figure3":
+		fig, err := experiments.Figure3(setup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFigure3(fig))
+	case "table4":
+		rows, err := experiments.Table4(setup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatTable4(rows))
+	case "all":
+		res, err := experiments.Table2(setup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig, err := experiments.Figure3(setup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := experiments.Table4(setup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatSummary(res, fig, rows))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+	log.Printf("done in %v", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,86 @@
+// Command gencorpus generates a synthetic sponsored-search corpus (the
+// ADCORPUS substitute) and optionally simulates serving to attach
+// click/impression statistics.
+//
+// Usage:
+//
+//	gencorpus -groups 1000 -seed 7 -out corpus.jsonl
+//	gencorpus -groups 1000 -simulate -impressions 1500 -out stats.jsonl
+//
+// Without -simulate the output is one JSON adgroup per line with the
+// creative texts and ground-truth phrase slots. With -simulate the
+// output is one JSON adgroup per line with per-creative impressions and
+// clicks from the micro-browsing user simulator.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/adcorpus"
+	"repro/internal/serp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gencorpus: ")
+
+	groups := flag.Int("groups", 1000, "number of adgroups")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "-", "output path ('-' for stdout)")
+	simulate := flag.Bool("simulate", false, "simulate serving and emit stats-filled adgroups")
+	impressions := flag.Int("impressions", 1500, "impressions per creative when simulating")
+	rhs := flag.Bool("rhs", false, "simulate right-hand-side placement instead of top")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	corpus := adcorpus.Generate(adcorpus.Config{Seed: *seed, Groups: *groups}, adcorpus.DefaultLexicon())
+
+	if !*simulate {
+		if err := corpus.SaveJSONL(w); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d adgroups", len(corpus.Groups))
+		return
+	}
+
+	placement := serp.Top
+	if *rhs {
+		placement = serp.RHS
+	}
+	sim := serp.New(serp.Config{Seed: *seed + 1, Impressions: *impressions, Placement: placement})
+	ags := sim.Run(corpus)
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var pairs int
+	for i := range ags {
+		if err := enc.Encode(&ags[i]); err != nil {
+			log.Fatal(err)
+		}
+		pairs += len(ags[i].Pairs(1))
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gencorpus: wrote %d adgroups (%d labelled pairs) at %s placement\n",
+		len(ags), pairs, placement)
+}

@@ -1,0 +1,77 @@
+// Command snippetclf trains and cross-validates one snippet classifier
+// variant (M1–M6) on a freshly simulated corpus, printing the paper's
+// metrics (recall / precision / F-measure) plus accuracy and AUC.
+//
+// Usage:
+//
+//	snippetclf -model M6 -groups 1200 -impressions 1500 -folds 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/classifier"
+	"repro/internal/experiments"
+	"repro/internal/serp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snippetclf: ")
+
+	model := flag.String("model", "M6", "classifier variant: M1..M6")
+	groups := flag.Int("groups", 800, "adgroups in the evaluation corpus")
+	impressions := flag.Int("impressions", 800, "impressions per creative")
+	folds := flag.Int("folds", 10, "cross-validation folds")
+	seed := flag.Int64("seed", 2019, "base random seed")
+	rhs := flag.Bool("rhs", false, "simulate right-hand-side placement instead of top")
+	flag.Parse()
+
+	var spec classifier.ModelSpec
+	found := false
+	for _, s := range classifier.Specs() {
+		if s.Name == *model {
+			spec = s
+			found = true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown model %q (want M1..M6)", *model)
+	}
+
+	setup := experiments.Setup{
+		Seed:        *seed,
+		Groups:      *groups,
+		Impressions: *impressions,
+		Folds:       *folds,
+	}
+	if *rhs {
+		setup.Placement = serp.RHS
+	}
+
+	start := time.Now()
+	data := experiments.BuildData(setup)
+	log.Printf("corpus: %d labelled pairs, stats DB with %d features (built in %v)",
+		len(data.Pairs), data.DB.Len(), time.Since(start).Round(time.Millisecond))
+
+	res, err := classifier.CrossValidate(spec, data.Pairs, data.DB, *folds, *seed+2, classifier.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %s\n", spec.Name, spec.Description)
+	fmt.Printf("  instances:     %d\n", res.Instances)
+	fmt.Printf("  rel features:  %d\n", res.RelFeatures)
+	if spec.UsePosition {
+		fmt.Printf("  pos features:  %d\n", res.PosFeatures)
+	}
+	fmt.Printf("  recall:        %.1f%%\n", res.Mean.Recall*100)
+	fmt.Printf("  precision:     %.1f%%\n", res.Mean.Precision*100)
+	fmt.Printf("  f-measure:     %.3f\n", res.Mean.F1)
+	fmt.Printf("  accuracy:      %.1f%%\n", res.Mean.Accuracy*100)
+	fmt.Printf("  auc:           %.3f\n", res.Mean.AUC)
+	log.Printf("done in %v", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,92 @@
+// A/B testing assistant: train the full snippet classifier (M6) on a
+// simulated corpus, then rank an advertiser's candidate creatives against
+// their current champion — the application scenario of the paper's
+// introduction (predict which creative will have the higher CTR before
+// spending impressions on it).
+//
+// Run with: go run ./examples/abtest
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	micro "repro"
+	"repro/internal/classifier"
+)
+
+func main() {
+	// Phase 1: simulate serving history and build the statistics DB.
+	corpus := micro.GenerateCorpus(micro.CorpusConfig{Seed: 21, Groups: 2500}, micro.DefaultLexicon())
+	sim := micro.NewSimulator(micro.SimConfig{Seed: 22, Impressions: 1200})
+	history := sim.Run(corpus)
+
+	ex := micro.NewExtractor()
+	pairs := ex.Pairs(history)
+	db := ex.BuildDB(history)
+	log.Printf("abtest: training on %d historical pairs, %d features", len(pairs), db.Len())
+
+	// Phase 2: train the full model M6 on all historical pairs.
+	pipe := micro.NewPipeline(micro.M6, db)
+	ds := pipe.Dataset(pairs)
+	model, err := classifier.Train(ds, nil, micro.ClassifierOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The advertiser's current champion and four drafts.
+	champion := mustCreative("champion",
+		"JetWise Official Site",
+		"Find cheap flights to Boston today",
+		"Free cancellation. 24 7 support")
+	candidates := []micro.Creative{
+		mustCreative("cand-discount",
+			"JetWise Official Site",
+			"20% off flights to Boston today",
+			"Free cancellation. 24 7 support"),
+		mustCreative("cand-moved-hook",
+			"JetWise Official Site",
+			"Flights to Boston today? Find cheap",
+			"Free cancellation. 24 7 support"),
+		mustCreative("cand-headline",
+			"JetWise 20% off",
+			"Flights to Boston today",
+			"Free cancellation. 24 7 support"),
+		mustCreative("cand-smallprint",
+			"JetWise Official Site",
+			"Find cheap flights to Boston terms apply",
+			"Free cancellation. 24 7 support"),
+	}
+
+	// Score every candidate against the champion: P(candidate beats it).
+	type ranked struct {
+		c micro.Creative
+		p float64
+	}
+	var results []ranked
+	for _, cand := range candidates {
+		pair := micro.CreativePair{R: cand, S: champion}
+		results = append(results, ranked{cand, model.PredictPair(pipe, pair)})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].p > results[j].p })
+
+	fmt.Println("champion:", champion.Text())
+	fmt.Println()
+	fmt.Println("candidates ranked by P(beats champion):")
+	for i, r := range results {
+		verdict := "keep champion"
+		if r.p > 0.5 {
+			verdict = "PROMOTE"
+		}
+		fmt.Printf("%d. %5.1f%%  %-14s %s\n      %s\n", i+1, r.p*100, verdict, r.c.ID, r.c.Text())
+	}
+}
+
+func mustCreative(id string, lines ...string) micro.Creative {
+	c, err := micro.NewCreative(id, lines...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}

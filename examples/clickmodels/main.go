@@ -1,0 +1,62 @@
+// Click models: fit the macro browsing-model family of the paper's
+// Section II to a simulated SERP log, compare their held-out quality,
+// and print the examination curves they infer — showing how the
+// macro-level position bias (which the micro-browsing model refines to
+// the term level) is estimated in practice.
+//
+// Run with: go run ./examples/clickmodels
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	micro "repro"
+	"repro/internal/clickmodel"
+)
+
+func main() {
+	// Simulate SERP sessions: four ads per page, macro examination decays
+	// with slot, clicks decided by the ground-truth micro-browsing user.
+	corpus := micro.GenerateCorpus(micro.CorpusConfig{Seed: 31, Groups: 400}, micro.DefaultLexicon())
+	sim := micro.NewSimulator(micro.SimConfig{Seed: 32})
+	sessions := sim.Sessions(corpus, 24000, 4)
+	train, test := sessions[:20000], sessions[20000:]
+
+	fmt.Printf("fitted on %d sessions, evaluated on %d\n\n", len(train), len(test))
+	fmt.Printf("%-8s %10s %12s\n", "model", "mean LL", "perplexity")
+
+	models := []micro.ClickModel{
+		micro.NewPBM(), micro.NewCascade(), micro.NewDCM(),
+		micro.NewUBM(), micro.NewDBN(), micro.NewSDBN(),
+	}
+	for _, m := range models {
+		if err := m.Fit(train); err != nil {
+			panic(err)
+		}
+		ev := micro.EvaluateClickModel(m, test)
+		fmt.Printf("%-8s %10.4f %12.4f\n", ev.Model, ev.LogLikelihood, ev.Perplexity)
+	}
+
+	// Examination curves: how strongly each model believes lower slots
+	// are seen. The simulator's true macro curve is 0.90/0.65/0.45/0.30.
+	fmt.Println("\ninferred examination probability by slot (sample session):")
+	sample := test[0]
+	for _, m := range models {
+		examiner, ok := m.(interface {
+			ExaminationProbs(clickmodel.Session) []float64
+		})
+		if !ok {
+			continue
+		}
+		probs := examiner.ExaminationProbs(sample)
+		parts := make([]string, len(probs))
+		for i, p := range probs {
+			parts[i] = fmt.Sprintf("%.2f", p)
+		}
+		fmt.Printf("%-8s [%s]\n", m.Name(), strings.Join(parts, " "))
+	}
+	fmt.Println("\ntrue macro curve: [0.90 0.65 0.45 0.30]")
+	fmt.Println("(PBM separates position from attractiveness up to a scale factor;")
+	fmt.Println("cascade-family models explain the same decay through abandonment)")
+}

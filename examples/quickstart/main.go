@@ -1,0 +1,83 @@
+// Quickstart: build a micro-browsing model by hand, score the paper's
+// own example snippet pair (Section IV-A), and predict which creative
+// earns the higher click-through rate.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	micro "repro"
+)
+
+func main() {
+	// The attention layer: line 1 is read most, attention decays along
+	// each line. These are the micro-position examination probabilities
+	// v_i of Eq. 3, in expectation.
+	attention := micro.GeometricAttention{
+		LineWeights: []float64{0.95, 0.65, 0.35},
+		Decay:       0.78,
+	}
+	model := micro.NewModel(attention)
+
+	// Per-term perceived relevance r_i. In production these come from
+	// the feature statistics database; here we set a few by hand.
+	model.Relevance["find cheap"] = 0.80
+	model.Relevance["get discounts"] = 0.72
+	model.Relevance["flights"] = 0.65
+	model.Relevance["flying"] = 0.60
+	model.Relevance["new york"] = 0.55
+	model.DefaultRelevance = 0.50 // unknown terms are neutral
+
+	// The paper's example pair from Section IV-A.
+	r, err := micro.NewCreative("R",
+		"XYZ Airlines",
+		"Find cheap flights to New York.",
+		"No reservation costs. Great rates")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := micro.NewCreative("S",
+		"XYZ Airlines",
+		"Flying to New York? Get discounts.",
+		"No reservation costs. Great rates!")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rTerms := micro.ExtractTerms(r.Lines, 2)
+	sTerms := micro.ExtractTerms(s.Lines, 2)
+
+	fmt.Println("Snippet R:", r.Text())
+	fmt.Println("Snippet S:", s.Text())
+	fmt.Println()
+
+	// Eq. 5: the expected log probability ratio score(R→S|q).
+	score := model.ScorePair(rTerms, sTerms)
+	fmt.Printf("score(R→S) = %+.4f\n", score)
+	if score > 0 {
+		fmt.Println("prediction: R wins — users reading the opening of line 2")
+		fmt.Println("see 'find cheap' early, where attention is highest")
+	} else {
+		fmt.Println("prediction: S wins")
+	}
+	fmt.Println()
+
+	// The same phrase matters less when pushed to a low-attention
+	// micro-position: move "find cheap" to the end of line 2.
+	moved, err := micro.NewCreative("R'",
+		"XYZ Airlines",
+		"Flights to New York? Find cheap.",
+		"No reservation costs. Great rates")
+	if err != nil {
+		log.Fatal(err)
+	}
+	movedTerms := micro.ExtractTerms(moved.Lines, 2)
+	fmt.Printf("score(R→R')  = %+.4f  (same words, hook moved to position %d)\n",
+		model.ScorePair(rTerms, movedTerms), 5)
+	fmt.Println("positive: position alone changed the predicted winner's margin —")
+	fmt.Println("the paper's key insight, 'even where within a snippet particular")
+	fmt.Println("words are located' influences clickthrough.")
+}

@@ -1,0 +1,37 @@
+package adcorpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SaveJSONL writes the corpus as one JSON group per line, the standard
+// interchange format for streaming corpus processing.
+func (c *Corpus) SaveJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range c.Groups {
+		if err := enc.Encode(&c.Groups[i]); err != nil {
+			return fmt.Errorf("adcorpus: save group %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadJSONL reads a corpus written by SaveJSONL.
+func LoadJSONL(r io.Reader) (*Corpus, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	corpus := &Corpus{}
+	for {
+		var g Group
+		if err := dec.Decode(&g); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("adcorpus: load group %d: %w", len(corpus.Groups), err)
+		}
+		corpus.Groups = append(corpus.Groups, g)
+	}
+	return corpus, nil
+}

@@ -1,0 +1,299 @@
+// Package adcorpus generates the synthetic sponsored-search corpus that
+// substitutes for the paper's proprietary ADCORPUS (tens of millions of
+// Google creative pairs with live CTRs — unavailable outside Google).
+//
+// The generator is built so that the *causal structure* of the data
+// matches the micro-browsing model the paper posits: every creative is
+// assembled from phrases with a planted appeal (the log-odds contribution
+// to the click decision when the phrase is read), phrases are placed at
+// controlled micro-positions, and adgroups contain creative variants that
+// differ by phrase rewrites and by phrase position. The accompanying
+// internal/serp simulator then produces impressions and clicks from a
+// ground-truth micro-browsing user, so serve weights, rewrite statistics
+// and position effects all emerge from the same mechanism the classifier
+// tries to learn.
+package adcorpus
+
+import "fmt"
+
+// Phrase is a lexicon entry: a short text used as an atomic building
+// block of creatives, with its planted appeal. Appeal is the log-odds
+// contribution to the user's click decision when the phrase is examined;
+// positive phrases ("20% off") pull clicks, negative ones ("terms
+// apply") push them away.
+type Phrase struct {
+	Text   string  `json:"text"`
+	Appeal float64 `json:"appeal"`
+}
+
+// Lexicon is the phrase inventory the generator draws from. All texts
+// are already normalised (lower case, no punctuation).
+type Lexicon struct {
+	// Hooks are the attention-grabbing offer phrases of line 2 — the
+	// rewrite inventory: adgroup variants typically swap one hook for
+	// another, exactly the "find cheap" → "get discounts" rewrites of
+	// the paper's example.
+	Hooks []Phrase
+	// Tails are optional line-2 qualifiers following the object.
+	Tails []Phrase
+	// Trust are line-3 reassurance phrases ("no reservation costs").
+	Trust []Phrase
+	// BrandSuffixes decorate the line-1 brand ("official site").
+	BrandSuffixes []Phrase
+	// Connectors are neutral line-2 filler words between object and
+	// hook. They carry no appeal but change the token stream — the
+	// distractor variation that makes bag-of-terms features noisy, as in
+	// real ad corpora.
+	Connectors []Phrase
+	// Fillers are neutral line-3 lead-ins, same role as Connectors.
+	Fillers []Phrase
+	// DecorAdjectives and DecorNouns combine into idiosyncratic trailing
+	// phrases ("premium collection", "seasonal catalog") that vary from
+	// creative to creative. They carry no appeal; their role is textual
+	// diversity — real creative pairs always differ in incidental words
+	// whose n-grams are too rare to carry statistics, which is what
+	// keeps bag-of-terms classifiers near chance in the paper.
+	DecorAdjectives []string
+	DecorNouns      []string
+	// Verticals provide the query/keyword objects.
+	Verticals []Vertical
+}
+
+// Vertical is one advertising domain with its keyword objects.
+type Vertical struct {
+	Name    string
+	Brands  []string
+	Objects []string // keyword-like noun phrases ("flights to new york")
+}
+
+// DefaultLexicon returns the built-in lexicon used throughout the
+// experiments. Appeals span roughly [-0.8, +1.2] so that a one-phrase
+// difference shifts CTR noticeably but not overwhelmingly — keeping pair
+// classification in the paper's 55–72% accuracy band once finite-sample
+// serve-weight noise is added.
+func DefaultLexicon() *Lexicon {
+	return &Lexicon{
+		Hooks: expandHooks([]Phrase{
+			{"find cheap", 0.90},
+			{"get discounts", 0.70},
+			{"20% off", 1.20},
+			{"save big", 0.80},
+			{"best deals", 0.60},
+			{"low prices", 0.50},
+			{"compare prices", 0.30},
+			{"book now", 0.20},
+			{"huge selection", 0.35},
+			{"top rated", 0.45},
+			{"free shipping", 1.00},
+			{"limited offer", 0.40},
+			{"new arrivals", 0.10},
+			{"learn more", -0.20},
+			{"sign up today", -0.10},
+			{"visit us", -0.30},
+			{"act fast", 0.05},
+			{"exclusive offers", 0.55},
+			{"more legroom", 0.75},
+			{"instant quote", 0.65},
+		}),
+		Tails: []Phrase{
+			{"today", 0.20},
+			{"no hidden fees", 0.50},
+			{"guaranteed", 0.30},
+			{"terms apply", -0.60},
+			{"while supplies last", -0.10},
+			{"in minutes", 0.25},
+			{"for less", 0.35},
+			{"this week", 0.15},
+			{"all year round", 0.10},
+			{"before they sell out", 0.05},
+			{"conditions apply", -0.45},
+			{"at participating stores", -0.25},
+			{"with free quotes", 0.40},
+			{"and save more", 0.30},
+			{"ends soon", 0.12},
+		},
+		Trust: expandTrust([]Phrase{
+			{"no reservation costs", 0.40},
+			{"great rates", 0.30},
+			{"free cancellation", 0.50},
+			{"24 7 support", 0.20},
+			{"easy returns", 0.35},
+			{"fees may apply", -0.50},
+			{"results may vary", -0.30},
+			{"trusted by millions", 0.45},
+			{"secure checkout", 0.25},
+			{"price match promise", 0.55},
+		}),
+		BrandSuffixes: []Phrase{
+			{"official site", 0.30},
+			{"online store", 0.10},
+			{"deals", 0.25},
+			{"outlet", 0.05},
+			{"", 0},
+		},
+		Connectors: []Phrase{
+			{"", 0},
+			{"now", 0},
+			{"online", 0},
+			{"here", 0},
+			{"right here", 0},
+			{"with us", 0},
+		},
+		Fillers: []Phrase{
+			{"", 0},
+			{"plus", 0},
+			{"always", 0},
+			{"and enjoy", 0},
+		},
+		DecorAdjectives: []string{
+			"premium", "seasonal", "curated", "classic", "modern", "signature",
+			"featured", "essential", "select", "original", "everyday", "regional",
+			"national", "global", "local", "boutique", "flagship", "preferred",
+			"certified", "verified", "complete", "extended", "updated", "refreshed",
+			"expanded", "dedicated", "trusted", "leading", "independent", "authentic",
+			"handpicked", "popular", "favorite", "iconic", "vintage", "contemporary",
+			"practical", "versatile", "reliable", "renowned",
+		},
+		DecorNouns: []string{
+			"collection", "catalog", "selection", "lineup", "range", "series",
+			"assortment", "inventory", "marketplace", "showroom", "storefront",
+			"portfolio", "network", "program", "membership", "experience",
+			"service", "platform", "destination", "gallery", "edition", "bundle",
+			"package", "library", "outlet", "warehouse", "boutique", "emporium",
+			"department", "division", "branch", "team", "community", "club",
+			"academy", "institute", "registry", "directory", "exchange", "hub",
+		},
+		Verticals: []Vertical{
+			{
+				Name:    "travel",
+				Brands:  []string{"xyz airlines", "skyhop travel", "jetwise", "aero direct"},
+				Objects: travelObjects(),
+			},
+			{
+				Name:    "retail",
+				Brands:  []string{"shoebox", "wearhouse", "trendline", "cartly"},
+				Objects: retailObjects(),
+			},
+			{
+				Name:   "finance",
+				Brands: []string{"lendright", "quotewise", "securebank", "coverly"},
+				Objects: []string{
+					"car insurance quotes", "personal loans", "credit cards",
+					"home insurance", "savings accounts", "mortgage refinancing",
+					"student loans", "term life insurance", "business checking",
+					"travel rewards cards", "renters insurance", "auto refinancing",
+				},
+			},
+		},
+	}
+}
+
+// expandHooks generates the systematic hook families real ad corpora are
+// full of — "save 15%", "20% off", "from $49", "deals under $30" — so
+// the phrase vocabulary is wide and per-phrase statistics realistically
+// thin. Appeal grows mildly with the advertised discount and shrinks
+// with the advertised price, capped to the hand-written hooks' range.
+func expandHooks(hooks []Phrase) []Phrase {
+	seen := make(map[string]bool, len(hooks))
+	for _, h := range hooks {
+		seen[h.Text] = true
+	}
+	add := func(p Phrase) {
+		if !seen[p.Text] {
+			seen[p.Text] = true
+			hooks = append(hooks, p)
+		}
+	}
+	for n := 10; n <= 50; n += 10 {
+		pct := float64(n) / 50 // 0.2 .. 1.0
+		add(Phrase{fmt.Sprintf("save %d%%", n), 0.35 + 0.55*pct})
+		add(Phrase{fmt.Sprintf("%d%% off", n), 0.40 + 0.60*pct})
+	}
+	for _, price := range []int{19, 49, 99} {
+		cheap := 1 - float64(price)/99 // cheaper reads better
+		add(Phrase{fmt.Sprintf("from $%d", price), 0.15 + 0.45*cheap})
+	}
+	return hooks
+}
+
+// expandTrust widens the line-3 inventory the same way.
+func expandTrust(trust []Phrase) []Phrase {
+	for _, n := range []int{30, 90} {
+		trust = append(trust, Phrase{fmt.Sprintf("%d day returns", n), 0.25})
+	}
+	for _, s := range []string{"fast", "free"} {
+		trust = append(trust, Phrase{s + " delivery", 0.35})
+	}
+	for _, s := range []string{"rated 5 stars", "cancel anytime",
+		"money back guarantee", "expert support"} {
+		trust = append(trust, Phrase{s, 0.20})
+	}
+	for _, s := range []string{"restrictions apply", "see terms"} {
+		trust = append(trust, Phrase{s, -0.35})
+	}
+	return trust
+}
+
+// travelObjects generates a wide keyword inventory (city × product), so
+// the text space is large enough that junction n-grams between hooks and
+// objects are too rare to act as statistical position proxies — in real
+// ad corpora they are effectively unique.
+func travelObjects() []string {
+	cities := []string{
+		"new york", "boston", "miami", "chicago", "seattle", "denver",
+		"austin", "atlanta", "dallas", "phoenix", "las vegas", "orlando",
+		"paris", "rome", "london", "tokyo", "madrid", "lisbon", "dublin",
+		"berlin", "prague", "vienna", "sydney", "toronto", "cancun",
+	}
+	var out []string
+	for i, c := range cities {
+		switch i % 3 {
+		case 0:
+			out = append(out, "flights to "+c)
+		case 1:
+			out = append(out, "hotels in "+c)
+		default:
+			out = append(out, "vacations in "+c)
+		}
+		// Every city also gets a second product so objects per vertical
+		// stay diverse.
+		out = append(out, "car rentals in "+c)
+	}
+	return out
+}
+
+// retailObjects generates modifier × noun keyword combinations.
+func retailObjects() []string {
+	mods := []string{"mens", "womens", "kids", "discount", "designer", "outdoor"}
+	nouns := []string{
+		"running shoes", "winter jackets", "wireless headphones",
+		"kitchen appliances", "office chairs", "hiking boots", "watches",
+		"sunglasses", "backpacks", "rain coats",
+	}
+	var out []string
+	for i, n := range nouns {
+		out = append(out, n)
+		out = append(out, mods[i%len(mods)]+" "+n)
+		out = append(out, mods[(i+3)%len(mods)]+" "+n)
+	}
+	return out
+}
+
+// AppealMap flattens the lexicon into a phrase-text → appeal lookup.
+// Objects, brands and connectors carry zero appeal: they identify the
+// product but do not tip the click decision.
+func (l *Lexicon) AppealMap() map[string]float64 {
+	m := make(map[string]float64)
+	add := func(ps []Phrase) {
+		for _, p := range ps {
+			if p.Text != "" {
+				m[p.Text] = p.Appeal
+			}
+		}
+	}
+	add(l.Hooks)
+	add(l.Tails)
+	add(l.Trust)
+	add(l.BrandSuffixes)
+	return m
+}

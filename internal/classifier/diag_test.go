@@ -1,0 +1,156 @@
+package classifier
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adcorpus"
+	"repro/internal/ml"
+	"repro/internal/serp"
+	"repro/internal/snippet"
+)
+
+// TestDiagEditTypeBreakdown is a diagnostic harness (kept as a test so it
+// runs inside the module): it buckets evaluation pairs by the kind of
+// edit separating the two creatives and reports each model's accuracy
+// per bucket, which is how the Table 2 shape was calibrated.
+func TestDiagEditTypeBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic only")
+	}
+	lex := adcorpus.DefaultLexicon()
+
+	statsCorpus := adcorpus.Generate(adcorpus.Config{Seed: 109, Groups: 4000}, lex)
+	statsGroups := serp.New(serp.Config{Seed: 110, Impressions: 800}).Run(statsCorpus)
+	ex := NewExtractor()
+	db := ex.BuildDB(statsGroups)
+
+	evalCorpus := adcorpus.Generate(adcorpus.Config{Seed: 9, Groups: 800}, lex)
+	evalGroups := serp.New(serp.Config{Seed: 10, Impressions: 800}).Run(evalCorpus)
+	pairs := ex.Pairs(evalGroups)
+
+	// Ground-truth creative lookup for edit classification.
+	byID := make(map[string]*adcorpus.Creative)
+	for gi := range evalCorpus.Groups {
+		for ci := range evalCorpus.Groups[gi].Creatives {
+			c := &evalCorpus.Groups[gi].Creatives[ci]
+			byID[c.ID] = c
+		}
+	}
+
+	classify := func(p snippet.Pair) string {
+		r, s := byID[p.R.ID], byID[p.S.ID]
+		if r == nil || s == nil {
+			return "unknown"
+		}
+		rSlots := make(map[string]adcorpus.Slot)
+		for _, sl := range r.Slots {
+			rSlots[sl.Text] = sl
+		}
+		sSlots := make(map[string]adcorpus.Slot)
+		for _, sl := range s.Slots {
+			sSlots[sl.Text] = sl
+		}
+		var contentEdit, moveEdit int
+		for text, sl := range rSlots {
+			o, ok := sSlots[text]
+			switch {
+			case !ok:
+				contentEdit++
+			case o.Line != sl.Line || o.Pos != sl.Pos:
+				moveEdit++
+			}
+		}
+		for text := range sSlots {
+			if _, ok := rSlots[text]; !ok {
+				contentEdit++
+			}
+		}
+		switch {
+		case contentEdit > 0 && moveEdit > 0:
+			return "mixed"
+		case contentEdit > 1:
+			return "multi-content"
+		case contentEdit == 1:
+			return "content"
+		case moveEdit > 0:
+			return "move"
+		default:
+			return "neutral"
+		}
+	}
+
+	buckets := make(map[string][]int)
+	for i, p := range pairs {
+		buckets[classify(p)] = append(buckets[classify(p)], i)
+	}
+	fmt.Printf("pairs=%d buckets:", len(pairs))
+	for k, v := range buckets {
+		fmt.Printf(" %s=%d", k, len(v))
+	}
+	fmt.Println()
+
+	// Dump a few content-bucket pairs with M3's features and weights.
+	{
+		pipe := NewPipeline(M3, db)
+		pipe.Seed = 3
+		shown := 0
+		for _, j := range buckets["content"] {
+			if shown >= 6 {
+				break
+			}
+			p := pairs[j]
+			occs := pipe.occurrences(p)
+			fmt.Printf("--- pair label=%+d swr=%.3f sws=%.3f\n  R: %s\n  S: %s\n",
+				p.Label(), p.SWR, p.SWS, p.R.Text(), p.S.Text())
+			for _, o := range occs {
+				fmt.Printf("    occ dir=%+.0f rel=%q init=%.3f count=%.0f\n",
+					o.dir, o.relKey, db.LogOdds(o.relKey), db.Count(o.relKey))
+			}
+			shown++
+		}
+	}
+
+	for _, spec := range Specs() {
+		pipe := NewPipeline(spec, db)
+		pipe.Seed = 3
+		ds := pipe.Dataset(pairs)
+		folds, err := ml.KFold(ds.Len(), 5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cross-validated predictions for every instance.
+		preds := make([]float64, ds.Len())
+		for _, fold := range folds {
+			model, err := Train(ds, fold.Train, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := model.PredictIdx(ds, fold.Test)
+			for i, j := range fold.Test {
+				preds[j] = p[i]
+			}
+		}
+		fmt.Printf("%s:", spec.Name)
+		for _, bucket := range []string{"content", "multi-content", "move", "mixed", "neutral"} {
+			idx := buckets[bucket]
+			if len(idx) == 0 {
+				continue
+			}
+			correct := 0
+			for _, j := range idx {
+				if (preds[j] >= 0.5) == ds.Labels[j] {
+					correct++
+				}
+			}
+			fmt.Printf("  %s=%.3f", bucket, float64(correct)/float64(len(idx)))
+		}
+		all := 0
+		for j := range preds {
+			if (preds[j] >= 0.5) == ds.Labels[j] {
+				all++
+			}
+		}
+		fmt.Printf("  ALL=%.3f\n", float64(all)/float64(ds.Len()))
+	}
+}

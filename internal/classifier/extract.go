@@ -1,0 +1,167 @@
+package classifier
+
+import (
+	"repro/internal/featstats"
+	"repro/internal/rewrite"
+	"repro/internal/snippet"
+)
+
+// Extractor is phase one of the pipeline (the "feature extractor" box of
+// Figure 1): it scans every creative pair of the corpus and accumulates
+// the feature statistics database — term, positioned-term, rewrite,
+// rewrite-position and position features, each with its delta-sw counts.
+type Extractor struct {
+	// MaxN is the n-gram ceiling (default 3).
+	MaxN int
+	// Smoothing is the database's Laplace count (default 1).
+	Smoothing float64
+	// MinImpressions drops creatives whose serve weights are too noisy
+	// (default 100).
+	MinImpressions int64
+}
+
+// NewExtractor returns an extractor with default settings.
+func NewExtractor() *Extractor {
+	return &Extractor{MaxN: 3, Smoothing: 1, MinImpressions: 100}
+}
+
+func (e *Extractor) maxN() int {
+	if e.MaxN <= 0 {
+		return 3
+	}
+	return e.MaxN
+}
+
+func (e *Extractor) minImpressions() int64 {
+	if e.MinImpressions <= 0 {
+		return 100
+	}
+	return e.MinImpressions
+}
+
+// Pairs enumerates the labelled creative pairs of the corpus, skipping
+// underserved creatives and serve-weight ties.
+func (e *Extractor) Pairs(groups []snippet.AdGroup) []snippet.Pair {
+	var out []snippet.Pair
+	for _, g := range groups {
+		for _, p := range g.Pairs(e.minImpressions()) {
+			if p.Label() != 0 {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// BuildDB runs phase one over the corpus and returns the statistics
+// database. It makes two passes.
+//
+// Pass one, for every pair (R, S) with serve-weight difference
+// d = sw(R) − sw(S):
+//
+//   - each term present only in R observes TermKey/TermPosKey/PosKey
+//     with +d, and each term only in S observes them with −d ("the
+//     difference in serve-weight of the creative containing that term
+//     with the creative not containing it");
+//   - each candidate rewrite a→b (a only in R, b only in S, same line)
+//     observes RewriteKey(a,b) with +d and the mirror key with −d, plus
+//     the corresponding RewritePosKey observations. Candidates rather
+//     than matched rewrites must be used here because matching itself
+//     needs rewrite scores.
+//
+// Pass two re-scans every pair, this time greedily *matching* the diff
+// with the pass-one scores, and rebuilds the rewrite statistics from the
+// matched pairs only. This concentrates the statistics mass on the true
+// rewrites instead of diluting it over the candidate cross-product —
+// the paper's database of "phrase rewrites with corresponding
+// click-through rate lift scores" is likewise keyed by the resolved
+// rewrite, not by every conceivable pairing.
+func (e *Extractor) BuildDB(groups []snippet.AdGroup) *featstats.DB {
+	pairs := e.Pairs(groups)
+
+	pass1 := featstats.New(e.Smoothing)
+	matcher := &rewrite.Matcher{MaxN: e.maxN()}
+	for _, p := range pairs {
+		e.observePair(pass1, matcher, p)
+	}
+
+	db := featstats.New(e.Smoothing)
+	scored := rewrite.NewMatcher(pass1)
+	scored.MaxN = e.maxN()
+	scored.MinScore = 2.2 // same evidence floor the pipeline uses
+	for _, p := range pairs {
+		e.observeMatchedPair(db, scored, p)
+	}
+	return db
+}
+
+// observeMatchedPair records pass-two statistics: term and position
+// observations as in pass one, but rewrite observations only for the
+// greedily matched pairs.
+func (e *Extractor) observeMatchedPair(db *featstats.DB, matcher *rewrite.Matcher, p snippet.Pair) {
+	d := p.SWR - p.SWS
+	if d == 0 {
+		return
+	}
+	onlyR, onlyS := matcher.Diff(p.R, p.S)
+	for _, t := range onlyR {
+		db.Observe(featstats.TermKey(t.Text), d)
+		db.Observe(featstats.TermPosKey(t.Text, t.Pos, t.Line), d)
+	}
+	for _, t := range onlyS {
+		db.Observe(featstats.TermKey(t.Text), -d)
+		db.Observe(featstats.TermPosKey(t.Text, t.Pos, t.Line), -d)
+	}
+	for _, c := range matcher.MatchTerms(onlyR, onlyS).Pairs {
+		db.Observe(featstats.RewriteKey(c.From.Text, c.To.Text), d)
+		db.Observe(featstats.RewriteKey(c.To.Text, c.From.Text), -d)
+	}
+
+	posR, posS := matcher.DiffPositional(p.R, p.S)
+	for _, t := range posR {
+		db.Observe(featstats.PosKey(t.Pos, t.Line), d)
+	}
+	for _, t := range posS {
+		db.Observe(featstats.PosKey(t.Pos, t.Line), -d)
+	}
+	for _, c := range matcher.MatchTerms(posR, posS).Pairs {
+		db.Observe(featstats.RewritePosKey(c.From.Pos, c.From.Line, c.To.Pos, c.To.Line), d)
+		db.Observe(featstats.RewritePosKey(c.To.Pos, c.To.Line, c.From.Pos, c.From.Line), -d)
+	}
+}
+
+func (e *Extractor) observePair(db *featstats.DB, matcher *rewrite.Matcher, p snippet.Pair) {
+	d := p.SWR - p.SWS
+	if d == 0 {
+		return
+	}
+
+	// Content statistics from the text diff.
+	onlyR, onlyS := matcher.Diff(p.R, p.S)
+	for _, t := range onlyR {
+		db.Observe(featstats.TermKey(t.Text), d)
+		db.Observe(featstats.TermPosKey(t.Text, t.Pos, t.Line), d)
+	}
+	for _, t := range onlyS {
+		db.Observe(featstats.TermKey(t.Text), -d)
+		db.Observe(featstats.TermPosKey(t.Text, t.Pos, t.Line), -d)
+	}
+	for _, c := range matcher.Candidates(onlyR, onlyS) {
+		db.Observe(featstats.RewriteKey(c.From.Text, c.To.Text), d)
+		db.Observe(featstats.RewriteKey(c.To.Text, c.From.Text), -d)
+	}
+
+	// Position statistics from the positional diff, which additionally
+	// surfaces moved phrases (same text, different position).
+	posR, posS := matcher.DiffPositional(p.R, p.S)
+	for _, t := range posR {
+		db.Observe(featstats.PosKey(t.Pos, t.Line), d)
+	}
+	for _, t := range posS {
+		db.Observe(featstats.PosKey(t.Pos, t.Line), -d)
+	}
+	for _, c := range matcher.Candidates(posR, posS) {
+		db.Observe(featstats.RewritePosKey(c.From.Pos, c.From.Line, c.To.Pos, c.To.Line), d)
+		db.Observe(featstats.RewritePosKey(c.To.Pos, c.To.Line, c.From.Pos, c.From.Line), -d)
+	}
+}

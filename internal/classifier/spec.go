@@ -1,0 +1,49 @@
+// Package classifier implements the snippet classification framework of
+// Figure 1 and Section V: a two-phase pipeline where phase one scans the
+// creative-pair corpus into the feature statistics database, and phase
+// two generates classifier instances and trains one of the six ablation
+// models M1–M6 that the paper evaluates:
+//
+//	M1: term features, no position, stats-DB initialisation
+//	M2: term features with position
+//	M3: greedy rewrite features, no position
+//	M4: greedy rewrite features with position
+//	M5: rewrite and term features, no position
+//	M6: rewrite and term features with position
+//
+// Position-free models are a single L1 logistic regression; positional
+// models are the coupled logistic regression of Eq. 9 where position
+// weights P and relevance weights T are learned alternately.
+package classifier
+
+// ModelSpec selects one ablation variant of the snippet classifier.
+type ModelSpec struct {
+	// Name is the paper's model id ("M1".."M6").
+	Name string
+	// Description matches the row label in Table 2.
+	Description string
+	// UseTerms enables differing-term features.
+	UseTerms bool
+	// UseRewrites enables greedily matched rewrite features.
+	UseRewrites bool
+	// UsePosition enables micro-position information, switching the
+	// learner to the coupled logistic regression.
+	UsePosition bool
+	// UseStatsInit initialises weights from the feature statistics
+	// database (on for every paper variant; exposed for the ablation
+	// benchmark).
+	UseStatsInit bool
+}
+
+// The six models of Table 2.
+var (
+	M1 = ModelSpec{Name: "M1", Description: "Terms only", UseTerms: true, UseStatsInit: true}
+	M2 = ModelSpec{Name: "M2", Description: "Terms w. pos", UseTerms: true, UsePosition: true, UseStatsInit: true}
+	M3 = ModelSpec{Name: "M3", Description: "Rewrites only", UseRewrites: true, UseStatsInit: true}
+	M4 = ModelSpec{Name: "M4", Description: "Rewrites w. pos", UseRewrites: true, UsePosition: true, UseStatsInit: true}
+	M5 = ModelSpec{Name: "M5", Description: "Rewrites & terms", UseTerms: true, UseRewrites: true, UseStatsInit: true}
+	M6 = ModelSpec{Name: "M6", Description: "Rewrites & terms w. pos", UseTerms: true, UseRewrites: true, UsePosition: true, UseStatsInit: true}
+)
+
+// Specs returns the six models in Table 2 order.
+func Specs() []ModelSpec { return []ModelSpec{M1, M2, M3, M4, M5, M6} }

@@ -1,0 +1,124 @@
+package clickmodel
+
+// Cascade is the cascade model of Craswell et al.: the user scans results
+// strictly top-to-bottom, clicks the first attractive result, and stops.
+//
+//	P(E_1 = 1) = 1
+//	P(E_i = 1 | E_{i-1} = 1) = 1 - C_{i-1}
+//	P(C_i = 1 | E_i = 1)     = alpha(q, d_i)
+//
+// The model permits at most one click per session; its likelihood is zero
+// for multi-click sessions (handled with the probability floor). Maximum
+// likelihood estimation is closed-form: a document's attractiveness is the
+// fraction of its *examined* impressions that were clicked, where the
+// examined positions of a session are those up to and including the first
+// click (all positions, if there is no click).
+type Cascade struct {
+	Alpha      map[qd]float64
+	PriorAlpha float64 // attractiveness for unseen (query, doc); default 0.5
+
+	// LaplaceA and LaplaceB are the add-a/add-b smoothing counts for the
+	// click/examination ratio (default 1 and 2: a Beta(1,1) prior mean).
+	LaplaceA, LaplaceB float64
+}
+
+// NewCascade returns a Cascade with default smoothing.
+func NewCascade() *Cascade { return &Cascade{PriorAlpha: 0.5, LaplaceA: 1, LaplaceB: 2} }
+
+// Name implements Model.
+func (m *Cascade) Name() string { return "Cascade" }
+
+func (m *Cascade) defaults() {
+	if m.PriorAlpha <= 0 || m.PriorAlpha >= 1 {
+		m.PriorAlpha = 0.5
+	}
+	if m.LaplaceA < 0 || m.LaplaceB < 0 {
+		m.LaplaceA, m.LaplaceB = 1, 2
+	}
+}
+
+// Fit implements Model with the closed-form MLE described on the type.
+func (m *Cascade) Fit(sessions []Session) error {
+	if err := validateAll(sessions); err != nil {
+		return err
+	}
+	m.defaults()
+	type acc struct{ clicks, exams float64 }
+	accs := make(map[qd]acc)
+	for _, s := range sessions {
+		stop := s.FirstClick()
+		if stop < 0 {
+			stop = len(s.Docs) - 1
+		}
+		for i := 0; i <= stop; i++ {
+			k := qd{s.Query, s.Docs[i]}
+			a := accs[k]
+			a.exams++
+			if s.Clicks[i] {
+				a.clicks++
+			}
+			accs[k] = a
+		}
+	}
+	m.Alpha = make(map[qd]float64, len(accs))
+	for k, a := range accs {
+		m.Alpha[k] = clampProb((a.clicks + m.LaplaceA) / (a.exams + m.LaplaceB))
+	}
+	return nil
+}
+
+func (m *Cascade) alpha(q, d string) float64 {
+	if a, ok := m.Alpha[qd{q, d}]; ok {
+		return a
+	}
+	return m.PriorAlpha
+}
+
+// ClickProbs implements Model: P(C_i=1) = alpha_i * prod_{j<i} (1-alpha_j).
+func (m *Cascade) ClickProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	survive := 1.0
+	for i, d := range s.Docs {
+		a := m.alpha(s.Query, d)
+		out[i] = survive * a
+		survive *= 1 - a
+	}
+	return out
+}
+
+// ExaminationProbs implements Examiner: the marginal probability the scan
+// reaches position i.
+func (m *Cascade) ExaminationProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	survive := 1.0
+	for i, d := range s.Docs {
+		out[i] = survive
+		survive *= 1 - m.alpha(s.Query, d)
+	}
+	return out
+}
+
+// SessionLogLikelihood implements Model. Sessions with more than one click
+// are impossible under the cascade hypothesis and score the floor
+// probability per extra click.
+func (m *Cascade) SessionLogLikelihood(s Session) float64 {
+	ll := 0.0
+	stopped := false
+	for i, d := range s.Docs {
+		a := m.alpha(s.Query, d)
+		switch {
+		case stopped:
+			// Anything after the first click is unexamined: a click here
+			// has probability 0 (floored), a skip probability 1.
+			if s.Clicks[i] {
+				ll += log(0)
+			}
+		case s.Clicks[i]:
+			ll += log(a)
+			stopped = true
+		default:
+			ll += log(1 - a)
+		}
+	}
+	return ll
+}

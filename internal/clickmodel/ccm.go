@@ -1,0 +1,252 @@
+package clickmodel
+
+// CCM is the click chain model of Guo et al., generalising DCM with an
+// abandonment option and relevance-dependent continuation:
+//
+//	P(E_{i+1} = 1 | E_i = 1, C_i = 0) = alpha1
+//	P(E_{i+1} = 1 | E_i = 1, C_i = 1) = alpha2·(1 - r_i) + alpha3·r_i
+//	P(C_i = 1 | E_i = 1)              = r(q, d_i)
+//
+// The original paper performs Bayesian inference over r; this
+// reproduction estimates point relevances and the three alphas with an
+// EM that enumerates the latent stop position exactly (as in DBN) and
+// updates alpha2/alpha3 by relevance-weighted moment matching, a standard
+// approximation when relevance is a point estimate rather than a random
+// variable.
+type CCM struct {
+	Rel                    map[qd]float64
+	Alpha1, Alpha2, Alpha3 float64
+
+	Iterations int
+	PriorR     float64
+}
+
+// NewCCM returns a CCM with default hyper-parameters.
+func NewCCM() *CCM {
+	return &CCM{Iterations: 20, PriorR: 0.5, Alpha1: 0.8, Alpha2: 0.6, Alpha3: 0.9}
+}
+
+// Name implements Model.
+func (m *CCM) Name() string { return "CCM" }
+
+func (m *CCM) defaults() {
+	if m.Iterations <= 0 {
+		m.Iterations = 20
+	}
+	if m.PriorR <= 0 || m.PriorR >= 1 {
+		m.PriorR = 0.5
+	}
+	if m.Alpha1 <= 0 || m.Alpha1 >= 1 {
+		m.Alpha1 = 0.8
+	}
+	if m.Alpha2 <= 0 || m.Alpha2 >= 1 {
+		m.Alpha2 = 0.6
+	}
+	if m.Alpha3 <= 0 || m.Alpha3 >= 1 {
+		m.Alpha3 = 0.9
+	}
+}
+
+func (m *CCM) r(q, d string) float64 {
+	if v, ok := m.Rel[qd{q, d}]; ok {
+		return v
+	}
+	return m.PriorR
+}
+
+// contClick is the continuation probability after a click on a result
+// with relevance r.
+func (m *CCM) contClick(r float64) float64 {
+	return m.Alpha2*(1-r) + m.Alpha3*r
+}
+
+// tailPosterior mirrors DBN.tailPosterior for CCM's transition structure:
+// after the last click the user continues with contClick(r_last), then
+// keeps examining skipped results with alpha1 per step.
+func (m *CCM) tailPosterior(s Session, last int) (pCont float64, pExam []float64, z float64) {
+	n := len(s.Docs)
+	pExam = make([]float64, n)
+	wStop := make([]float64, n)
+
+	if last >= 0 {
+		cont := m.contClick(m.r(s.Query, s.Docs[last]))
+		cur := 1.0
+		for t := last; t < n; t++ {
+			if t > last {
+				step := m.Alpha1
+				if t == last+1 {
+					step = cont
+				}
+				cur *= step * (1 - m.r(s.Query, s.Docs[t]))
+			}
+			w := cur
+			if t < n-1 {
+				stop := 1 - m.Alpha1
+				if t == last {
+					stop = 1 - cont
+				}
+				w *= stop
+			}
+			wStop[t] = w
+		}
+	} else {
+		cur := 1.0
+		for t := 0; t < n; t++ {
+			if t > 0 {
+				cur *= m.Alpha1
+			}
+			cur *= 1 - m.r(s.Query, s.Docs[t])
+			w := cur
+			if t < n-1 {
+				w *= 1 - m.Alpha1
+			}
+			wStop[t] = w
+		}
+	}
+
+	for _, w := range wStop {
+		z += w
+	}
+	if z <= 0 {
+		z = probEps
+	}
+	suffix := 0.0
+	for j := n - 1; j > last; j-- {
+		suffix += wStop[j]
+		pExam[j] = suffix / z
+	}
+	if last >= 0 && last < n-1 {
+		pCont = pExam[last+1]
+	}
+	return pCont, pExam, z
+}
+
+// Fit implements Model.
+func (m *CCM) Fit(sessions []Session) error {
+	if err := validateAll(sessions); err != nil {
+		return err
+	}
+	m.defaults()
+	m.Rel = make(map[qd]float64)
+	for _, s := range sessions {
+		for _, d := range s.Docs {
+			m.Rel[qd{s.Query, d}] = m.PriorR
+		}
+	}
+
+	type acc struct{ num, den float64 }
+	for iter := 0; iter < m.Iterations; iter++ {
+		rAcc := make(map[qd]acc, len(m.Rel))
+		var a1Num, a1Den float64
+		var a2Num, a2Den, a3Num, a3Den float64
+
+		for _, sess := range sessions {
+			n := len(sess.Docs)
+			last := sess.LastClick()
+
+			for j := 0; j <= last; j++ {
+				k := qd{sess.Query, sess.Docs[j]}
+				ra := rAcc[k]
+				ra.den++
+				if sess.Clicks[j] {
+					ra.num++
+				}
+				rAcc[k] = ra
+				if j < last {
+					if sess.Clicks[j] {
+						// Continued after a click: relevance-weighted
+						// credit to alpha2/alpha3.
+						r := m.r(sess.Query, sess.Docs[j])
+						a2Den += 1 - r
+						a2Num += 1 - r
+						a3Den += r
+						a3Num += r
+					} else {
+						a1Den++
+						a1Num++
+					}
+				}
+			}
+
+			pCont, pExam, _ := m.tailPosterior(sess, last)
+
+			if last >= 0 && last < n-1 {
+				r := m.r(sess.Query, sess.Docs[last])
+				a2Den += 1 - r
+				a2Num += (1 - r) * pCont
+				a3Den += r
+				a3Num += r * pCont
+			}
+			for j := last + 1; j < n; j++ {
+				k := qd{sess.Query, sess.Docs[j]}
+				ra := rAcc[k]
+				ra.den += pExam[j]
+				rAcc[k] = ra
+				if j < n-1 {
+					a1Den += pExam[j]
+					a1Num += pExam[j+1]
+				}
+			}
+		}
+
+		for k, ra := range rAcc {
+			if ra.den > 0 {
+				m.Rel[k] = clampProb(ra.num / ra.den)
+			}
+		}
+		if a1Den > 0 {
+			m.Alpha1 = clampProb(a1Num / a1Den)
+		}
+		if a2Den > 0 {
+			m.Alpha2 = clampProb(a2Num / a2Den)
+		}
+		if a3Den > 0 {
+			m.Alpha3 = clampProb(a3Num / a3Den)
+		}
+	}
+	return nil
+}
+
+// ClickProbs implements Model via the forward examination recursion.
+func (m *CCM) ClickProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	exam := 1.0
+	for i, d := range s.Docs {
+		r := m.r(s.Query, d)
+		out[i] = exam * r
+		exam *= r*m.contClick(r) + (1-r)*m.Alpha1
+	}
+	return out
+}
+
+// ExaminationProbs implements Examiner.
+func (m *CCM) ExaminationProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	exam := 1.0
+	for i, d := range s.Docs {
+		out[i] = exam
+		r := m.r(s.Query, d)
+		exam *= r*m.contClick(r) + (1-r)*m.Alpha1
+	}
+	return out
+}
+
+// SessionLogLikelihood implements Model.
+func (m *CCM) SessionLogLikelihood(s Session) float64 {
+	last := s.LastClick()
+	ll := 0.0
+	for j := 0; j <= last; j++ {
+		r := m.r(s.Query, s.Docs[j])
+		if s.Clicks[j] {
+			ll += log(r)
+			if j < last {
+				ll += log(m.contClick(r))
+			}
+		} else {
+			ll += log(1-r) + log(m.Alpha1)
+		}
+	}
+	_, _, z := m.tailPosterior(s, last)
+	ll += log(z)
+	return ll
+}

@@ -1,0 +1,177 @@
+// Package clickmodel implements the classical macro user-browsing models for
+// ranked search results surveyed in Section II of the paper: the position
+// model (examination hypothesis), the cascade model, the dependent click
+// model (DCM), the user browsing model (UBM), a Bayesian browsing variant
+// (BBM), the click chain model (CCM), the dynamic Bayesian network model
+// (DBN) and its simplified form (SDBN).
+//
+// These models estimate, per result position, the probability that a user
+// examines the *whole* result. They serve two roles in this repository:
+// they are the baselines the micro-browsing model is contrasted with, and
+// they drive the macro (SERP-level) examination layer of the sponsored
+// search simulator in internal/serp.
+//
+// All models share the Session type — one query impression with the shown
+// documents and the observed click pattern — and the Model interface, so
+// they can be fitted and evaluated interchangeably.
+package clickmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Session is a single query impression: the ranked documents that were
+// shown and which of them were clicked. Docs[i] is the document at
+// position i+1 (positions are 1-based in the literature, 0-based here as
+// slice indices).
+type Session struct {
+	Query  string
+	Docs   []string
+	Clicks []bool
+}
+
+// Validate reports whether the session is well-formed.
+func (s Session) Validate() error {
+	if len(s.Docs) == 0 {
+		return errors.New("clickmodel: session has no documents")
+	}
+	if len(s.Docs) != len(s.Clicks) {
+		return fmt.Errorf("clickmodel: %d docs but %d click indicators", len(s.Docs), len(s.Clicks))
+	}
+	return nil
+}
+
+// LastClick returns the 0-based index of the last clicked position, or -1
+// if the session has no click.
+func (s Session) LastClick() int {
+	for i := len(s.Clicks) - 1; i >= 0; i-- {
+		if s.Clicks[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// FirstClick returns the 0-based index of the first clicked position, or
+// -1 if the session has no click.
+func (s Session) FirstClick() int {
+	for i, c := range s.Clicks {
+		if c {
+			return i
+		}
+	}
+	return -1
+}
+
+// ClickCount returns the number of clicks in the session.
+func (s Session) ClickCount() int {
+	n := 0
+	for _, c := range s.Clicks {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// Model is a trainable click model.
+type Model interface {
+	// Name identifies the model in reports ("PBM", "UBM", ...).
+	Name() string
+
+	// Fit estimates the model parameters from a session log.
+	Fit(sessions []Session) error
+
+	// ClickProbs returns the marginal probability P(C_i = 1) for every
+	// position of the session, using only the query and shown documents
+	// (never the session's own clicks). This is the quantity scored by
+	// perplexity and used for CTR prediction.
+	ClickProbs(s Session) []float64
+
+	// SessionLogLikelihood returns log P(observed click vector) under the
+	// model, honouring the model's sequential dependence structure.
+	SessionLogLikelihood(s Session) float64
+}
+
+// Examiner is implemented by models that expose a marginal examination
+// probability per position (before conditioning on any click), such as the
+// position model. Used by the simulator and by examination-curve reports.
+type Examiner interface {
+	ExaminationProbs(s Session) []float64
+}
+
+// qd keys attractiveness/relevance parameters by (query, document).
+type qd struct{ q, d string }
+
+// probEps clamps probabilities away from {0,1} so logarithms and EM
+// posteriors stay finite.
+const probEps = 1e-9
+
+func clampProb(p float64) float64 {
+	if p < probEps {
+		return probEps
+	}
+	if p > 1-probEps {
+		return 1 - probEps
+	}
+	return p
+}
+
+func log(p float64) float64 { return math.Log(clampProb(p)) }
+
+// bernoulliLL returns log P(click=c) for a Bernoulli with parameter p.
+func bernoulliLL(p float64, c bool) float64 {
+	if c {
+		return log(p)
+	}
+	return log(1 - p)
+}
+
+// maxPositions scans a session log for the longest result list.
+func maxPositions(sessions []Session) int {
+	max := 0
+	for _, s := range sessions {
+		if len(s.Docs) > max {
+			max = len(s.Docs)
+		}
+	}
+	return max
+}
+
+// validateAll checks every session and the log as a whole.
+func validateAll(sessions []Session) error {
+	if len(sessions) == 0 {
+		return errors.New("clickmodel: empty session log")
+	}
+	for i, s := range sessions {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("session %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// meanCTRByPosition returns the empirical CTR at each position of the log,
+// a useful model-free baseline and sanity check.
+func MeanCTRByPosition(sessions []Session) []float64 {
+	n := maxPositions(sessions)
+	clicks := make([]float64, n)
+	imps := make([]float64, n)
+	for _, s := range sessions {
+		for i, c := range s.Clicks {
+			imps[i]++
+			if c {
+				clicks[i]++
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if imps[i] > 0 {
+			out[i] = clicks[i] / imps[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package clickmodel
+
+// DBN is the dynamic Bayesian network model of Chapelle & Zhang. Each
+// (query, doc) has an attractiveness a (perceived relevance: click given
+// examination) and a satisfaction s (post-click relevance: the user stops
+// when satisfied). A global continuation parameter gamma governs whether
+// an unsatisfied user keeps examining:
+//
+//	P(C_i = 1 | E_i = 1)                  = a(q, d_i)
+//	P(S_i = 1 | C_i = 1)                  = s(q, d_i)
+//	P(E_{i+1} = 1 | E_i = 1, C_i = 0)     = gamma
+//	P(E_{i+1} = 1 | E_i = 1, C_i = 1)     = gamma · (1 - s(q, d_i))
+//
+// Estimation is EM. Given the observed clicks, every position up to the
+// last click is certainly examined; the only latent structure is where
+// examination stopped in the tail and whether the last click satisfied the
+// user. Both are handled exactly by enumerating the stop position.
+type DBN struct {
+	AttrA map[qd]float64 // attractiveness
+	SatS  map[qd]float64 // satisfaction
+	Gamma float64        // continuation probability
+
+	Iterations     int
+	PriorA, PriorS float64
+}
+
+// NewDBN returns a DBN with default hyper-parameters.
+func NewDBN() *DBN { return &DBN{Iterations: 20, PriorA: 0.5, PriorS: 0.5, Gamma: 0.9} }
+
+// Name implements Model.
+func (m *DBN) Name() string { return "DBN" }
+
+func (m *DBN) defaults() {
+	if m.Iterations <= 0 {
+		m.Iterations = 20
+	}
+	if m.PriorA <= 0 || m.PriorA >= 1 {
+		m.PriorA = 0.5
+	}
+	if m.PriorS <= 0 || m.PriorS >= 1 {
+		m.PriorS = 0.5
+	}
+	if m.Gamma <= 0 || m.Gamma >= 1 {
+		m.Gamma = 0.9
+	}
+}
+
+func (m *DBN) a(q, d string) float64 {
+	if v, ok := m.AttrA[qd{q, d}]; ok {
+		return v
+	}
+	return m.PriorA
+}
+
+func (m *DBN) s(q, d string) float64 {
+	if v, ok := m.SatS[qd{q, d}]; ok {
+		return v
+	}
+	return m.PriorS
+}
+
+// tailPosterior computes, for a session whose last click is at index
+// `last` (-1 for none), the posterior over the latent tail behaviour:
+//
+//   - pSat: P(user satisfied at the last click | observations)
+//   - pExam[j] for j in (last, n): P(E_j = 1 | observations)
+//   - z: the likelihood of the tail observations (all skips past `last`),
+//     including the satisfaction/stop marginalisation at the last click.
+//
+// Enumeration is over t = last examined position. For t beyond `last`,
+// the user was unsatisfied, continued, and skipped everything through t.
+func (m *DBN) tailPosterior(s Session, last int) (pSat float64, pExam []float64, z float64) {
+	n := len(s.Docs)
+	pExam = make([]float64, n)
+	g := m.Gamma
+
+	// Branch weights: wStop[t] = joint probability of the tail
+	// observations with examination stopping exactly at position t.
+	wStop := make([]float64, n)
+	var wSat float64
+
+	if last >= 0 {
+		sat := m.s(s.Query, s.Docs[last])
+		wSat = sat
+		cur := 1 - sat // unsatisfied, still deciding
+		for t := last; t < n; t++ {
+			if t > last {
+				// Continue into t, which must then be skipped.
+				cur *= g * (1 - m.a(s.Query, s.Docs[t]))
+			}
+			w := cur
+			if t < n-1 {
+				w *= 1 - g // explicit stop before the next position
+			}
+			wStop[t] = w
+		}
+	} else {
+		cur := 1.0 // position 0 is always examined
+		for t := 0; t < n; t++ {
+			if t > 0 {
+				cur *= g
+			}
+			cur0 := cur * (1 - m.a(s.Query, s.Docs[t]))
+			cur = cur0
+			w := cur0
+			if t < n-1 {
+				w *= 1 - g
+			}
+			wStop[t] = w
+		}
+	}
+
+	z = wSat
+	for _, w := range wStop {
+		z += w
+	}
+	if z <= 0 {
+		z = probEps
+	}
+
+	pSat = wSat / z
+	// P(E_j = 1 | obs) for tail positions: examination reached j iff the
+	// stop position t >= j (and the user was not satisfied).
+	suffix := 0.0
+	for j := n - 1; j > last; j-- {
+		suffix += wStop[j]
+		if j >= 0 {
+			pExam[j] = suffix / z
+		}
+	}
+	return pSat, pExam, z
+}
+
+// Fit implements Model via EM with exact tail enumeration.
+func (m *DBN) Fit(sessions []Session) error {
+	if err := validateAll(sessions); err != nil {
+		return err
+	}
+	m.defaults()
+
+	m.AttrA = make(map[qd]float64)
+	m.SatS = make(map[qd]float64)
+	for _, s := range sessions {
+		for _, d := range s.Docs {
+			k := qd{s.Query, d}
+			m.AttrA[k] = m.PriorA
+			m.SatS[k] = m.PriorS
+		}
+	}
+
+	type acc struct{ num, den float64 }
+	for iter := 0; iter < m.Iterations; iter++ {
+		aAcc := make(map[qd]acc, len(m.AttrA))
+		sAcc := make(map[qd]acc, len(m.SatS))
+		var gNum, gDen float64
+
+		for _, sess := range sessions {
+			n := len(sess.Docs)
+			last := sess.LastClick()
+
+			// Certainly-examined prefix.
+			for j := 0; j <= last; j++ {
+				k := qd{sess.Query, sess.Docs[j]}
+				ac := aAcc[k]
+				ac.den++
+				if sess.Clicks[j] {
+					ac.num++
+				}
+				aAcc[k] = ac
+				if sess.Clicks[j] && j < last {
+					// Satisfied here is impossible: clicks follow.
+					sc := sAcc[k]
+					sc.den++
+					sAcc[k] = sc
+					// The continue decision was taken and succeeded.
+					gNum++
+					gDen++
+				}
+				if !sess.Clicks[j] && j < last {
+					gNum++
+					gDen++
+				}
+			}
+
+			pSat, pExam, _ := m.tailPosterior(sess, last)
+
+			if last >= 0 {
+				k := qd{sess.Query, sess.Docs[last]}
+				sc := sAcc[k]
+				sc.num += pSat
+				sc.den++
+				sAcc[k] = sc
+				if last < n-1 {
+					// Unsatisfied users took a gamma decision here.
+					gDen += 1 - pSat
+					gNum += pExam[last+1]
+				}
+			}
+			for j := last + 1; j < n; j++ {
+				k := qd{sess.Query, sess.Docs[j]}
+				ac := aAcc[k]
+				ac.den += pExam[j]
+				aAcc[k] = ac
+				if j < n-1 {
+					gDen += pExam[j]
+					gNum += pExam[j+1]
+				}
+			}
+		}
+
+		for k, ac := range aAcc {
+			if ac.den > 0 {
+				m.AttrA[k] = clampProb(ac.num / ac.den)
+			}
+		}
+		for k, sc := range sAcc {
+			if sc.den > 0 {
+				m.SatS[k] = clampProb(sc.num / sc.den)
+			}
+		}
+		if gDen > 0 {
+			m.Gamma = clampProb(gNum / gDen)
+		}
+	}
+	return nil
+}
+
+// ClickProbs implements Model via the forward examination recursion.
+func (m *DBN) ClickProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	exam := 1.0
+	for i, d := range s.Docs {
+		a := m.a(s.Query, d)
+		sat := m.s(s.Query, d)
+		out[i] = exam * a
+		exam *= m.Gamma * (a*(1-sat) + (1 - a))
+	}
+	return out
+}
+
+// ExaminationProbs implements Examiner.
+func (m *DBN) ExaminationProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	exam := 1.0
+	for i, d := range s.Docs {
+		out[i] = exam
+		a := m.a(s.Query, d)
+		sat := m.s(s.Query, d)
+		exam *= m.Gamma * (a*(1-sat) + (1 - a))
+	}
+	return out
+}
+
+// SessionLogLikelihood implements Model: exact likelihood with the
+// certainly-examined prefix plus the marginalised tail.
+func (m *DBN) SessionLogLikelihood(s Session) float64 {
+	last := s.LastClick()
+	ll := 0.0
+	for j := 0; j <= last; j++ {
+		a := m.a(s.Query, s.Docs[j])
+		if s.Clicks[j] {
+			ll += log(a)
+			if j < last {
+				// Unsatisfied and continued.
+				ll += log((1 - m.s(s.Query, s.Docs[j])) * m.Gamma)
+			}
+		} else {
+			ll += log(1-a) + log(m.Gamma)
+		}
+	}
+	_, _, z := m.tailPosterior(s, last)
+	ll += log(z)
+	return ll
+}

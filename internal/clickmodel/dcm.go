@@ -1,0 +1,163 @@
+package clickmodel
+
+// DCM is the dependent click model of Guo et al., the multi-click
+// generalisation of the cascade model:
+//
+//	P(E_i = 1 | E_{i-1} = 1, C_{i-1} = 1) = lambda_{i-1}
+//	P(E_i = 1 | E_{i-1} = 1, C_{i-1} = 0) = 1
+//	P(C_i = 1 | E_i = 1)                  = alpha(q, d_i)
+//
+// After a click at position i the user continues with the position effect
+// lambda_i; after a skip she always continues. Estimation follows the
+// original paper's maximum-likelihood recipe: positions up to the last
+// click are certainly examined; lambda_i is one minus the fraction of
+// clicks at position i that were the session's last click.
+type DCM struct {
+	Alpha  map[qd]float64
+	Lambda []float64 // Lambda[i]: continue probability after a click at position i+1
+
+	PriorAlpha         float64
+	LaplaceA, LaplaceB float64
+}
+
+// NewDCM returns a DCM with default smoothing.
+func NewDCM() *DCM { return &DCM{PriorAlpha: 0.5, LaplaceA: 1, LaplaceB: 2} }
+
+// Name implements Model.
+func (m *DCM) Name() string { return "DCM" }
+
+func (m *DCM) defaults() {
+	if m.PriorAlpha <= 0 || m.PriorAlpha >= 1 {
+		m.PriorAlpha = 0.5
+	}
+	if m.LaplaceA < 0 || m.LaplaceB < 0 {
+		m.LaplaceA, m.LaplaceB = 1, 2
+	}
+}
+
+// Fit implements Model.
+func (m *DCM) Fit(sessions []Session) error {
+	if err := validateAll(sessions); err != nil {
+		return err
+	}
+	m.defaults()
+	n := maxPositions(sessions)
+
+	type acc struct{ clicks, exams float64 }
+	accs := make(map[qd]acc)
+	lastClickAt := make([]float64, n) // sessions whose last click is at i
+	clickAt := make([]float64, n)     // sessions with any click at i
+
+	for _, s := range sessions {
+		last := s.LastClick()
+		// Positions up to the last click are certainly examined. With no
+		// click, DCM's estimation treats the whole list as examined
+		// (the user never stops after skips).
+		stop := last
+		if stop < 0 {
+			stop = len(s.Docs) - 1
+		}
+		for i := 0; i <= stop; i++ {
+			k := qd{s.Query, s.Docs[i]}
+			a := accs[k]
+			a.exams++
+			if s.Clicks[i] {
+				a.clicks++
+				clickAt[i]++
+				if i == last {
+					lastClickAt[i]++
+				}
+			}
+			accs[k] = a
+		}
+	}
+
+	m.Alpha = make(map[qd]float64, len(accs))
+	for k, a := range accs {
+		m.Alpha[k] = clampProb((a.clicks + m.LaplaceA) / (a.exams + m.LaplaceB))
+	}
+	m.Lambda = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if den := clickAt[i] + m.LaplaceB; den > 0 {
+			m.Lambda[i] = clampProb(1 - (lastClickAt[i]+m.LaplaceA)/den)
+		} else {
+			m.Lambda[i] = 0.5
+		}
+	}
+	return nil
+}
+
+func (m *DCM) alpha(q, d string) float64 {
+	if a, ok := m.Alpha[qd{q, d}]; ok {
+		return a
+	}
+	return m.PriorAlpha
+}
+
+func (m *DCM) lambda(i int) float64 {
+	if i < len(m.Lambda) {
+		return m.Lambda[i]
+	}
+	return 0.5
+}
+
+// ClickProbs implements Model: forward recursion over the marginal
+// examination probability.
+func (m *DCM) ClickProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	exam := 1.0
+	for i, d := range s.Docs {
+		a := m.alpha(s.Query, d)
+		out[i] = exam * a
+		// E_{i+1} = E_i and (clicked -> lambda_i, skipped -> 1).
+		exam = exam * (a*m.lambda(i) + (1 - a))
+	}
+	return out
+}
+
+// ExaminationProbs implements Examiner.
+func (m *DCM) ExaminationProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	exam := 1.0
+	for i, d := range s.Docs {
+		out[i] = exam
+		a := m.alpha(s.Query, d)
+		exam = exam * (a*m.lambda(i) + (1 - a))
+	}
+	return out
+}
+
+// SessionLogLikelihood implements Model. Given the click vector, positions
+// up to the last click are examined with certainty; the tail after the
+// last click marginalises over where the user abandoned.
+func (m *DCM) SessionLogLikelihood(s Session) float64 {
+	last := s.LastClick()
+	ll := 0.0
+	for i := 0; i <= last; i++ {
+		a := m.alpha(s.Query, s.Docs[i])
+		if s.Clicks[i] {
+			ll += log(a)
+			if i < last {
+				// Continued after this click.
+				ll += log(m.lambda(i))
+			}
+		} else {
+			ll += log(1 - a)
+		}
+	}
+	// Tail: after the last click (or from the top, with no clicks) the
+	// user examines onwards and must not click. If the last position
+	// clicked closed the session, the user either stopped (1-lambda) or
+	// continued and skipped everything; marginalise the stop decision.
+	tail := 1.0 // probability of observing all-skips after `last`
+	for i := len(s.Docs) - 1; i > last; i-- {
+		a := m.alpha(s.Query, s.Docs[i])
+		tail = (1 - a) * tail
+	}
+	if last >= 0 {
+		ll += log((1 - m.lambda(last)) + m.lambda(last)*tail)
+	} else {
+		ll += log(tail)
+	}
+	return ll
+}

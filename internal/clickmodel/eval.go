@@ -1,0 +1,98 @@
+package clickmodel
+
+import "math"
+
+// Evaluation holds aggregate quality metrics for a fitted click model on a
+// held-out session log, matching the measures customary in the click-model
+// literature (PyClick et al.).
+type Evaluation struct {
+	Model string
+	// LogLikelihood is the mean per-session log-likelihood.
+	LogLikelihood float64
+	// Perplexity is the overall click-prediction perplexity (lower is
+	// better, 1 is perfect).
+	Perplexity float64
+	// PerplexityByRank is the per-position perplexity.
+	PerplexityByRank []float64
+	Sessions         int
+}
+
+// LogLikelihood returns the mean per-session log-likelihood of the model
+// on the log.
+func LogLikelihood(m Model, sessions []Session) float64 {
+	if len(sessions) == 0 {
+		return 0
+	}
+	ll := 0.0
+	for _, s := range sessions {
+		ll += m.SessionLogLikelihood(s)
+	}
+	return ll / float64(len(sessions))
+}
+
+// Perplexity returns the overall and per-rank click perplexity of the
+// model's marginal click probabilities:
+//
+//	p_i = 2^{ -1/N · Σ ( c log2 q + (1-c) log2(1-q) ) }
+func Perplexity(m Model, sessions []Session) (overall float64, byRank []float64) {
+	n := maxPositions(sessions)
+	if n == 0 {
+		return 0, nil
+	}
+	sum := make([]float64, n)
+	cnt := make([]float64, n)
+	for _, s := range sessions {
+		probs := m.ClickProbs(s)
+		for i, c := range s.Clicks {
+			q := clampProb(probs[i])
+			if c {
+				sum[i] += math.Log2(q)
+			} else {
+				sum[i] += math.Log2(1 - q)
+			}
+			cnt[i]++
+		}
+	}
+	byRank = make([]float64, n)
+	var tot, totCnt float64
+	for i := 0; i < n; i++ {
+		if cnt[i] > 0 {
+			byRank[i] = math.Exp2(-sum[i] / cnt[i])
+		}
+		tot += sum[i]
+		totCnt += cnt[i]
+	}
+	if totCnt > 0 {
+		overall = math.Exp2(-tot / totCnt)
+	}
+	return overall, byRank
+}
+
+// Evaluate fits nothing; it scores an already-fitted model on sessions.
+func Evaluate(m Model, sessions []Session) Evaluation {
+	overall, byRank := Perplexity(m, sessions)
+	return Evaluation{
+		Model:            m.Name(),
+		LogLikelihood:    LogLikelihood(m, sessions),
+		Perplexity:       overall,
+		PerplexityByRank: byRank,
+		Sessions:         len(sessions),
+	}
+}
+
+// All returns one fresh instance of every model in the package, in the
+// order they appear in the paper's related-work taxonomy.
+func All() []Model {
+	return []Model{
+		NewPBM(),
+		NewCascade(),
+		NewDCM(),
+		NewUBM(),
+		NewBBM(),
+		NewCCM(),
+		NewDBN(),
+		NewSDBN(),
+		NewGCM(),
+		NewSUM(),
+	}
+}

@@ -1,0 +1,241 @@
+package clickmodel
+
+// GCM is a generalised chain click model in the spirit of Zhu et al.'s
+// general click model, which treats examination and relevance effects as
+// random variables and subsumes the cascade family by suitable choices.
+// The original uses probit-linked latent variables with Bayesian
+// inference; this reproduction keeps the *conditional specification* —
+// the distinguishing structure — with per-position continuation
+// parameters estimated by EM:
+//
+//	P(E_{i+1} = 1 | E_i = 1, C_i = 0) = lambdaSkip[i]
+//	P(E_{i+1} = 1 | E_i = 1, C_i = 1) = lambdaClick[i]
+//	P(C_i = 1 | E_i = 1)              = r(q, d_i)
+//
+// Special cases: cascade (lambdaSkip = 1, lambdaClick = 0), DCM
+// (lambdaSkip = 1, lambdaClick = lambda_i), DBN with fixed satisfaction,
+// and CCM with position-tied alphas.
+type GCM struct {
+	Rel         map[qd]float64
+	LambdaSkip  []float64
+	LambdaClick []float64
+
+	Iterations int
+	PriorR     float64
+}
+
+// NewGCM returns a GCM with default hyper-parameters.
+func NewGCM() *GCM { return &GCM{Iterations: 20, PriorR: 0.5} }
+
+// Name implements Model.
+func (m *GCM) Name() string { return "GCM" }
+
+func (m *GCM) defaults() {
+	if m.Iterations <= 0 {
+		m.Iterations = 20
+	}
+	if m.PriorR <= 0 || m.PriorR >= 1 {
+		m.PriorR = 0.5
+	}
+}
+
+func (m *GCM) r(q, d string) float64 {
+	if v, ok := m.Rel[qd{q, d}]; ok {
+		return v
+	}
+	return m.PriorR
+}
+
+func (m *GCM) lSkip(i int) float64 {
+	if i < len(m.LambdaSkip) {
+		return m.LambdaSkip[i]
+	}
+	return 0.5
+}
+
+func (m *GCM) lClick(i int) float64 {
+	if i < len(m.LambdaClick) {
+		return m.LambdaClick[i]
+	}
+	return 0.5
+}
+
+// tailPosterior enumerates the latent stop position past the last click.
+func (m *GCM) tailPosterior(s Session, last int) (pExam []float64, z float64) {
+	n := len(s.Docs)
+	pExam = make([]float64, n)
+	wStop := make([]float64, n)
+
+	start := last
+	cont0 := 1.0
+	if last >= 0 {
+		cont0 = m.lClick(last)
+	} else {
+		start = 0
+	}
+	cur := 1.0
+	for t := start; t < n; t++ {
+		switch {
+		case last >= 0 && t == last:
+			// No factors: the click itself is accounted upstream.
+		case last >= 0 && t == last+1:
+			cur *= cont0 * (1 - m.r(s.Query, s.Docs[t]))
+		case last < 0 && t == 0:
+			cur *= 1 - m.r(s.Query, s.Docs[t]) // E_1 = 1 always
+		default:
+			cur *= m.lSkip(t-1) * (1 - m.r(s.Query, s.Docs[t]))
+		}
+		w := cur
+		if t < n-1 {
+			stop := 1 - m.lSkip(t)
+			if last >= 0 && t == last {
+				stop = 1 - cont0
+			}
+			w *= stop
+		}
+		wStop[t] = w
+	}
+
+	for _, w := range wStop {
+		z += w
+	}
+	if z <= 0 {
+		z = probEps
+	}
+	suffix := 0.0
+	for j := n - 1; j > last; j-- {
+		suffix += wStop[j]
+		pExam[j] = suffix / z
+	}
+	return pExam, z
+}
+
+// Fit implements Model.
+func (m *GCM) Fit(sessions []Session) error {
+	if err := validateAll(sessions); err != nil {
+		return err
+	}
+	m.defaults()
+	n := maxPositions(sessions)
+	m.LambdaSkip = make([]float64, n)
+	m.LambdaClick = make([]float64, n)
+	for i := 0; i < n; i++ {
+		m.LambdaSkip[i] = 0.9
+		m.LambdaClick[i] = 0.6
+	}
+	m.Rel = make(map[qd]float64)
+	for _, s := range sessions {
+		for _, d := range s.Docs {
+			m.Rel[qd{s.Query, d}] = m.PriorR
+		}
+	}
+
+	type acc struct{ num, den float64 }
+	for iter := 0; iter < m.Iterations; iter++ {
+		rAcc := make(map[qd]acc, len(m.Rel))
+		skipNum := make([]float64, n)
+		skipDen := make([]float64, n)
+		clickNum := make([]float64, n)
+		clickDen := make([]float64, n)
+
+		for _, sess := range sessions {
+			ns := len(sess.Docs)
+			last := sess.LastClick()
+
+			for j := 0; j <= last; j++ {
+				k := qd{sess.Query, sess.Docs[j]}
+				ra := rAcc[k]
+				ra.den++
+				if sess.Clicks[j] {
+					ra.num++
+				}
+				rAcc[k] = ra
+				if j < last {
+					if sess.Clicks[j] {
+						clickNum[j]++
+						clickDen[j]++
+					} else {
+						skipNum[j]++
+						skipDen[j]++
+					}
+				}
+			}
+
+			pExam, _ := m.tailPosterior(sess, last)
+
+			if last >= 0 && last < ns-1 {
+				clickDen[last]++
+				clickNum[last] += pExam[last+1]
+			}
+			for j := last + 1; j < ns; j++ {
+				k := qd{sess.Query, sess.Docs[j]}
+				ra := rAcc[k]
+				ra.den += pExam[j]
+				rAcc[k] = ra
+				if j < ns-1 {
+					skipDen[j] += pExam[j]
+					skipNum[j] += pExam[j+1]
+				}
+			}
+		}
+
+		for k, ra := range rAcc {
+			if ra.den > 0 {
+				m.Rel[k] = clampProb(ra.num / ra.den)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if skipDen[i] > 0 {
+				m.LambdaSkip[i] = clampProb(skipNum[i] / skipDen[i])
+			}
+			if clickDen[i] > 0 {
+				m.LambdaClick[i] = clampProb(clickNum[i] / clickDen[i])
+			}
+		}
+	}
+	return nil
+}
+
+// ClickProbs implements Model via the forward examination recursion.
+func (m *GCM) ClickProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	exam := 1.0
+	for i, d := range s.Docs {
+		r := m.r(s.Query, d)
+		out[i] = exam * r
+		exam *= r*m.lClick(i) + (1-r)*m.lSkip(i)
+	}
+	return out
+}
+
+// ExaminationProbs implements Examiner.
+func (m *GCM) ExaminationProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	exam := 1.0
+	for i, d := range s.Docs {
+		out[i] = exam
+		r := m.r(s.Query, d)
+		exam *= r*m.lClick(i) + (1-r)*m.lSkip(i)
+	}
+	return out
+}
+
+// SessionLogLikelihood implements Model.
+func (m *GCM) SessionLogLikelihood(s Session) float64 {
+	last := s.LastClick()
+	ll := 0.0
+	for j := 0; j <= last; j++ {
+		r := m.r(s.Query, s.Docs[j])
+		if s.Clicks[j] {
+			ll += log(r)
+			if j < last {
+				ll += log(m.lClick(j))
+			}
+		} else {
+			ll += log(1-r) + log(m.lSkip(j))
+		}
+	}
+	_, z := m.tailPosterior(s, last)
+	ll += log(z)
+	return ll
+}

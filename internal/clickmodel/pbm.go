@@ -1,0 +1,146 @@
+package clickmodel
+
+// PBM is the position-based model: the examination hypothesis of
+// Richardson et al. formalised by Craswell et al.
+//
+//	P(C_i = 1) = alpha(q, d_i) * gamma(i)
+//
+// Examination depends only on the position, independent of every other
+// result (Section II-A of the paper). Parameters are estimated with EM.
+type PBM struct {
+	// Gamma[i] is the probability that position i+1 is examined.
+	Gamma []float64
+	// Alpha maps (query, doc) to attractiveness: the probability of a
+	// click given examination.
+	Alpha map[qd]float64
+
+	// Iterations is the number of EM rounds (default 20).
+	Iterations int
+	// PriorAlpha initialises unseen attractiveness values (default 0.5).
+	PriorAlpha float64
+}
+
+// NewPBM returns a PBM with default hyper-parameters.
+func NewPBM() *PBM { return &PBM{Iterations: 20, PriorAlpha: 0.5} }
+
+// Name implements Model.
+func (m *PBM) Name() string { return "PBM" }
+
+func (m *PBM) defaults() {
+	if m.Iterations <= 0 {
+		m.Iterations = 20
+	}
+	if m.PriorAlpha <= 0 || m.PriorAlpha >= 1 {
+		m.PriorAlpha = 0.5
+	}
+}
+
+// Fit runs EM. The E-step computes, for every impression, the posterior
+// probability that the result was examined and that it was attractive
+// given the observed click; the M-step averages those posteriors into the
+// per-position gammas and per-(query,doc) alphas.
+func (m *PBM) Fit(sessions []Session) error {
+	if err := validateAll(sessions); err != nil {
+		return err
+	}
+	m.defaults()
+	n := maxPositions(sessions)
+
+	m.Gamma = make([]float64, n)
+	for i := range m.Gamma {
+		// Initialise with a gentle decay so EM starts from a plausible,
+		// symmetric-breaking point.
+		m.Gamma[i] = 1.0 / (1.0 + float64(i))
+	}
+	m.Alpha = make(map[qd]float64)
+	for _, s := range sessions {
+		for _, d := range s.Docs {
+			m.Alpha[qd{s.Query, d}] = m.PriorAlpha
+		}
+	}
+
+	type acc struct{ num, den float64 }
+	for iter := 0; iter < m.Iterations; iter++ {
+		gammaNum := make([]float64, n)
+		gammaDen := make([]float64, n)
+		alphaAcc := make(map[qd]acc, len(m.Alpha))
+
+		for _, s := range sessions {
+			for i, d := range s.Docs {
+				k := qd{s.Query, d}
+				a := m.Alpha[k]
+				g := m.Gamma[i]
+				var postE, postA float64
+				if s.Clicks[i] {
+					// A click implies examination and attraction.
+					postE, postA = 1, 1
+				} else {
+					// P(E=1|C=0) and P(A=1|C=0).
+					den := clampProb(1 - a*g)
+					postE = g * (1 - a) / den
+					postA = a * (1 - g) / den
+				}
+				gammaNum[i] += postE
+				gammaDen[i]++
+				ac := alphaAcc[k]
+				ac.num += postA
+				ac.den++
+				alphaAcc[k] = ac
+			}
+		}
+
+		for i := 0; i < n; i++ {
+			if gammaDen[i] > 0 {
+				m.Gamma[i] = clampProb(gammaNum[i] / gammaDen[i])
+			}
+		}
+		for k, ac := range alphaAcc {
+			if ac.den > 0 {
+				m.Alpha[k] = clampProb(ac.num / ac.den)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *PBM) alpha(q, d string) float64 {
+	if a, ok := m.Alpha[qd{q, d}]; ok {
+		return a
+	}
+	return m.PriorAlpha
+}
+
+// ClickProbs implements Model.
+func (m *PBM) ClickProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	for i, d := range s.Docs {
+		g := 0.0
+		if i < len(m.Gamma) {
+			g = m.Gamma[i]
+		}
+		out[i] = m.alpha(s.Query, d) * g
+	}
+	return out
+}
+
+// ExaminationProbs implements Examiner: under PBM examination is the
+// per-position gamma, independent of the documents.
+func (m *PBM) ExaminationProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	for i := range out {
+		if i < len(m.Gamma) {
+			out[i] = m.Gamma[i]
+		}
+	}
+	return out
+}
+
+// SessionLogLikelihood implements Model. Under PBM positions are
+// independent, so the session likelihood factorises.
+func (m *PBM) SessionLogLikelihood(s Session) float64 {
+	ll := 0.0
+	for i, p := range m.ClickProbs(s) {
+		ll += bernoulliLL(p, s.Clicks[i])
+	}
+	return ll
+}

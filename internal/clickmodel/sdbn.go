@@ -1,0 +1,149 @@
+package clickmodel
+
+// SDBN is the simplified dynamic Bayesian network model: DBN with the
+// continuation parameter fixed at gamma = 1. Estimation is closed-form
+// counting, which makes SDBN the workhorse for large logs:
+//
+//	a(q,d) = clicks on d / impressions of d at positions <= last click
+//	s(q,d) = sessions where d was the last click / sessions where d clicked
+type SDBN struct {
+	AttrA map[qd]float64
+	SatS  map[qd]float64
+
+	PriorA, PriorS     float64
+	LaplaceA, LaplaceB float64
+}
+
+// NewSDBN returns an SDBN with default smoothing.
+func NewSDBN() *SDBN {
+	return &SDBN{PriorA: 0.5, PriorS: 0.5, LaplaceA: 1, LaplaceB: 2}
+}
+
+// Name implements Model.
+func (m *SDBN) Name() string { return "SDBN" }
+
+func (m *SDBN) defaults() {
+	if m.PriorA <= 0 || m.PriorA >= 1 {
+		m.PriorA = 0.5
+	}
+	if m.PriorS <= 0 || m.PriorS >= 1 {
+		m.PriorS = 0.5
+	}
+	// Laplace counts of zero are a valid (unsmoothed MLE) choice and are
+	// respected; only negative values are replaced.
+	if m.LaplaceA < 0 || m.LaplaceB < 0 {
+		m.LaplaceA, m.LaplaceB = 1, 2
+	}
+}
+
+// Fit implements Model with single-pass counting.
+func (m *SDBN) Fit(sessions []Session) error {
+	if err := validateAll(sessions); err != nil {
+		return err
+	}
+	m.defaults()
+	type acc struct{ num, den float64 }
+	aAcc := make(map[qd]acc)
+	sAcc := make(map[qd]acc)
+	for _, s := range sessions {
+		last := s.LastClick()
+		if last < 0 {
+			// With gamma = 1 a session without clicks means every result
+			// was examined and skipped.
+			last = len(s.Docs) - 1
+		}
+		for i := 0; i <= last; i++ {
+			k := qd{s.Query, s.Docs[i]}
+			a := aAcc[k]
+			a.den++
+			if s.Clicks[i] {
+				a.num++
+				sc := sAcc[k]
+				sc.den++
+				if i == s.LastClick() {
+					sc.num++
+				}
+				sAcc[k] = sc
+			}
+			aAcc[k] = a
+		}
+	}
+	m.AttrA = make(map[qd]float64, len(aAcc))
+	for k, a := range aAcc {
+		m.AttrA[k] = clampProb((a.num + m.LaplaceA) / (a.den + m.LaplaceB))
+	}
+	m.SatS = make(map[qd]float64, len(sAcc))
+	for k, sc := range sAcc {
+		m.SatS[k] = clampProb((sc.num + m.LaplaceA) / (sc.den + m.LaplaceB))
+	}
+	return nil
+}
+
+func (m *SDBN) a(q, d string) float64 {
+	if v, ok := m.AttrA[qd{q, d}]; ok {
+		return v
+	}
+	return m.PriorA
+}
+
+func (m *SDBN) s(q, d string) float64 {
+	if v, ok := m.SatS[qd{q, d}]; ok {
+		return v
+	}
+	return m.PriorS
+}
+
+// ClickProbs implements Model.
+func (m *SDBN) ClickProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	exam := 1.0
+	for i, d := range s.Docs {
+		a := m.a(s.Query, d)
+		out[i] = exam * a
+		exam *= a*(1-m.s(s.Query, d)) + (1 - a)
+	}
+	return out
+}
+
+// ExaminationProbs implements Examiner.
+func (m *SDBN) ExaminationProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	exam := 1.0
+	for i, d := range s.Docs {
+		out[i] = exam
+		a := m.a(s.Query, d)
+		exam *= a*(1-m.s(s.Query, d)) + (1 - a)
+	}
+	return out
+}
+
+// SessionLogLikelihood implements Model. With gamma = 1 the only
+// marginalisation left is the satisfaction of the last click.
+func (m *SDBN) SessionLogLikelihood(s Session) float64 {
+	last := s.LastClick()
+	ll := 0.0
+	for i := 0; i <= last; i++ {
+		a := m.a(s.Query, s.Docs[i])
+		if s.Clicks[i] {
+			ll += log(a)
+			if i < last {
+				ll += log(1 - m.s(s.Query, s.Docs[i]))
+			}
+		} else {
+			ll += log(1 - a)
+		}
+	}
+	// Tail: either satisfied at the last click, or continued and skipped
+	// every remaining result (gamma = 1 leaves no stopping choice).
+	tail := 1.0
+	for i := len(s.Docs) - 1; i > last; i-- {
+		tail *= 1 - m.a(s.Query, s.Docs[i])
+	}
+	if last >= 0 {
+		sat := m.s(s.Query, s.Docs[last])
+		ll += log(sat + (1-sat)*tail)
+	} else {
+		ll += log(tail)
+	}
+	return ll
+}

@@ -1,0 +1,170 @@
+package clickmodel
+
+// SUM is a session utility model in the spirit of Dupret & Liao (cited
+// in the paper's Section II-D): a post-click model that estimates the
+// intrinsic (post-click) relevance of documents from the *sequence of
+// clicked results in a session*, without modelling examination or
+// pre-click attractiveness.
+//
+// The generative story: after each click the user accumulates the
+// clicked document's intrinsic utility u(q,d) ∈ (0,1) and ends the
+// session with probability equal to the accumulated utility's
+// complement-product — i.e. the session continues past a click with
+// probability Π(1-u) over clicked docs so far. Documents that satisfy
+// users terminate sessions early and earn high utility; estimation is
+// by EM over the session-termination evidence. This reproduction keeps
+// the model's defining characteristic — only clicked sequences matter —
+// and is evaluated only through SessionLogLikelihood on click sequences
+// (ClickProbs falls back to per-position click rates, as SUM does not
+// model examination).
+type SUM struct {
+	// Utility maps (query, doc) to intrinsic post-click relevance.
+	Utility map[qd]float64
+	// baseCTR is the per-position empirical click rate used for the
+	// marginal ClickProbs fallback.
+	baseCTR []float64
+
+	Iterations int
+	PriorU     float64
+}
+
+// NewSUM returns a SUM with default hyper-parameters.
+func NewSUM() *SUM { return &SUM{Iterations: 20, PriorU: 0.3} }
+
+// Name implements Model.
+func (m *SUM) Name() string { return "SUM" }
+
+func (m *SUM) defaults() {
+	if m.Iterations <= 0 {
+		m.Iterations = 20
+	}
+	if m.PriorU <= 0 || m.PriorU >= 1 {
+		m.PriorU = 0.3
+	}
+}
+
+func (m *SUM) u(q, d string) float64 {
+	if v, ok := m.Utility[qd{q, d}]; ok {
+		return v
+	}
+	return m.PriorU
+}
+
+// clickedDocs returns the clicked documents of a session in order.
+func clickedDocs(s Session) []string {
+	var out []string
+	for i, c := range s.Clicks {
+		if c {
+			out = append(out, s.Docs[i])
+		}
+	}
+	return out
+}
+
+// Fit implements Model. For every session, each clicked document except
+// the last is evidence of non-satisfaction (the user clicked again);
+// the last clicked document's satisfaction is latent (the user may have
+// stopped satisfied, or continued and found nothing) and receives a
+// posterior weight in the E-step.
+func (m *SUM) Fit(sessions []Session) error {
+	if err := validateAll(sessions); err != nil {
+		return err
+	}
+	m.defaults()
+	m.baseCTR = MeanCTRByPosition(sessions)
+	m.Utility = make(map[qd]float64)
+	for _, s := range sessions {
+		for _, d := range clickedDocs(s) {
+			m.Utility[qd{s.Query, d}] = m.PriorU
+		}
+	}
+	type acc struct{ num, den float64 }
+	for iter := 0; iter < m.Iterations; iter++ {
+		accs := make(map[qd]acc, len(m.Utility))
+		for _, s := range sessions {
+			clicked := clickedDocs(s)
+			for i, d := range clicked {
+				k := qd{s.Query, d}
+				a := accs[k]
+				a.den++
+				if i == len(clicked)-1 {
+					// Last click: P(satisfied | session ended here).
+					// Ending evidence: no clicks followed. The session
+					// ends either satisfied (u) or unsatisfied but with
+					// no further attractive results (approximated by
+					// the residual 1-u mass ending anyway with the
+					// base rate of clickless continuation).
+					u := m.u(s.Query, d)
+					cont := (1 - u) * m.tailNoClickProb(s)
+					a.num += u / (u + cont)
+				}
+				accs[k] = a
+			}
+		}
+		for k, a := range accs {
+			if a.den > 0 {
+				m.Utility[k] = clampProb(a.num / a.den)
+			}
+		}
+	}
+	return nil
+}
+
+// tailNoClickProb approximates the probability that a continuing user
+// records no further click, from the positions after the last click.
+func (m *SUM) tailNoClickProb(s Session) float64 {
+	last := s.LastClick()
+	p := 1.0
+	for i := last + 1; i < len(s.Docs) && i < len(m.baseCTR); i++ {
+		p *= 1 - m.baseCTR[i]
+	}
+	return clampProb(p)
+}
+
+// ClickProbs implements Model with the per-position empirical rate: SUM
+// does not model pre-click behaviour, so its marginal prediction is the
+// position baseline.
+func (m *SUM) ClickProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	for i := range out {
+		if i < len(m.baseCTR) {
+			out[i] = m.baseCTR[i]
+		} else {
+			out[i] = 0.05
+		}
+	}
+	return out
+}
+
+// SessionLogLikelihood implements Model over the clicked sequence: each
+// non-final click contributes log(1-u) (the user was not satisfied and
+// continued); the final click contributes the satisfied/abandoned
+// mixture.
+func (m *SUM) SessionLogLikelihood(s Session) float64 {
+	clicked := clickedDocs(s)
+	if len(clicked) == 0 {
+		return log(m.tailNoClickProb(s))
+	}
+	ll := 0.0
+	for i, d := range clicked {
+		u := m.u(s.Query, d)
+		if i < len(clicked)-1 {
+			ll += log(1 - u)
+		} else {
+			ll += log(u + (1-u)*m.tailNoClickProb(s))
+		}
+	}
+	return ll
+}
+
+// SessionUtility returns the expected accumulated utility of a session's
+// clicked sequence — the quantity SUM ranks sessions and documents by.
+func (m *SUM) SessionUtility(s Session) float64 {
+	p := 1.0
+	for _, d := range clickedDocs(s) {
+		p *= 1 - m.u(s.Query, d)
+	}
+	return 1 - p
+}
+
+var _ Model = (*SUM)(nil)

@@ -1,0 +1,199 @@
+package clickmodel
+
+// UBM is the user browsing model of Dupret & Piwowarski. Examination of
+// position i depends on the position itself and on the position of the
+// most recent preceding click:
+//
+//	P(E_i = 1 | last click at j) = gamma(i, j)
+//	P(C_i = 1 | E_i = 1)         = alpha(q, d_i)
+//
+// Unlike the cascade family, a skip does not force continued examination:
+// the user may abandon the list and reformulate. Because the conditioning
+// click history is fully observed, EM reduces to PBM-style posterior
+// updates with the gamma cell selected by the session's click pattern.
+type UBM struct {
+	// Gamma[i][j] is P(E=1) at position i+1 when the previous click was
+	// at position j (1-based), with j = 0 meaning no previous click.
+	// Valid cells have j <= i.
+	Gamma [][]float64
+	Alpha map[qd]float64
+
+	Iterations int
+	PriorAlpha float64
+}
+
+// NewUBM returns a UBM with default hyper-parameters.
+func NewUBM() *UBM { return &UBM{Iterations: 20, PriorAlpha: 0.5} }
+
+// Name implements Model.
+func (m *UBM) Name() string { return "UBM" }
+
+func (m *UBM) defaults() {
+	if m.Iterations <= 0 {
+		m.Iterations = 20
+	}
+	if m.PriorAlpha <= 0 || m.PriorAlpha >= 1 {
+		m.PriorAlpha = 0.5
+	}
+}
+
+func (m *UBM) gamma(i, j int) float64 {
+	if i < len(m.Gamma) && j < len(m.Gamma[i]) {
+		return m.Gamma[i][j]
+	}
+	return 0.5
+}
+
+// prevClickIndex returns, for each position of the session, the gamma
+// column: 0 when no click precedes it, otherwise the 1-based position of
+// the most recent preceding click.
+func prevClickIndex(s Session) []int {
+	idx := make([]int, len(s.Docs))
+	prev := 0
+	for i := range s.Docs {
+		idx[i] = prev
+		if s.Clicks[i] {
+			prev = i + 1
+		}
+	}
+	return idx
+}
+
+// Fit implements Model via EM.
+func (m *UBM) Fit(sessions []Session) error {
+	if err := validateAll(sessions); err != nil {
+		return err
+	}
+	m.defaults()
+	n := maxPositions(sessions)
+
+	m.Gamma = make([][]float64, n)
+	for i := range m.Gamma {
+		m.Gamma[i] = make([]float64, i+1)
+		for j := range m.Gamma[i] {
+			m.Gamma[i][j] = 1.0 / (1.0 + float64(i-j))
+		}
+	}
+	m.Alpha = make(map[qd]float64)
+	for _, s := range sessions {
+		for _, d := range s.Docs {
+			m.Alpha[qd{s.Query, d}] = m.PriorAlpha
+		}
+	}
+
+	type acc struct{ num, den float64 }
+	for iter := 0; iter < m.Iterations; iter++ {
+		gNum := make([][]float64, n)
+		gDen := make([][]float64, n)
+		for i := range gNum {
+			gNum[i] = make([]float64, i+1)
+			gDen[i] = make([]float64, i+1)
+		}
+		aAcc := make(map[qd]acc, len(m.Alpha))
+
+		for _, s := range sessions {
+			prev := prevClickIndex(s)
+			for i, d := range s.Docs {
+				k := qd{s.Query, d}
+				a := m.Alpha[k]
+				g := m.gamma(i, prev[i])
+				var postE, postA float64
+				if s.Clicks[i] {
+					postE, postA = 1, 1
+				} else {
+					den := clampProb(1 - a*g)
+					postE = g * (1 - a) / den
+					postA = a * (1 - g) / den
+				}
+				gNum[i][prev[i]] += postE
+				gDen[i][prev[i]]++
+				ac := aAcc[k]
+				ac.num += postA
+				ac.den++
+				aAcc[k] = ac
+			}
+		}
+
+		for i := range m.Gamma {
+			for j := range m.Gamma[i] {
+				if gDen[i][j] > 0 {
+					m.Gamma[i][j] = clampProb(gNum[i][j] / gDen[i][j])
+				}
+			}
+		}
+		for k, ac := range aAcc {
+			if ac.den > 0 {
+				m.Alpha[k] = clampProb(ac.num / ac.den)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *UBM) alpha(q, d string) float64 {
+	if a, ok := m.Alpha[qd{q, d}]; ok {
+		return a
+	}
+	return m.PriorAlpha
+}
+
+// ClickProbs implements Model. The marginal click probability requires
+// integrating over the unobserved click history; a forward recursion over
+// the "position of the last click so far" does this exactly in O(n²).
+func (m *UBM) ClickProbs(s Session) []float64 {
+	n := len(s.Docs)
+	out := make([]float64, n)
+	// pLast[j]: probability that after processing positions < i, the most
+	// recent click was at position j (1-based), j = 0 for none.
+	pLast := make([]float64, n+1)
+	pLast[0] = 1
+	for i, d := range s.Docs {
+		a := m.alpha(s.Query, d)
+		var pc float64
+		for j := 0; j <= i; j++ {
+			pc += pLast[j] * a * m.gamma(i, j)
+		}
+		out[i] = pc
+		for j := 0; j <= i; j++ {
+			pLast[j] *= 1 - a*m.gamma(i, j)
+		}
+		pLast[i+1] = pc
+	}
+	return out
+}
+
+// ExaminationProbs implements Examiner, marginalising over click
+// histories with the same forward recursion.
+func (m *UBM) ExaminationProbs(s Session) []float64 {
+	n := len(s.Docs)
+	out := make([]float64, n)
+	pLast := make([]float64, n+1)
+	pLast[0] = 1
+	for i, d := range s.Docs {
+		a := m.alpha(s.Query, d)
+		var pe, pc float64
+		for j := 0; j <= i; j++ {
+			g := m.gamma(i, j)
+			pe += pLast[j] * g
+			pc += pLast[j] * a * g
+		}
+		out[i] = pe
+		for j := 0; j <= i; j++ {
+			pLast[j] *= 1 - a*m.gamma(i, j)
+		}
+		pLast[i+1] = pc
+	}
+	return out
+}
+
+// SessionLogLikelihood implements Model. Conditioned on the observed
+// click history the session likelihood factorises position by position.
+func (m *UBM) SessionLogLikelihood(s Session) float64 {
+	prev := prevClickIndex(s)
+	ll := 0.0
+	for i, d := range s.Docs {
+		p := m.alpha(s.Query, d) * m.gamma(i, prev[i])
+		ll += bernoulliLL(p, s.Clicks[i])
+	}
+	return ll
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/serp"
+)
+
+// tinySetup keeps the end-to-end experiment tests fast.
+func tinySetup() Setup {
+	return Setup{
+		Seed:        77,
+		Groups:      150,
+		StatsGroups: 450,
+		Impressions: 500,
+		Folds:       3,
+	}
+}
+
+func TestBuildDataDisjointAndNonEmpty(t *testing.T) {
+	data := BuildData(tinySetup())
+	if len(data.Pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	if data.DB.Len() == 0 {
+		t.Fatal("empty stats DB")
+	}
+	// Labels must be balanced-ish in sign before orientation.
+	pos := 0
+	for _, p := range data.Pairs {
+		if p.Label() == 0 {
+			t.Fatal("tied pair leaked through")
+		}
+		if p.Label() > 0 {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(data.Pairs) {
+		t.Error("labels degenerate")
+	}
+}
+
+func TestTable2SmokeAndShape(t *testing.T) {
+	res, err := Table2(tinySetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("got %d rows, want 6", len(res))
+	}
+	for i, r := range res {
+		if r.Spec.Name != []string{"M1", "M2", "M3", "M4", "M5", "M6"}[i] {
+			t.Errorf("row %d is %s", i, r.Spec.Name)
+		}
+		if r.Mean.F1 <= 0 || r.Mean.F1 >= 1 {
+			t.Errorf("%s F1 = %v out of range", r.Spec.Name, r.Mean.F1)
+		}
+		if len(r.FoldMetrics) != 3 {
+			t.Errorf("%s has %d folds", r.Spec.Name, len(r.FoldMetrics))
+		}
+	}
+	// Even at this tiny scale the headline comparison should hold
+	// directionally: the best positional model beats the bag of terms.
+	best := res[1].Mean.Accuracy // M2
+	if res[5].Mean.Accuracy > best {
+		best = res[5].Mean.Accuracy // M6
+	}
+	if best <= res[0].Mean.Accuracy-0.02 {
+		t.Errorf("no positional model beats M1: M1=%.3f best-positional=%.3f",
+			res[0].Mean.Accuracy, best)
+	}
+
+	out := FormatTable2(res)
+	if !strings.Contains(out, "TABLE 2") || !strings.Contains(out, "M6") {
+		t.Errorf("FormatTable2 output malformed:\n%s", out)
+	}
+}
+
+func TestFigure3Smoke(t *testing.T) {
+	fig, err := Figure3(tinySetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Lines) < 2 {
+		t.Fatalf("figure covers %d lines", len(fig.Lines))
+	}
+	for li, row := range fig.Lines {
+		for pi, w := range row {
+			if w < 0 || w > 1.5 {
+				t.Errorf("line %d pos %d weight %v out of range", li+1, pi+1, w)
+			}
+		}
+	}
+	out := FormatFigure3(fig)
+	if !strings.Contains(out, "FIGURE 3") || !strings.Contains(out, "line 1:") {
+		t.Errorf("FormatFigure3 output malformed:\n%s", out)
+	}
+}
+
+func TestTable4Smoke(t *testing.T) {
+	rows, err := Table4(tinySetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Top <= 0 || r.Top >= 1 || r.RHS <= 0 || r.RHS >= 1 {
+			t.Errorf("%s accuracies out of range: %+v", r.Spec.Name, r)
+		}
+	}
+	out := FormatTable4(rows)
+	if !strings.Contains(out, "TABLE 4") || !strings.Contains(out, "Rhs") {
+		t.Errorf("FormatTable4 output malformed:\n%s", out)
+	}
+}
+
+func TestPaperReferenceValues(t *testing.T) {
+	t2 := PaperTable2()
+	if len(t2) != 6 {
+		t.Fatal("paper table 2 incomplete")
+	}
+	if t2["M6"][2] != 0.712 || t2["M1"][2] != 0.570 {
+		t.Error("paper F-measures transcribed wrong")
+	}
+	t4 := PaperTable4()
+	if t4["M6"][0] != 0.714 || t4["M6"][1] != 0.711 {
+		t.Error("paper table 4 transcribed wrong")
+	}
+	// Paper orderings that our reproduction tracks.
+	if !(t2["M1"][2] < t2["M3"][2] && t2["M3"][2] < t2["M5"][2] &&
+		t2["M5"][2] < t2["M2"][2] && t2["M2"][2] < t2["M4"][2] &&
+		t2["M4"][2] < t2["M6"][2]) {
+		t.Error("paper Table 2 ordering broken in transcription")
+	}
+}
+
+func TestDefaultSetup(t *testing.T) {
+	s := DefaultSetup().withDefaults()
+	if s.Folds != 10 {
+		t.Errorf("default folds = %d, want 10 (as in the paper)", s.Folds)
+	}
+	if s.StatsGroups <= s.Groups {
+		t.Error("stats corpus should be larger than the evaluation corpus")
+	}
+	if s.Placement != serp.Top {
+		t.Error("default placement should be top")
+	}
+}

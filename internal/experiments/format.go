@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/classifier"
+)
+
+// FormatTable2 renders the ablation results in the paper's Table 2
+// layout, with the published numbers alongside for comparison.
+func FormatTable2(results []classifier.Result) string {
+	var b strings.Builder
+	paper := PaperTable2()
+	fmt.Fprintf(&b, "TABLE 2: ACCURACY OF CREATIVE CLASSIFICATION USING DIFFERENT SETS OF FEATURES\n")
+	fmt.Fprintf(&b, "%-30s %8s %10s %10s   %s\n", "Feature", "Recall", "Precision", "F-Measure", "(paper R/P/F)")
+	for _, r := range results {
+		p := paper[r.Spec.Name]
+		fmt.Fprintf(&b, "%-30s %7.1f%% %9.1f%% %10.3f   (%.1f%% / %.1f%% / %.3f)\n",
+			r.Spec.Name+": "+r.Spec.Description,
+			r.Mean.Recall*100, r.Mean.Precision*100, r.Mean.F1,
+			p[0]*100, p[1]*100, p[2])
+	}
+	return b.String()
+}
+
+// FormatFigure3 renders the learned term position weights as an ASCII
+// chart, one series per snippet line, mirroring Figure 3.
+func FormatFigure3(fig *Figure3Data) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 3: LEARNED TERM POSITION WEIGHTS (LINE 1,2,3)\n")
+	const barWidth = 40
+	for li, row := range fig.Lines {
+		if len(row) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "line %d:\n", li+1)
+		for pi, w := range row {
+			n := int(w*barWidth + 0.5)
+			if n < 0 {
+				n = 0
+			}
+			if n > barWidth {
+				n = barWidth
+			}
+			fmt.Fprintf(&b, "  pos %2d  %6.3f  %s\n", pi+1, w, strings.Repeat("#", n))
+		}
+	}
+	return b.String()
+}
+
+// FormatTable4 renders the top-vs-RHS accuracies in the paper's Table 4
+// layout, with the published numbers alongside.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	paper := PaperTable4()
+	fmt.Fprintf(&b, "TABLE 4: ACCURACY OF CREATIVE CLASSIFICATION IN DIFFERENT CONFIGURATION (TOP VS. RHS)\n")
+	fmt.Fprintf(&b, "%-30s %8s %8s   %s\n", "Feature", "Top", "Rhs", "(paper Top/Rhs)")
+	for _, r := range rows {
+		p := paper[r.Spec.Name]
+		fmt.Fprintf(&b, "%-30s %7.1f%% %7.1f%%   (%.1f%% / %.1f%%)\n",
+			r.Spec.Name+": "+r.Spec.Description,
+			r.Top*100, r.RHS*100,
+			p[0]*100, p[1]*100)
+	}
+	return b.String()
+}
+
+// FormatSummary renders a compact cross-experiment digest used by the
+// experiments binary.
+func FormatSummary(t2 []classifier.Result, fig *Figure3Data, t4 []Table4Row) string {
+	var b strings.Builder
+	b.WriteString(FormatTable2(t2))
+	b.WriteString("\n")
+	if fig != nil {
+		b.WriteString(FormatFigure3(fig))
+		b.WriteString("\n")
+	}
+	if t4 != nil {
+		b.WriteString(FormatTable4(t4))
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package gaze
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/textproc"
+)
+
+// Fixation is one eye fixation on a snippet micro-position.
+type Fixation struct {
+	Line int
+	Pos  int
+}
+
+// Study is a simulated eye-tracking study over snippets: it generates
+// fixation scanpaths from a planted attention curve and estimates, per
+// micro-position, the probability that a reader fixates it — the
+// correlation analysis the paper's future-work section proposes.
+type Study struct {
+	// Attention is the planted curve generating the scanpaths.
+	Attention core.Attention
+	// MaxLine and MaxPos bound the snippet grid under study.
+	MaxLine, MaxPos int
+}
+
+// NewStudy returns a study over a MaxLine×MaxPos grid.
+func NewStudy(att core.Attention, maxLine, maxPos int) *Study {
+	return &Study{Attention: att, MaxLine: maxLine, MaxPos: maxPos}
+}
+
+// Scanpath simulates one reader: positions are visited in reading order
+// (line by line, left to right) and each is fixated with its attention
+// probability; the path records only fixated positions. An empty path
+// means the reader skipped the snippet entirely.
+func (s *Study) Scanpath(rng *rand.Rand) []Fixation {
+	var path []Fixation
+	for line := 1; line <= s.MaxLine; line++ {
+		for pos := 1; pos <= s.MaxPos; pos++ {
+			if rng.Float64() < s.Attention.Examine(line, pos) {
+				path = append(path, Fixation{Line: line, Pos: pos})
+			}
+		}
+	}
+	return path
+}
+
+// FixationRates estimates P(fixate | line, pos) from n simulated
+// readers: the empirical heat map of an eye-tracking study.
+func (s *Study) FixationRates(rng *rand.Rand, n int) [][]float64 {
+	counts := make([][]float64, s.MaxLine)
+	for i := range counts {
+		counts[i] = make([]float64, s.MaxPos)
+	}
+	for r := 0; r < n; r++ {
+		for _, f := range s.Scanpath(rng) {
+			counts[f.Line-1][f.Pos-1]++
+		}
+	}
+	for i := range counts {
+		for j := range counts[i] {
+			counts[i][j] /= float64(n)
+		}
+	}
+	return counts
+}
+
+// symbol flattens a grid cell into an HMM observation symbol.
+func (s *Study) symbol(f Fixation) int {
+	return (f.Line-1)*s.MaxPos + (f.Pos - 1)
+}
+
+// Symbols converts a scanpath into an HMM observation sequence.
+func (s *Study) Symbols(path []Fixation) []int {
+	out := make([]int, len(path))
+	for i, f := range path {
+		out[i] = s.symbol(f)
+	}
+	return out
+}
+
+// FitHMM trains a reading/skimming HMM on simulated scanpaths and
+// returns it together with the training sequences' total log-likelihood.
+// States: 0 = focused reading (fixations concentrate on early
+// positions), 1 = skimming (diffuse fixations).
+func (s *Study) FitHMM(rng *rand.Rand, readers, states, maxIter int) (*HMM, float64, error) {
+	var seqs [][]int
+	for i := 0; i < readers; i++ {
+		path := s.Scanpath(rng)
+		if len(path) == 0 {
+			continue
+		}
+		seqs = append(seqs, s.Symbols(path))
+	}
+	h := NewHMM(states, s.MaxLine*s.MaxPos)
+	// Break EM symmetry with a deterministic perturbation.
+	pert := rand.New(rand.NewSource(1))
+	for i := range h.Emit {
+		var z float64
+		for o := range h.Emit[i] {
+			h.Emit[i][o] *= 1 + 0.1*pert.Float64()
+			z += h.Emit[i][o]
+		}
+		for o := range h.Emit[i] {
+			h.Emit[i][o] /= z
+		}
+	}
+	ll, err := h.Fit(seqs, maxIter, 1e-4)
+	return h, ll, err
+}
+
+// AttentionFromRates wraps an empirical fixation-rate table as a
+// core.Attention, closing the loop: an eye-tracking study can directly
+// parameterise the micro-browsing model.
+func AttentionFromRates(rates [][]float64) core.TableAttention {
+	return core.TableAttention{W: rates}
+}
+
+// CorrelateWithTerms reports, for each term of a snippet, the term text
+// alongside the study's fixation rate at its micro-position — the
+// "positions of important words vs focus areas" comparison from the
+// paper's future work.
+func CorrelateWithTerms(rates [][]float64, terms []textproc.Term) map[string]float64 {
+	out := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		if t.Line-1 < len(rates) && t.Pos-1 < len(rates[t.Line-1]) {
+			out[t.Key()] = rates[t.Line-1][t.Pos-1]
+		}
+	}
+	return out
+}

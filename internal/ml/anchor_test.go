@@ -1,0 +1,63 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnchorWeightsPullTowardPrior(t *testing.T) {
+	// One feature, pure noise labels: unanchored the weight wanders near
+	// zero; anchored at 2 it must stay close to 2.
+	data := []Instance{
+		{Features: []Feature{{0, 1}}, Label: true},
+		{Features: []Feature{{0, 1}}, Label: false},
+		{Features: []Feature{{0, -1}}, Label: true},
+		{Features: []Feature{{0, -1}}, Label: false},
+	}
+	anchored := &LogisticRegression{
+		Epochs: 300, LearningRate: 0.5,
+		InitialWeights: []float64{2},
+		AnchorWeights:  []float64{2},
+		AnchorStrength: 1.0,
+	}
+	if err := anchored.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(anchored.Weights[0]-2) > 0.5 {
+		t.Errorf("anchored weight drifted to %v, want near 2", anchored.Weights[0])
+	}
+
+	free := &LogisticRegression{
+		Epochs: 300, LearningRate: 0.5,
+		InitialWeights: []float64{2},
+	}
+	if err := free.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(free.Weights[0]) > math.Abs(anchored.Weights[0]-2)+1.2 {
+		// Sanity: without an anchor the noise data drives the weight
+		// down toward zero, away from 2.
+		t.Logf("free weight %v (informational)", free.Weights[0])
+	}
+	if math.Abs(free.Weights[0]-2) < math.Abs(anchored.Weights[0]-2) {
+		t.Errorf("anchor had no effect: free %v vs anchored %v", free.Weights[0], anchored.Weights[0])
+	}
+}
+
+func TestAnchorIgnoredWhenStrengthZero(t *testing.T) {
+	data := []Instance{
+		{Features: []Feature{{0, 1}}, Label: true},
+		{Features: []Feature{{0, -1}}, Label: false},
+	}
+	a := &LogisticRegression{Epochs: 100, LearningRate: 0.5, AnchorWeights: []float64{-5}}
+	b := &LogisticRegression{Epochs: 100, LearningRate: 0.5}
+	if err := a.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	if a.Weights[0] != b.Weights[0] {
+		t.Errorf("anchor applied despite zero strength: %v vs %v", a.Weights[0], b.Weights[0])
+	}
+}

@@ -1,0 +1,157 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Isotonic is a monotone (non-decreasing) piecewise-constant calibration
+// map fitted with the pool-adjacent-violators algorithm. CTR systems
+// calibrate raw model scores so that predicted probabilities match
+// observed frequencies — a standard post-processing step for the
+// classifiers in this repository.
+type Isotonic struct {
+	// Thresholds and Values define the step function: the calibrated
+	// value for score s is Values[i] for the largest i with
+	// Thresholds[i] <= s.
+	Thresholds []float64
+	Values     []float64
+}
+
+// FitIsotonic fits the calibration map from (score, outcome) pairs by
+// pool-adjacent-violators. Outcomes are 0/1 via the labels slice.
+func FitIsotonic(scores []float64, labels []bool) (*Isotonic, error) {
+	if len(scores) == 0 || len(scores) != len(labels) {
+		return nil, errors.New("ml: isotonic needs equal-length non-empty scores and labels")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Blocks of pooled observations.
+	type block struct {
+		sum, n float64
+		lo     float64 // smallest score in the block
+	}
+	var blocks []block
+	for _, i := range idx {
+		y := 0.0
+		if labels[i] {
+			y = 1
+		}
+		blocks = append(blocks, block{sum: y, n: 1, lo: scores[i]})
+		// Pool while the monotonicity constraint is violated.
+		for len(blocks) >= 2 {
+			a := blocks[len(blocks)-2]
+			b := blocks[len(blocks)-1]
+			if a.sum/a.n <= b.sum/b.n {
+				break
+			}
+			blocks = blocks[:len(blocks)-1]
+			blocks[len(blocks)-1] = block{sum: a.sum + b.sum, n: a.n + b.n, lo: a.lo}
+		}
+	}
+	iso := &Isotonic{
+		Thresholds: make([]float64, len(blocks)),
+		Values:     make([]float64, len(blocks)),
+	}
+	for i, b := range blocks {
+		iso.Thresholds[i] = b.lo
+		iso.Values[i] = b.sum / b.n
+	}
+	return iso, nil
+}
+
+// Calibrate maps a raw score to its calibrated probability.
+func (iso *Isotonic) Calibrate(score float64) float64 {
+	// Find the last threshold <= score.
+	i := sort.SearchFloat64s(iso.Thresholds, score)
+	// SearchFloat64s returns the first index with T[i] >= score; step
+	// back unless it is an exact hit.
+	if i == len(iso.Thresholds) || (i > 0 && iso.Thresholds[i] != score) {
+		i--
+	}
+	if i < 0 {
+		return iso.Values[0]
+	}
+	return iso.Values[i]
+}
+
+// Platt is logistic (sigmoid) calibration: p = sigmoid(A·score + B),
+// with A and B fitted by gradient descent on log-loss. Smoother than
+// isotonic and safer on small validation sets.
+type Platt struct {
+	A, B float64
+}
+
+// FitPlatt fits the two-parameter sigmoid map.
+func FitPlatt(scores []float64, labels []bool) (*Platt, error) {
+	if len(scores) == 0 || len(scores) != len(labels) {
+		return nil, errors.New("ml: platt needs equal-length non-empty scores and labels")
+	}
+	p := &Platt{A: 1, B: 0}
+	n := float64(len(scores))
+	lr := 0.1
+	for iter := 0; iter < 500; iter++ {
+		var gA, gB float64
+		for i, s := range scores {
+			q := Sigmoid(p.A*s + p.B)
+			y := 0.0
+			if labels[i] {
+				y = 1
+			}
+			gA += (q - y) * s
+			gB += q - y
+		}
+		p.A -= lr * gA / n
+		p.B -= lr * gB / n
+		if math.Abs(gA/n)+math.Abs(gB/n) < 1e-8 {
+			break
+		}
+	}
+	return p, nil
+}
+
+// Calibrate maps a raw score to its calibrated probability.
+func (p *Platt) Calibrate(score float64) float64 {
+	return Sigmoid(p.A*score + p.B)
+}
+
+// ExpectedCalibrationError bins predictions and measures the mean
+// absolute gap between predicted probability and observed frequency —
+// the standard calibration diagnostic.
+func ExpectedCalibrationError(preds []float64, labels []bool, bins int) float64 {
+	if len(preds) == 0 || bins <= 0 {
+		return 0
+	}
+	binSum := make([]float64, bins)
+	binPos := make([]float64, bins)
+	binN := make([]float64, bins)
+	for i, p := range preds {
+		b := int(p * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		binSum[b] += p
+		binN[b]++
+		if labels[i] {
+			binPos[b]++
+		}
+	}
+	var ece float64
+	n := float64(len(preds))
+	for b := 0; b < bins; b++ {
+		if binN[b] == 0 {
+			continue
+		}
+		gap := math.Abs(binSum[b]/binN[b] - binPos[b]/binN[b])
+		ece += gap * binN[b] / n
+	}
+	return ece
+}

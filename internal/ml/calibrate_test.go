@@ -1,0 +1,163 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitIsotonicSimple(t *testing.T) {
+	// Scores already ordered with increasing outcome frequency.
+	scores := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	labels := []bool{false, false, false, true, false, true, true, true}
+	iso, err := FitIsotonic(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrated values must be non-decreasing in the score.
+	prev := -1.0
+	for _, s := range scores {
+		v := iso.Calibrate(s)
+		if v < prev-1e-12 {
+			t.Fatalf("calibration not monotone at %v: %v < %v", s, v, prev)
+		}
+		prev = v
+	}
+	if lo, hi := iso.Calibrate(0.0), iso.Calibrate(1.0); lo >= hi {
+		t.Errorf("extremes not separated: %v vs %v", lo, hi)
+	}
+}
+
+func TestIsotonicPoolsViolators(t *testing.T) {
+	// A decreasing segment must be pooled into one average.
+	scores := []float64{1, 2, 3}
+	labels := []bool{true, false, false} // 1, 0, 0 — fully decreasing
+	iso, err := FitIsotonic(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 3.0
+	for _, s := range scores {
+		if got := iso.Calibrate(s); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Calibrate(%v) = %v, want pooled %v", s, got, want)
+		}
+	}
+}
+
+func TestIsotonicMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(50)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = r.Float64()
+			labels[i] = r.Float64() < scores[i]
+		}
+		iso, err := FitIsotonic(scores, labels)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), scores...)
+		sort.Float64s(sorted)
+		prev := -1.0
+		for _, s := range sorted {
+			v := iso.Calibrate(s)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rng, MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsotonicValidation(t *testing.T) {
+	if _, err := FitIsotonic(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitIsotonic([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPlattImprovesCalibration(t *testing.T) {
+	// Generate systematically over-confident predictions: true
+	// probability is sigmoid(z/3) but the raw score is z.
+	rng := rand.New(rand.NewSource(2))
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	rawPreds := make([]float64, n)
+	for i := 0; i < n; i++ {
+		z := rng.NormFloat64() * 3
+		scores[i] = z
+		labels[i] = rng.Float64() < Sigmoid(z/3)
+		rawPreds[i] = Sigmoid(z)
+	}
+	platt, err := FitPlatt(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calPreds := make([]float64, n)
+	for i, s := range scores {
+		calPreds[i] = platt.Calibrate(s)
+	}
+	rawECE := ExpectedCalibrationError(rawPreds, labels, 10)
+	calECE := ExpectedCalibrationError(calPreds, labels, 10)
+	if calECE >= rawECE {
+		t.Errorf("Platt did not improve calibration: raw %v vs calibrated %v", rawECE, calECE)
+	}
+	// The fitted slope should shrink towards the true 1/3.
+	if platt.A > 0.6 || platt.A < 0.15 {
+		t.Errorf("Platt slope %v, want near 1/3", platt.A)
+	}
+}
+
+func TestPlattValidation(t *testing.T) {
+	if _, err := FitPlatt(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestExpectedCalibrationError(t *testing.T) {
+	// Perfectly calibrated constant predictor.
+	preds := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	if ece := ExpectedCalibrationError(preds, labels, 10); math.Abs(ece) > 1e-12 {
+		t.Errorf("ECE = %v, want 0", ece)
+	}
+	// Maximally miscalibrated.
+	bad := []float64{0.99, 0.99}
+	badLabels := []bool{false, false}
+	if ece := ExpectedCalibrationError(bad, badLabels, 10); ece < 0.9 {
+		t.Errorf("ECE = %v, want near 1", ece)
+	}
+	if ece := ExpectedCalibrationError(nil, nil, 10); ece != 0 {
+		t.Errorf("empty ECE = %v", ece)
+	}
+}
+
+func BenchmarkFitIsotonic(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 5000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Float64() < scores[i]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitIsotonic(scores, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

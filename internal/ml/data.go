@@ -1,0 +1,119 @@
+// Package ml provides the machine-learning substrate for the snippet
+// classifier: an interning feature vocabulary, sparse instances, logistic
+// regression with L1 regularisation (batch proximal gradient descent and
+// FTRL-Proximal online learning), binary classification metrics, and
+// k-fold cross-validation. Stdlib only.
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vocab interns feature names to dense integer ids. The zero value is
+// ready to use. Vocab is not safe for concurrent mutation.
+type Vocab struct {
+	names []string
+	index map[string]int
+}
+
+// ID returns the id for name, interning it if new.
+func (v *Vocab) ID(name string) int {
+	if v.index == nil {
+		v.index = make(map[string]int)
+	}
+	if id, ok := v.index[name]; ok {
+		return id
+	}
+	id := len(v.names)
+	v.names = append(v.names, name)
+	v.index[name] = id
+	return id
+}
+
+// Lookup returns the id for name without interning.
+func (v *Vocab) Lookup(name string) (int, bool) {
+	id, ok := v.index[name]
+	return id, ok
+}
+
+// Name returns the name for id; it panics on out-of-range ids, which
+// indicate a programming error.
+func (v *Vocab) Name(id int) string { return v.names[id] }
+
+// Len returns the number of interned features.
+func (v *Vocab) Len() int { return len(v.names) }
+
+// Feature is one (id, value) coordinate of a sparse vector.
+type Feature struct {
+	ID  int
+	Val float64
+}
+
+// Instance is one training or test example: a sparse feature vector with
+// a binary label (true = positive class).
+type Instance struct {
+	Features []Feature
+	Label    bool
+}
+
+// Canonicalize sorts the features by id and merges duplicates by summing
+// their values, returning the instance for chaining.
+func (in *Instance) Canonicalize() *Instance {
+	sort.Slice(in.Features, func(i, j int) bool { return in.Features[i].ID < in.Features[j].ID })
+	out := in.Features[:0]
+	for _, f := range in.Features {
+		if n := len(out); n > 0 && out[n-1].ID == f.ID {
+			out[n-1].Val += f.Val
+		} else {
+			out = append(out, f)
+		}
+	}
+	in.Features = out
+	return in
+}
+
+// Dot returns the dot product of the instance with a dense weight vector.
+// Feature ids beyond the weight vector contribute zero, so a model can
+// score instances containing features it has never seen.
+func (in *Instance) Dot(w []float64) float64 {
+	var s float64
+	for _, f := range in.Features {
+		if f.ID < len(w) {
+			s += w[f.ID] * f.Val
+		}
+	}
+	return s
+}
+
+// MaxFeatureID returns the largest feature id in the dataset, or -1 for
+// an empty dataset.
+func MaxFeatureID(data []Instance) int {
+	max := -1
+	for _, in := range data {
+		for _, f := range in.Features {
+			if f.ID > max {
+				max = f.ID
+			}
+		}
+	}
+	return max
+}
+
+// CheckDataset validates that feature ids are non-negative and values are
+// finite; it returns the first problem found.
+func CheckDataset(data []Instance) error {
+	for i, in := range data {
+		for _, f := range in.Features {
+			if f.ID < 0 {
+				return fmt.Errorf("ml: instance %d has negative feature id %d", i, f.ID)
+			}
+			if isBad(f.Val) {
+				return fmt.Errorf("ml: instance %d has non-finite value for feature %d", i, f.ID)
+			}
+		}
+	}
+	return nil
+}
+
+func isBad(v float64) bool { return v != v || v > 1e300 || v < -1e300 }

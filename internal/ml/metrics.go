@@ -1,0 +1,131 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// BinaryMetrics aggregates the standard binary classification measures.
+// Precision, recall and F1 are reported for the positive class at the
+// 0.5 decision threshold, matching how the paper reports "accuracy of
+// creative classification".
+type BinaryMetrics struct {
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+	AUC       float64
+	LogLoss   float64
+
+	TP, FP, TN, FN int
+}
+
+// EvaluateBinary scores predicted probabilities against boolean labels.
+// preds and labels must have equal length; mismatches indicate a bug
+// upstream and panic.
+func EvaluateBinary(preds []float64, labels []bool) BinaryMetrics {
+	if len(preds) != len(labels) {
+		panic("ml: preds and labels length mismatch")
+	}
+	var m BinaryMetrics
+	var ll float64
+	for i, p := range preds {
+		pred := p >= 0.5
+		switch {
+		case pred && labels[i]:
+			m.TP++
+		case pred && !labels[i]:
+			m.FP++
+		case !pred && !labels[i]:
+			m.TN++
+		default:
+			m.FN++
+		}
+		pc := math.Min(math.Max(p, 1e-12), 1-1e-12)
+		if labels[i] {
+			ll -= math.Log(pc)
+		} else {
+			ll -= math.Log(1 - pc)
+		}
+	}
+	n := len(preds)
+	if n > 0 {
+		m.Accuracy = float64(m.TP+m.TN) / float64(n)
+		m.LogLoss = ll / float64(n)
+	}
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if m.TP+m.FN > 0 {
+		m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	m.AUC = AUC(preds, labels)
+	return m
+}
+
+// AUC returns the area under the ROC curve via the rank statistic, with
+// ties handled by midranks. Returns 0.5 when either class is absent.
+func AUC(preds []float64, labels []bool) float64 {
+	n := len(preds)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return preds[idx[a]] < preds[idx[b]] })
+
+	var rankSumPos float64
+	var nPos, nNeg float64
+	i := 0
+	for i < n {
+		j := i
+		for j < n && preds[idx[j]] == preds[idx[i]] {
+			j++
+		}
+		// Midrank for the tie group [i, j).
+		midrank := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			if labels[idx[k]] {
+				rankSumPos += midrank
+				nPos++
+			} else {
+				nNeg++
+			}
+		}
+		i = j
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	return (rankSumPos - nPos*(nPos+1)/2) / (nPos * nNeg)
+}
+
+// MeanMetrics averages a set of fold metrics (for k-fold reports).
+func MeanMetrics(ms []BinaryMetrics) BinaryMetrics {
+	var out BinaryMetrics
+	if len(ms) == 0 {
+		return out
+	}
+	for _, m := range ms {
+		out.Accuracy += m.Accuracy
+		out.Precision += m.Precision
+		out.Recall += m.Recall
+		out.F1 += m.F1
+		out.AUC += m.AUC
+		out.LogLoss += m.LogLoss
+		out.TP += m.TP
+		out.FP += m.FP
+		out.TN += m.TN
+		out.FN += m.FN
+	}
+	k := float64(len(ms))
+	out.Accuracy /= k
+	out.Precision /= k
+	out.Recall /= k
+	out.F1 /= k
+	out.AUC /= k
+	out.LogLoss /= k
+	return out
+}

@@ -1,0 +1,249 @@
+// Package optimize implements the paper's second future-work direction:
+// "automatic generation of snippets". Given a micro-browsing model —
+// per-term relevance plus positional attention — it searches the edit
+// space of a creative (replace a phrase, insert a phrase, move a phrase
+// to a stronger micro-position) for the variants the model predicts will
+// raise click-through rate.
+//
+// The search is deliberately conservative: it proposes edits built from
+// an explicit phrase inventory (in practice, the high-lift phrases mined
+// from the rewrite database; see examples/rewritemining), so every
+// suggestion is something an advertiser plausibly writes.
+package optimize
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/snippet"
+	"repro/internal/textproc"
+)
+
+// Edit is one proposed change to a creative.
+type Edit struct {
+	// Kind is "replace", "insert" or "move".
+	Kind string
+	// Line is the 1-based line the edit touches.
+	Line int
+	// Old and New are the phrase texts involved ("" where not
+	// applicable: inserts have no Old).
+	Old, New string
+}
+
+// Candidate is a scored variant of the base creative.
+type Candidate struct {
+	Creative snippet.Creative
+	Edit     Edit
+	// Score is the micro-browsing pair score of the variant against the
+	// base (Eq. 5): positive means the model predicts a CTR lift.
+	Score float64
+}
+
+// Optimizer proposes model-guided creative improvements.
+//
+// Scoring happens in log-odds space: each term carries a CTR-lift weight
+// (log odds, positive for phrases that pull clicks — e.g. the statistics
+// database's LogOdds, or a trained classifier's term weights), and a
+// variant's score is the attention-weighted sum of its term weights.
+// This is the additive form of Eq. 5 that the snippet classifier learns;
+// the product-form Eq. 3 relevances (always ≤ 1) cannot drive generation
+// because under them every deletion "improves" a snippet.
+type Optimizer struct {
+	// Attention weighs each micro-position; required.
+	Attention core.Attention
+	// Weights maps term text to its CTR-lift log odds. Unknown terms
+	// weigh zero.
+	Weights map[string]float64
+	// Inventory is the phrase pool edits draw from.
+	Inventory []string
+	// MaxN is the n-gram ceiling for scoring (default 3).
+	MaxN int
+	// MaxTokensPerLine rejects edits that would overflow a line
+	// (default 12).
+	MaxTokensPerLine int
+}
+
+// New returns an optimizer over the attention curve, term weights and
+// phrase inventory.
+func New(att core.Attention, weights map[string]float64, inventory []string) *Optimizer {
+	return &Optimizer{Attention: att, Weights: weights, Inventory: inventory, MaxN: 3, MaxTokensPerLine: 12}
+}
+
+func (o *Optimizer) maxN() int {
+	if o.MaxN <= 0 {
+		return 3
+	}
+	return o.MaxN
+}
+
+func (o *Optimizer) maxTokens() int {
+	if o.MaxTokensPerLine <= 0 {
+		return 12
+	}
+	return o.MaxTokensPerLine
+}
+
+// Score returns the attention-weighted lift score of a creative. Each
+// distinct phrase counts once, at its most-attended occurrence:
+// repeating "20% off" on every line does not multiply its effect on the
+// reader.
+func (o *Optimizer) Score(c snippet.Creative) float64 {
+	best := make(map[string]float64)
+	for _, t := range c.Terms(o.maxN()) {
+		if _, ok := o.Weights[t.Text]; !ok {
+			continue
+		}
+		att := o.Attention.Examine(t.Line, t.Pos)
+		if att > best[t.Text] {
+			best[t.Text] = att
+		}
+	}
+	var s float64
+	for text, att := range best {
+		s += att * o.Weights[text]
+	}
+	return s
+}
+
+// score returns the predicted lift of variant over base.
+func (o *Optimizer) score(variant, base snippet.Creative) float64 {
+	return o.Score(variant) - o.Score(base)
+}
+
+// containsPhrase reports whether the normalised line contains the phrase
+// as a token subsequence, returning its token position.
+func containsPhrase(line, phrase string) (pos int, ok bool) {
+	toks := textproc.Tokenize(line)
+	want := strings.Fields(textproc.Normalize(phrase))
+	if len(want) == 0 || len(toks) < len(want) {
+		return 0, false
+	}
+	for i := 0; i+len(want) <= len(toks); i++ {
+		match := true
+		for j, w := range want {
+			if toks[i+j].Text != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// replaceInLine substitutes the first occurrence of old with new in the
+// normalised token stream of the line.
+func replaceInLine(line, old, new string) (string, bool) {
+	toks := textproc.Tokenize(line)
+	oldToks := strings.Fields(textproc.Normalize(old))
+	pos, ok := containsPhrase(line, old)
+	if !ok {
+		return "", false
+	}
+	var out []string
+	for i := 0; i < len(toks); i++ {
+		if i == pos-1 {
+			if new != "" {
+				out = append(out, textproc.Normalize(new))
+			}
+			i += len(oldToks) - 1
+			continue
+		}
+		out = append(out, toks[i].Text)
+	}
+	return strings.Join(out, " "), true
+}
+
+// Propose enumerates single-edit variants of the creative and returns
+// those the model scores above the base, best first.
+func (o *Optimizer) Propose(base snippet.Creative) []Candidate {
+	var cands []Candidate
+	try := func(c snippet.Creative, e Edit) {
+		for _, line := range c.Lines {
+			if len(textproc.Tokenize(line)) > o.maxTokens() {
+				return
+			}
+		}
+		if s := o.score(c, base); s > 1e-9 {
+			cands = append(cands, Candidate{Creative: c, Edit: e, Score: s})
+		}
+	}
+
+	for li, line := range base.Lines {
+		// Replacements: any inventory phrase present in the line may be
+		// rewritten to any other inventory phrase (or dropped).
+		for _, old := range o.Inventory {
+			if _, ok := containsPhrase(line, old); !ok {
+				continue
+			}
+			for _, new := range o.Inventory {
+				if new == old {
+					continue
+				}
+				if newLine, ok := replaceInLine(line, old, new); ok {
+					v := cloneWithLine(base, li, newLine)
+					try(v, Edit{Kind: "replace", Line: li + 1, Old: old, New: new})
+				}
+			}
+			// Dropping the phrase entirely (e.g. removing small print).
+			if newLine, ok := replaceInLine(line, old, ""); ok && strings.TrimSpace(newLine) != "" {
+				v := cloneWithLine(base, li, newLine)
+				try(v, Edit{Kind: "replace", Line: li + 1, Old: old, New: ""})
+			}
+			// Moves: relocate the phrase to the front of its line.
+			if pos, _ := containsPhrase(line, old); pos > 1 {
+				if stripped, ok := replaceInLine(line, old, ""); ok {
+					moved := strings.TrimSpace(textproc.Normalize(old) + " " + stripped)
+					v := cloneWithLine(base, li, moved)
+					try(v, Edit{Kind: "move", Line: li + 1, Old: old, New: old})
+				}
+			}
+		}
+		// Insertions at the front of the line.
+		for _, phrase := range o.Inventory {
+			if _, ok := containsPhrase(line, phrase); ok {
+				continue
+			}
+			v := cloneWithLine(base, li, textproc.Normalize(phrase)+" "+line)
+			try(v, Edit{Kind: "insert", Line: li + 1, New: phrase})
+		}
+	}
+
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Creative.Text() < cands[j].Creative.Text()
+	})
+	return cands
+}
+
+// HillClimb applies the best available edit up to steps times, returning
+// the improved creative, the edits taken, and the total predicted lift
+// (sum of per-step pair scores against each step's base).
+func (o *Optimizer) HillClimb(base snippet.Creative, steps int) (snippet.Creative, []Edit, float64) {
+	cur := base
+	var edits []Edit
+	var total float64
+	for i := 0; i < steps; i++ {
+		cands := o.Propose(cur)
+		if len(cands) == 0 {
+			break
+		}
+		best := cands[0]
+		cur = best.Creative
+		edits = append(edits, best.Edit)
+		total += best.Score
+	}
+	return cur, edits, total
+}
+
+// cloneWithLine copies the creative with line index li replaced.
+func cloneWithLine(c snippet.Creative, li int, line string) snippet.Creative {
+	lines := append([]string(nil), c.Lines...)
+	lines[li] = strings.TrimSpace(line)
+	return snippet.Creative{ID: c.ID + "+", Lines: lines}
+}

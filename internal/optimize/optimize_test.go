@@ -1,0 +1,180 @@
+package optimize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/snippet"
+)
+
+// testAttention and testWeights plant clear lift differences and
+// decaying attention.
+func testAttention() core.Attention {
+	return core.GeometricAttention{
+		LineWeights: []float64{0.95, 0.65, 0.35},
+		Decay:       0.75,
+	}
+}
+
+func testWeights() map[string]float64 {
+	return map[string]float64{
+		"20% off":     +1.5,
+		"learn more":  -0.5,
+		"terms apply": -1.2,
+		"great rates": +0.6,
+	}
+}
+
+func inventory() []string {
+	return []string{"20% off", "learn more", "terms apply", "great rates"}
+}
+
+func TestProposeUpgradesWeakHook(t *testing.T) {
+	o := New(testAttention(), testWeights(), inventory())
+	base := snippet.MustNew("base",
+		"acme store learn more",
+		"running shoes",
+		"great rates")
+	cands := o.Propose(base)
+	if len(cands) == 0 {
+		t.Fatal("no improvements proposed")
+	}
+	best := cands[0]
+	if best.Edit.Kind != "replace" && best.Edit.Kind != "insert" {
+		t.Errorf("best edit kind = %q", best.Edit.Kind)
+	}
+	// The strongest proposal must involve the highest-appeal phrase.
+	if !strings.Contains(best.Creative.Text(), "20% off") {
+		t.Errorf("best variant lacks the strongest phrase: %s", best.Creative.Text())
+	}
+	if best.Score <= 0 {
+		t.Errorf("best score %v", best.Score)
+	}
+}
+
+func TestProposeDropsSmallPrint(t *testing.T) {
+	o := New(testAttention(), testWeights(), inventory())
+	base := snippet.MustNew("base",
+		"acme store 20% off",
+		"running shoes terms apply",
+		"great rates")
+	cands := o.Propose(base)
+	// Some proposal should remove or replace "terms apply".
+	found := false
+	for _, c := range cands {
+		if c.Edit.Old == "terms apply" {
+			found = true
+			if strings.Contains(c.Creative.Lines[1], "terms apply") && c.Edit.New == "" {
+				t.Errorf("drop edit did not remove the phrase: %q", c.Creative.Lines[1])
+			}
+		}
+	}
+	if !found {
+		t.Error("no proposal touches the negative phrase")
+	}
+}
+
+func TestProposeMovesPhraseForward(t *testing.T) {
+	o := New(testAttention(), testWeights(), inventory())
+	// Strong phrase stuck at the end of line 1.
+	base := snippet.MustNew("base",
+		"acme store brand words 20% off",
+		"running shoes",
+		"great rates")
+	cands := o.Propose(base)
+	for _, c := range cands {
+		if c.Edit.Kind == "move" && c.Edit.Old == "20% off" {
+			if !strings.HasPrefix(c.Creative.Lines[0], "20% off") {
+				t.Errorf("move did not front the phrase: %q", c.Creative.Lines[0])
+			}
+			if c.Score <= 0 {
+				t.Errorf("fronting a strong phrase should score positive: %v", c.Score)
+			}
+			return
+		}
+	}
+	t.Error("no move proposal for the mis-placed strong phrase")
+}
+
+func TestHillClimbImproves(t *testing.T) {
+	o := New(testAttention(), testWeights(), inventory())
+	base := snippet.MustNew("base",
+		"acme store learn more",
+		"running shoes terms apply",
+		"plain line")
+	improved, edits, lift := o.HillClimb(base, 4)
+	if len(edits) == 0 {
+		t.Fatal("hill climb made no edits")
+	}
+	if lift <= 0 {
+		t.Errorf("total lift %v", lift)
+	}
+	// The final creative must outscore the base directly.
+	if o.Score(improved) <= o.Score(base) {
+		t.Error("hill-climbed creative does not beat the base")
+	}
+}
+
+func TestHillClimbStopsAtOptimum(t *testing.T) {
+	o := New(testAttention(), testWeights(), []string{"20% off"})
+	// Already has the only inventory phrase at the best position.
+	base := snippet.MustNew("base", "20% off", "shoes", "rates")
+	_, edits, _ := o.HillClimb(base, 5)
+	for _, e := range edits {
+		if e.Kind == "insert" && e.New == "20% off" {
+			t.Errorf("re-inserted an already present phrase: %+v", e)
+		}
+	}
+}
+
+func TestProposeRespectsLineBudget(t *testing.T) {
+	o := New(testAttention(), testWeights(), inventory())
+	o.MaxTokensPerLine = 4
+	base := snippet.MustNew("base", "one two three four", "shoes", "rates")
+	for _, c := range o.Propose(base) {
+		if c.Edit.Line == 1 && c.Edit.Kind == "insert" {
+			t.Errorf("insert overflowed the token budget: %+v", c.Edit)
+		}
+	}
+}
+
+func TestContainsPhrase(t *testing.T) {
+	pos, ok := containsPhrase("Find cheap flights to Rome", "cheap flights")
+	if !ok || pos != 2 {
+		t.Errorf("containsPhrase = %d,%v want 2,true", pos, ok)
+	}
+	if _, ok := containsPhrase("Find cheap flights", "rome"); ok {
+		t.Error("absent phrase reported present")
+	}
+	if _, ok := containsPhrase("short", "much longer phrase"); ok {
+		t.Error("overlong phrase reported present")
+	}
+}
+
+func TestReplaceInLine(t *testing.T) {
+	out, ok := replaceInLine("find cheap flights today", "cheap flights", "great deals")
+	if !ok || out != "find great deals today" {
+		t.Errorf("replaceInLine = %q,%v", out, ok)
+	}
+	out, ok = replaceInLine("find cheap flights", "cheap flights", "")
+	if !ok || out != "find" {
+		t.Errorf("drop = %q,%v", out, ok)
+	}
+	if _, ok := replaceInLine("plain line", "absent", "x"); ok {
+		t.Error("replacement of absent phrase succeeded")
+	}
+}
+
+func BenchmarkPropose(b *testing.B) {
+	o := New(testAttention(), testWeights(), inventory())
+	base := snippet.MustNew("base",
+		"acme store learn more",
+		"running shoes terms apply",
+		"great rates always")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Propose(base)
+	}
+}

@@ -1,0 +1,143 @@
+package snippet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitBetaPriorRecovers(t *testing.T) {
+	// Creatives with true CTRs drawn from Beta(4, 36) (mean 0.1),
+	// observed through binomial sampling.
+	rng := rand.New(rand.NewSource(1))
+	const a, b = 4.0, 36.0
+	var stats []Stats
+	for i := 0; i < 3000; i++ {
+		// Beta draw via two gammas.
+		x := gammaDraw(rng, a)
+		y := gammaDraw(rng, b)
+		ctr := x / (x + y)
+		n := int64(500 + rng.Intn(1500))
+		clicks := int64(0)
+		for k := int64(0); k < n; k++ {
+			if rng.Float64() < ctr {
+				clicks++
+			}
+		}
+		stats = append(stats, Stats{Impressions: n, Clicks: clicks})
+	}
+	prior := FitBetaPrior(stats, 100)
+	if math.Abs(prior.PriorMean()-0.1) > 0.01 {
+		t.Errorf("prior mean = %v, want ~0.1", prior.PriorMean())
+	}
+	// Concentration a+b should be in the right ballpark (40).
+	k := prior.Alpha + prior.Beta
+	if k < 15 || k > 120 {
+		t.Errorf("prior concentration = %v, want near 40", k)
+	}
+}
+
+// gammaDraw samples Gamma(shape, 1) via Marsaglia-Tsang for shape >= 1.
+func gammaDraw(rng *rand.Rand, shape float64) float64 {
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+func TestFitBetaPriorDegenerate(t *testing.T) {
+	// Too few creatives: fall back to the weak prior.
+	p := FitBetaPrior([]Stats{{100, 10}}, 1)
+	if p.Alpha != 1 || p.Beta != 9 {
+		t.Errorf("fallback prior = %+v", p)
+	}
+	// No qualifying creatives at all.
+	p = FitBetaPrior(nil, 1)
+	if p.PriorMean() != 0.1 {
+		t.Errorf("empty fallback mean = %v", p.PriorMean())
+	}
+}
+
+func TestShrinkMovesTowardPrior(t *testing.T) {
+	p := BetaPrior{Alpha: 10, Beta: 90} // mean 0.1
+	// A lightly served creative with a lucky streak.
+	lucky := Stats{Impressions: 10, Clicks: 5} // raw CTR 0.5
+	shrunk := p.Shrink(lucky)
+	if shrunk >= 0.2 {
+		t.Errorf("light evidence should shrink hard: %v", shrunk)
+	}
+	// A heavily served creative keeps its CTR.
+	heavy := Stats{Impressions: 100000, Clicks: 50000}
+	if got := p.Shrink(heavy); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("heavy evidence should dominate: %v", got)
+	}
+}
+
+func TestShrunkPairsReducesSpuriousLabels(t *testing.T) {
+	// Two creatives with identical true CTR; with few impressions the
+	// raw pair often gets a confident (spurious) serve-weight gap, while
+	// the shrunk pair's gap is pulled towards zero.
+	rng := rand.New(rand.NewSource(2))
+	var groups []AdGroup
+	for i := 0; i < 400; i++ {
+		g := AdGroup{
+			ID:        "g",
+			Creatives: []Creative{MustNew("a", "alpha text"), MustNew("b", "beta text")},
+		}
+		for c := 0; c < 2; c++ {
+			st := Stats{Impressions: 200}
+			for k := 0; k < 200; k++ {
+				if rng.Float64() < 0.10 {
+					st.Clicks++
+				}
+			}
+			g.Stats = append(g.Stats, st)
+		}
+		groups = append(groups, g)
+	}
+	shrunk := ShrunkPairs(groups, 100)
+	if len(shrunk) == 0 {
+		t.Fatal("no shrunk pairs")
+	}
+	var rawGap, shrunkGap float64
+	var n float64
+	for _, g := range groups {
+		for _, p := range g.Pairs(100) {
+			rawGap += math.Abs(p.SWR - p.SWS)
+			n++
+		}
+	}
+	for _, p := range shrunk {
+		shrunkGap += math.Abs(p.SWR - p.SWS)
+	}
+	rawGap /= n
+	shrunkGap /= float64(len(shrunk))
+	if shrunkGap >= rawGap {
+		t.Errorf("shrinkage did not reduce spurious gaps: raw %v vs shrunk %v", rawGap, shrunkGap)
+	}
+}
+
+func TestShrunkPairsSkipsDuplicatesAndUnderserved(t *testing.T) {
+	groups := []AdGroup{{
+		Creatives: []Creative{MustNew("a", "same"), MustNew("b", "same"), MustNew("c", "other")},
+		Stats:     []Stats{{500, 50}, {500, 40}, {5, 1}},
+	}}
+	pairs := ShrunkPairs(groups, 100)
+	// (a,b) are text-identical; (x,c) underserved. Nothing qualifies.
+	if len(pairs) != 0 {
+		t.Errorf("got %d pairs, want 0: %+v", len(pairs), pairs)
+	}
+}

@@ -1,0 +1,195 @@
+package snippet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("c1"); err == nil {
+		t.Error("New with no lines should fail")
+	}
+	if _, err := New("c1", "a", "b", "c", "d"); err == nil {
+		t.Error("New with 4 lines should fail")
+	}
+	c, err := New("c1", "Line one", "Line two")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if len(c.Lines) != 2 {
+		t.Errorf("got %d lines, want 2", len(c.Lines))
+	}
+}
+
+func TestNewCopiesLines(t *testing.T) {
+	src := []string{"a", "b"}
+	c, _ := New("c1", src...)
+	src[0] = "mutated"
+	if c.Lines[0] != "a" {
+		t.Error("New aliased the caller's slice")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on invalid input")
+		}
+	}()
+	MustNew("bad")
+}
+
+func TestEqualIgnoresCaseAndPunct(t *testing.T) {
+	a := MustNew("a", "XYZ Airlines", "Great rates!")
+	b := MustNew("b", "xyz airlines", "great rates")
+	if !a.Equal(b) {
+		t.Error("creatives equal up to normalisation should be Equal")
+	}
+	c := MustNew("c", "XYZ Airlines", "Great fares!")
+	if a.Equal(c) {
+		t.Error("different text should not be Equal")
+	}
+}
+
+func TestDiffLines(t *testing.T) {
+	r := MustNew("r", "XYZ Airlines", "Find cheap flights to New York.", "No reservation costs. Great rates")
+	s := MustNew("s", "XYZ Airlines", "Flying to New York? Get discounts.", "No reservation costs. Great rates!")
+	got := r.DiffLines(s)
+	// Line 3 differs only by '!', which normalisation removes.
+	want := []int{2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DiffLines = %v, want %v", got, want)
+	}
+}
+
+func TestDiffLinesLengthMismatch(t *testing.T) {
+	r := MustNew("r", "one line")
+	s := MustNew("s", "one line", "second line")
+	if got, want := r.DiffLines(s), []int{2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("DiffLines = %v, want %v", got, want)
+	}
+}
+
+func TestCTR(t *testing.T) {
+	tests := []struct {
+		s    Stats
+		want float64
+	}{
+		{Stats{0, 0}, 0},
+		{Stats{100, 5}, 0.05},
+		{Stats{1, 1}, 1},
+	}
+	for _, tt := range tests {
+		if got := tt.s.CTR(); got != tt.want {
+			t.Errorf("CTR(%+v) = %v, want %v", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestServeWeight(t *testing.T) {
+	// Creative CTR 0.10 in a group averaging 0.05 -> serve weight 2.
+	if got := ServeWeight(Stats{100, 10}, 0.05); math.Abs(got-2) > 1e-12 {
+		t.Errorf("ServeWeight = %v, want 2", got)
+	}
+	if got := ServeWeight(Stats{100, 10}, 0); got != 0 {
+		t.Errorf("ServeWeight with zero group CTR = %v, want 0", got)
+	}
+}
+
+func TestPairLabelAndSwap(t *testing.T) {
+	p := Pair{SWR: 1.5, SWS: 0.5}
+	if p.Label() != +1 {
+		t.Errorf("Label = %d, want +1", p.Label())
+	}
+	q := p.Swap()
+	if q.Label() != -1 {
+		t.Errorf("swapped Label = %d, want -1", q.Label())
+	}
+	tie := Pair{SWR: 1, SWS: 1}
+	if tie.Label() != 0 {
+		t.Errorf("tie Label = %d, want 0", tie.Label())
+	}
+}
+
+func TestSwapInvolution(t *testing.T) {
+	f := func(swr, sws float64, imps1, clicks1 uint16) bool {
+		p := Pair{
+			R: MustNew("r", "a"), S: MustNew("s", "b"),
+			SWR: swr, SWS: sws,
+			RStats: Stats{int64(imps1), int64(clicks1)},
+		}
+		return reflect.DeepEqual(p.Swap().Swap(), p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdGroupCTR(t *testing.T) {
+	g := AdGroup{
+		Creatives: []Creative{MustNew("a", "x"), MustNew("b", "y")},
+		Stats:     []Stats{{100, 10}, {100, 0}},
+	}
+	if got := g.CTR(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("group CTR = %v, want 0.05", got)
+	}
+}
+
+func TestAdGroupPairs(t *testing.T) {
+	g := AdGroup{
+		ID:      "g1",
+		Keyword: "cheap flights",
+		Creatives: []Creative{
+			MustNew("a", "Find cheap flights"),
+			MustNew("b", "Get flight discounts"),
+			MustNew("c", "Find cheap flights"), // duplicate of a
+		},
+		Stats: []Stats{{1000, 50}, {1000, 30}, {1000, 40}},
+	}
+	pairs := g.Pairs(1)
+	// (a,b) and (b,c) differ; (a,c) is a text duplicate and is skipped.
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2", len(pairs))
+	}
+	p := pairs[0]
+	if p.R.ID != "a" || p.S.ID != "b" {
+		t.Errorf("first pair = (%s,%s), want (a,b)", p.R.ID, p.S.ID)
+	}
+	if p.Label() != +1 {
+		t.Errorf("a (CTR .05) vs b (CTR .03): label = %d, want +1", p.Label())
+	}
+	// Serve weights of the two sides must straddle 1.
+	if !(p.SWR > 1 && p.SWS < 1) {
+		t.Errorf("serve weights = %v, %v; want >1 and <1", p.SWR, p.SWS)
+	}
+}
+
+func TestAdGroupPairsMinImpressions(t *testing.T) {
+	g := AdGroup{
+		Creatives: []Creative{MustNew("a", "x"), MustNew("b", "y")},
+		Stats:     []Stats{{5, 1}, {1000, 30}},
+	}
+	if got := g.Pairs(100); len(got) != 0 {
+		t.Errorf("pair with underserved creative should be skipped, got %d", len(got))
+	}
+	if got := g.Pairs(1); len(got) != 1 {
+		t.Errorf("got %d pairs at min=1, want 1", len(got))
+	}
+}
+
+func TestTermsDelegation(t *testing.T) {
+	c := MustNew("c", "Find cheap flights")
+	terms := c.Terms(2)
+	if len(terms) != 5 { // 3 unigrams + 2 bigrams
+		t.Errorf("got %d terms, want 5", len(terms))
+	}
+}
+
+func TestText(t *testing.T) {
+	c := MustNew("c", "A", "B")
+	if got, want := c.Text(), "A / B"; got != want {
+		t.Errorf("Text = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,191 @@
+// Package textproc provides text normalisation, tokenisation and n-gram
+// extraction for snippet text.
+//
+// Snippets (ad creatives) are short multi-line texts. The micro-browsing
+// model reasons about terms — unigrams, bigrams and trigrams — located at a
+// (line, position) coordinate, so every extracted Term carries both the
+// surface text and where it sits in the snippet. Positions are 1-based, as
+// in the paper's examples ("find cheap" at position 1 of line 2).
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single normalised word together with its 1-based position
+// within its line.
+type Token struct {
+	Text string
+	Pos  int
+}
+
+// Term is an n-gram extracted from a snippet line. Text is the
+// space-joined normalised token text; N is the gram size; Line and Pos
+// locate the first token (both 1-based).
+type Term struct {
+	Text string
+	N    int
+	Line int
+	Pos  int
+}
+
+// Key renders the term in the paper's feature notation "text:pos:line",
+// e.g. "find cheap:1:2".
+func (t Term) Key() string {
+	var b strings.Builder
+	b.Grow(len(t.Text) + 8)
+	b.WriteString(t.Text)
+	b.WriteByte(':')
+	writeInt(&b, t.Pos)
+	b.WriteByte(':')
+	writeInt(&b, t.Line)
+	return b.String()
+}
+
+// writeInt appends a small non-negative integer without allocating.
+func writeInt(b *strings.Builder, v int) {
+	if v < 0 {
+		b.WriteByte('-')
+		v = -v
+	}
+	if v >= 10 {
+		writeInt(b, v/10)
+	}
+	b.WriteByte(byte('0' + v%10))
+}
+
+// Normalize lower-cases s and removes punctuation that carries no appeal
+// signal. Characters that do carry signal in ad text — digits, '%', '$'
+// — are preserved, so "20% off" survives normalisation intact.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	prevSpace := true
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+			prevSpace = false
+		case r == '%' || r == '$':
+			b.WriteRune(r)
+			prevSpace = false
+		case r == '\'':
+			// Drop apostrophes entirely: "don't" -> "dont".
+		default:
+			if !prevSpace {
+				b.WriteByte(' ')
+				prevSpace = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// Tokenize normalises a line and splits it into positioned tokens.
+func Tokenize(line string) []Token {
+	fields := strings.Fields(Normalize(line))
+	if len(fields) == 0 {
+		return nil
+	}
+	toks := make([]Token, len(fields))
+	for i, f := range fields {
+		toks[i] = Token{Text: f, Pos: i + 1}
+	}
+	return toks
+}
+
+// NGrams returns all n-grams of exactly size n over toks, preserving the
+// position of the first token. It returns nil when the line is shorter
+// than n.
+func NGrams(toks []Token, n int) []Term {
+	if n <= 0 || len(toks) < n {
+		return nil
+	}
+	grams := make([]Term, 0, len(toks)-n+1)
+	for i := 0; i+n <= len(toks); i++ {
+		grams = append(grams, Term{
+			Text: joinTokens(toks[i : i+n]),
+			N:    n,
+			Pos:  toks[i].Pos,
+		})
+	}
+	return grams
+}
+
+func joinTokens(toks []Token) string {
+	if len(toks) == 1 {
+		return toks[0].Text
+	}
+	var b strings.Builder
+	for i, t := range toks {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String()
+}
+
+// ExtractTerms tokenises every line and returns all terms of gram sizes
+// 1..maxN with (line, position) coordinates. Lines are numbered from 1.
+// maxN is clamped to [1, 3]: the paper uses unigrams, bigrams and
+// trigrams.
+func ExtractTerms(lines []string, maxN int) []Term {
+	if maxN < 1 {
+		maxN = 1
+	}
+	if maxN > 3 {
+		maxN = 3
+	}
+	var terms []Term
+	for li, line := range lines {
+		toks := Tokenize(line)
+		for n := 1; n <= maxN; n++ {
+			for _, g := range NGrams(toks, n) {
+				g.Line = li + 1
+				terms = append(terms, g)
+			}
+		}
+	}
+	return terms
+}
+
+// TermSet returns the set of distinct term texts (ignoring position) for
+// the given lines, useful for set-difference operations between a pair of
+// snippets.
+func TermSet(lines []string, maxN int) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range ExtractTerms(lines, maxN) {
+		set[t.Text] = true
+	}
+	return set
+}
+
+// stopwords are high-frequency function words whose presence differences
+// between creatives carry no appeal signal. Kept deliberately small: ad
+// text is terse and aggressive stopwording destroys bigrams like
+// "fly to" that do matter.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true,
+	"of": true, "and": true, "or": true,
+	"is": true, "are": true, "be": true,
+}
+
+// IsStopword reports whether the (already normalised) unigram w is a
+// stopword.
+func IsStopword(w string) bool { return stopwords[w] }
+
+// FilterStopTerms removes unigram terms that are stopwords. Longer grams
+// are kept even if they contain stopwords, since phrases such as
+// "best of 2019" remain meaningful.
+func FilterStopTerms(terms []Term) []Term {
+	out := terms[:0:0]
+	for _, t := range terms {
+		if t.N == 1 && IsStopword(t.Text) {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+// Package microbrowsing is the public facade of this reproduction of
+// "Micro-Browsing Models for Search Snippets" (Islam, Srikant, Basu;
+// ICDE 2019). It re-exports the library's main entry points:
+//
+//   - the micro-browsing model itself (per-term relevance × per-position
+//     attention, Eq. 3–8 of the paper) from internal/core;
+//   - snippet/creative types and serve-weight bookkeeping from
+//     internal/snippet;
+//   - the classical macro click models (PBM, cascade, DCM, UBM, BBM,
+//     CCM, DBN, SDBN, GCM) plus the post-click session utility model
+//     (SUM) from internal/clickmodel;
+//   - the snippet classification framework with the paper's M1–M6
+//     ablations from internal/classifier;
+//   - the synthetic sponsored-search corpus and user simulator that
+//     substitute for the paper's proprietary ADCORPUS, from
+//     internal/adcorpus and internal/serp;
+//   - the experiment harness regenerating Table 2, Figure 3 and
+//     Table 4 from internal/experiments.
+//
+// Two future-work directions from the paper's Section VI are also
+// implemented: HMM-based eye-tracking studies (internal/gaze) and
+// model-guided snippet optimisation (internal/optimize).
+//
+// See the examples/ directory for runnable walk-throughs and DESIGN.md
+// for the system inventory.
+package microbrowsing
+
+import (
+	"repro/internal/adcorpus"
+	"repro/internal/classifier"
+	"repro/internal/clickmodel"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/featstats"
+	"repro/internal/optimize"
+	"repro/internal/serp"
+	"repro/internal/snippet"
+	"repro/internal/textproc"
+)
+
+// Micro-browsing model (the paper's contribution).
+type (
+	// Model is the micro-browsing model: per-term relevance plus an
+	// attention layer over (line, position) micro-positions.
+	Model = core.Model
+	// Attention maps a micro-position to its examination probability.
+	Attention = core.Attention
+	// GeometricAttention is the parametric line-weight × positional
+	// decay attention family.
+	GeometricAttention = core.GeometricAttention
+	// TableAttention holds explicit (possibly learned) position weights.
+	TableAttention = core.TableAttention
+	// FullAttention reads every term: the bag-of-terms degenerate case.
+	FullAttention = core.FullAttention
+	// RewritePair is a matched phrase rewrite between two snippets.
+	RewritePair = core.RewritePair
+	// Term is a positioned n-gram.
+	Term = textproc.Term
+)
+
+// NewModel returns a micro-browsing model with the given attention.
+func NewModel(att Attention) *Model { return core.NewModel(att) }
+
+// ExtractTerms tokenises snippet lines into positioned n-grams (1..maxN).
+func ExtractTerms(lines []string, maxN int) []Term {
+	return textproc.ExtractTerms(lines, maxN)
+}
+
+// Snippets and creatives.
+type (
+	// Creative is a multi-line ad creative / snippet.
+	Creative = snippet.Creative
+	// CreativeStats holds click/impression counts.
+	CreativeStats = snippet.Stats
+	// CreativePair is a same-adgroup creative pair with serve weights.
+	CreativePair = snippet.Pair
+	// AdGroup groups alternative creatives for one keyword.
+	AdGroup = snippet.AdGroup
+)
+
+// NewCreative builds a creative from up to three lines.
+func NewCreative(id string, lines ...string) (Creative, error) {
+	return snippet.New(id, lines...)
+}
+
+// Macro click models (Section II of the paper).
+type (
+	// ClickModel is a trainable macro browsing model.
+	ClickModel = clickmodel.Model
+	// Session is one query impression with its click pattern.
+	Session = clickmodel.Session
+	// ClickModelEvaluation aggregates log-likelihood and perplexity.
+	ClickModelEvaluation = clickmodel.Evaluation
+)
+
+// Click model constructors, in the paper's taxonomy order.
+var (
+	NewPBM     = clickmodel.NewPBM
+	NewCascade = clickmodel.NewCascade
+	NewDCM     = clickmodel.NewDCM
+	NewUBM     = clickmodel.NewUBM
+	NewBBM     = clickmodel.NewBBM
+	NewCCM     = clickmodel.NewCCM
+	NewDBN     = clickmodel.NewDBN
+	NewSDBN    = clickmodel.NewSDBN
+	NewGCM     = clickmodel.NewGCM
+	NewSUM     = clickmodel.NewSUM
+)
+
+// AllClickModels returns a fresh instance of every macro model.
+func AllClickModels() []ClickModel { return clickmodel.All() }
+
+// EvaluateClickModel scores a fitted model on held-out sessions.
+func EvaluateClickModel(m ClickModel, sessions []Session) ClickModelEvaluation {
+	return clickmodel.Evaluate(m, sessions)
+}
+
+// Snippet classification framework (Figure 1, models M1–M6).
+type (
+	// ClassifierSpec selects one of the paper's ablation variants.
+	ClassifierSpec = classifier.ModelSpec
+	// ClassifierOptions tunes the learners.
+	ClassifierOptions = classifier.Options
+	// ClassifierResult is a cross-validated Table 2 row.
+	ClassifierResult = classifier.Result
+	// TrainedClassifier is a fitted snippet classifier.
+	TrainedClassifier = classifier.Trained
+	// StatsDB is the feature statistics database of Section V-C.
+	StatsDB = featstats.DB
+)
+
+// The six ablation variants of Table 2.
+var (
+	M1 = classifier.M1
+	M2 = classifier.M2
+	M3 = classifier.M3
+	M4 = classifier.M4
+	M5 = classifier.M5
+	M6 = classifier.M6
+)
+
+// ClassifierSpecs returns M1..M6 in Table 2 order.
+func ClassifierSpecs() []ClassifierSpec { return classifier.Specs() }
+
+// NewExtractor returns the phase-one feature extractor.
+func NewExtractor() *classifier.Extractor { return classifier.NewExtractor() }
+
+// NewPipeline returns the phase-two data generator for a spec.
+func NewPipeline(spec ClassifierSpec, db *StatsDB) *classifier.Pipeline {
+	return classifier.NewPipeline(spec, db)
+}
+
+// CrossValidateClassifier runs the paper's k-fold evaluation of a spec.
+func CrossValidateClassifier(spec ClassifierSpec, pairs []CreativePair, db *StatsDB, k int, seed int64, opt ClassifierOptions) (ClassifierResult, error) {
+	return classifier.CrossValidate(spec, pairs, db, k, seed, opt)
+}
+
+// Synthetic corpus and simulator (the ADCORPUS substitute).
+type (
+	// Corpus is the synthetic sponsored-search corpus.
+	Corpus = adcorpus.Corpus
+	// CorpusConfig controls corpus generation.
+	CorpusConfig = adcorpus.Config
+	// Lexicon is the phrase inventory with planted appeals.
+	Lexicon = adcorpus.Lexicon
+	// Simulator runs the two-layer (macro × micro) user model.
+	Simulator = serp.Simulator
+	// SimConfig controls the simulation.
+	SimConfig = serp.Config
+)
+
+// Placements for the macro examination layer.
+const (
+	PlacementTop = serp.Top
+	PlacementRHS = serp.RHS
+)
+
+// DefaultLexicon returns the built-in phrase inventory.
+func DefaultLexicon() *Lexicon { return adcorpus.DefaultLexicon() }
+
+// GenerateCorpus builds a deterministic synthetic ADCORPUS.
+func GenerateCorpus(cfg CorpusConfig, lex *Lexicon) *Corpus {
+	return adcorpus.Generate(cfg, lex)
+}
+
+// NewSimulator returns a user simulator.
+func NewSimulator(cfg SimConfig) *Simulator { return serp.New(cfg) }
+
+// Experiments (Table 2, Figure 3, Table 4).
+type (
+	// ExperimentSetup configures an experiment run.
+	ExperimentSetup = experiments.Setup
+	// Figure3Data holds learned per-line position weights.
+	Figure3Data = experiments.Figure3Data
+	// Table4Row is one top-vs-RHS accuracy row.
+	Table4Row = experiments.Table4Row
+)
+
+// Experiment entry points.
+var (
+	DefaultExperimentSetup = experiments.DefaultSetup
+	RunTable2              = experiments.Table2
+	RunFigure3             = experiments.Figure3
+	RunTable4              = experiments.Table4
+	FormatTable2           = experiments.FormatTable2
+	FormatFigure3          = experiments.FormatFigure3
+	FormatTable4           = experiments.FormatTable4
+)
+
+// Snippet optimisation (the paper's "automatic generation of snippets"
+// future work).
+type (
+	// Optimizer proposes model-guided creative improvements.
+	Optimizer = optimize.Optimizer
+	// OptimizerEdit is one proposed change.
+	OptimizerEdit = optimize.Edit
+	// OptimizerCandidate is a scored creative variant.
+	OptimizerCandidate = optimize.Candidate
+)
+
+// NewOptimizer returns a snippet optimizer over an attention curve,
+// term lift weights (log odds) and a phrase inventory.
+func NewOptimizer(att Attention, weights map[string]float64, inventory []string) *Optimizer {
+	return optimize.New(att, weights, inventory)
+}
