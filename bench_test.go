@@ -13,6 +13,9 @@
 package microbrowsing_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -186,6 +189,58 @@ func BenchmarkClickModel_DBN(b *testing.B) {
 
 func BenchmarkClickModel_SDBN(b *testing.B) {
 	benchClickModel(b, func() clickmodel.Model { return clickmodel.NewSDBN() })
+}
+
+// --- unified scoring engine ---
+
+// benchEngineCorpus lazily builds the engine bench corpus: one micro
+// scoring request per creative of a mid-sized synthetic corpus, plus
+// the planted ground-truth model to score them with.
+var benchEngineCorpus = struct {
+	once  sync.Once
+	reqs  []micro.ScoreRequest
+	model *micro.Model
+}{}
+
+func getEngineBench(b *testing.B) ([]micro.ScoreRequest, *micro.Model) {
+	b.Helper()
+	benchEngineCorpus.once.Do(func() {
+		lex := micro.DefaultLexicon()
+		corpus := micro.GenerateCorpus(micro.CorpusConfig{Seed: 407, Groups: 400}, lex)
+		benchEngineCorpus.model = micro.NewSimulator(micro.SimConfig{Seed: 408}).TrueModel(lex)
+		for gi := range corpus.Groups {
+			for ci := range corpus.Groups[gi].Creatives {
+				c := &corpus.Groups[gi].Creatives[ci]
+				benchEngineCorpus.reqs = append(benchEngineCorpus.reqs,
+					micro.ScoreRequest{ID: c.ID, Lines: c.Lines, MaxN: 3})
+			}
+		}
+	})
+	return benchEngineCorpus.reqs, benchEngineCorpus.model
+}
+
+// BenchmarkEngineScoreBatch measures batch-scoring throughput of the
+// unified engine over its worker pool at 1, 4 and GOMAXPROCS workers.
+// On multi-core hardware the 4-worker batch must beat the single
+// worker; on a single hardware thread the pool degenerates gracefully.
+func BenchmarkEngineScoreBatch(b *testing.B) {
+	reqs, model := getEngineBench(b)
+	ctx := context.Background()
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := micro.NewEngine(micro.WithWorkers(workers))
+			eng.UseMicro(model)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resps := eng.ScoreBatch(ctx, reqs)
+				if resps[0].Err != nil {
+					b.Fatal(resps[0].Err)
+				}
+			}
+			b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
 }
 
 // --- ablation benches for DESIGN.md section 5 ---

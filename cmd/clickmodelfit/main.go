@@ -1,22 +1,32 @@
 // Command clickmodelfit fits the classical macro click models of the
-// paper's Section II (PBM, cascade, DCM, UBM, BBM, CCM, DBN, SDBN, GCM)
-// to simulated SERP session logs and reports held-out log-likelihood and
-// click perplexity — the S1 substrate experiment of DESIGN.md.
+// paper's Section II (PBM, cascade, DCM, UBM, BBM, CCM, DBN, SDBN, GCM,
+// SUM) to simulated SERP session logs and reports held-out
+// log-likelihood, click perplexity and engine-predicted CTR — the S1
+// substrate experiment of DESIGN.md.
+//
+// Models are selected by registry name through the unified scoring
+// engine; held-out CTR prediction runs through Engine.ScoreBatch over
+// the configured worker pool.
 //
 // Usage:
 //
 //	clickmodelfit -sessions 20000 -ads 4
+//	clickmodelfit -model pbm -workers 8
+//	clickmodelfit -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/adcorpus"
 	"repro/internal/clickmodel"
+	"repro/internal/engine"
 	"repro/internal/serp"
 )
 
@@ -28,8 +38,23 @@ func main() {
 	ads := flag.Int("ads", 4, "ads per result page")
 	groups := flag.Int("groups", 500, "adgroups backing the simulation")
 	seed := flag.Int64("seed", 11, "random seed")
-	only := flag.String("model", "", "fit only this model (empty = all)")
+	only := flag.String("model", "", "fit only this registry model (empty = all; see -list)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scoring engine worker-pool size")
+	list := flag.Bool("list", false, "list registered click models and exit")
 	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(clickmodel.Names(), "\n"))
+		return
+	}
+
+	names := clickmodel.Names()
+	if *only != "" {
+		if _, err := clickmodel.Lookup(*only); err != nil {
+			log.Fatal(err)
+		}
+		names = []string{*only} // the registry canonicalises on lookup
+	}
 
 	corpus := adcorpus.Generate(adcorpus.Config{Seed: *seed, Groups: *groups}, adcorpus.DefaultLexicon())
 	sim := serp.New(serp.Config{Seed: *seed + 1})
@@ -39,30 +64,50 @@ func main() {
 	log.Printf("simulated %d sessions (%d train / %d test), %d ads per page",
 		len(all), len(train), len(test), *ads)
 
-	fmt.Printf("%-8s %14s %12s  %s\n", "model", "mean LL", "perplexity", "perplexity by rank")
-	for _, m := range clickmodel.All() {
-		if *only != "" && !strings.EqualFold(m.Name(), *only) {
-			continue
-		}
+	ctx := context.Background()
+	eng := engine.New(engine.WithWorkers(*workers))
+	reqs := make([]engine.Request, len(test))
+	for i := range test {
+		reqs[i] = engine.Request{Session: &test[i]}
+	}
+
+	fmt.Printf("%-8s %14s %12s %10s  %s\n", "model", "mean LL", "perplexity", "mean pCTR", "perplexity by rank")
+	for _, name := range names {
 		start := time.Now()
-		if err := m.Fit(train); err != nil {
-			log.Fatalf("%s: %v", m.Name(), err)
+		m, err := eng.Fit(name, train)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
 		}
 		ev := clickmodel.Evaluate(m, test)
+
+		// Held-out CTR prediction through the engine's batch API.
+		for i := range reqs {
+			reqs[i].Model = name
+		}
+		pCTR, err := engine.MeanCTR(eng.ScoreBatch(ctx, reqs))
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+
 		ranks := make([]string, len(ev.PerplexityByRank))
 		for i, p := range ev.PerplexityByRank {
 			ranks[i] = fmt.Sprintf("%.3f", p)
 		}
-		fmt.Printf("%-8s %14.4f %12.4f  [%s]  (%v)\n",
-			ev.Model, ev.LogLikelihood, ev.Perplexity, strings.Join(ranks, " "),
+		fmt.Printf("%-8s %14.4f %12.4f %10.4f  [%s]  (%v)\n",
+			ev.Model, ev.LogLikelihood, ev.Perplexity, pCTR, strings.Join(ranks, " "),
 			time.Since(start).Round(time.Millisecond))
 	}
 
 	// Model-free baseline for reference.
 	ctr := clickmodel.MeanCTRByPosition(test)
 	parts := make([]string, len(ctr))
+	var mean float64
 	for i, c := range ctr {
 		parts[i] = fmt.Sprintf("%.4f", c)
+		mean += c
 	}
-	fmt.Printf("\nempirical CTR by position: [%s]\n", strings.Join(parts, " "))
+	if len(ctr) > 0 {
+		mean /= float64(len(ctr))
+	}
+	fmt.Printf("\nempirical CTR by position: [%s] (mean %.4f)\n", strings.Join(parts, " "), mean)
 }

@@ -4,10 +4,16 @@
 // introduction (predict which creative will have the higher CTR before
 // spending impressions on it).
 //
+// Alongside the pairwise classifier verdicts, the same serving history
+// feeds the unified scoring engine: MicroModelFromStats turns the
+// feature statistics database into a servable micro-browsing model
+// whose batch CTR estimates rank the candidates standalone.
+//
 // Run with: go run ./examples/abtest
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -59,6 +65,25 @@ func main() {
 			"Free cancellation. 24 7 support"),
 	}
 
+	// The engine side: the same statistics database, served as a
+	// micro-browsing scorer. Every creative gets a standalone CTR
+	// estimate from one batch call.
+	eng := micro.NewEngine(micro.WithWorkers(4))
+	eng.UseMicro(micro.MicroModelFromStats(db, micro.DefaultAttention(), 8))
+
+	all := append([]micro.Creative{champion}, candidates...)
+	reqs := make([]micro.ScoreRequest, len(all))
+	for i, c := range all {
+		reqs[i] = micro.ScoreRequest{ID: c.ID, Lines: c.Lines}
+	}
+	engCTR := make(map[string]float64, len(all))
+	for _, resp := range eng.ScoreBatch(context.Background(), reqs) {
+		if resp.Err != nil {
+			log.Fatal(resp.Err)
+		}
+		engCTR[resp.ID] = resp.CTR
+	}
+
 	// Score every candidate against the champion: P(candidate beats it).
 	type ranked struct {
 		c micro.Creative
@@ -71,15 +96,16 @@ func main() {
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].p > results[j].p })
 
-	fmt.Println("champion:", champion.Text())
+	fmt.Printf("champion: %s  (engine CTR estimate %.4f)\n", champion.Text(), engCTR[champion.ID])
 	fmt.Println()
-	fmt.Println("candidates ranked by P(beats champion):")
+	fmt.Println("candidates ranked by P(beats champion), with engine CTR estimates:")
 	for i, r := range results {
 		verdict := "keep champion"
 		if r.p > 0.5 {
 			verdict = "PROMOTE"
 		}
-		fmt.Printf("%d. %5.1f%%  %-14s %s\n      %s\n", i+1, r.p*100, verdict, r.c.ID, r.c.Text())
+		fmt.Printf("%d. %5.1f%%  %-14s %s  (engine CTR %.4f)\n      %s\n",
+			i+1, r.p*100, verdict, r.c.ID, engCTR[r.c.ID], r.c.Text())
 	}
 }
 

@@ -1,13 +1,16 @@
 // Click models: fit the macro browsing-model family of the paper's
-// Section II to a simulated SERP log, compare their held-out quality,
-// and print the examination curves they infer — showing how the
-// macro-level position bias (which the micro-browsing model refines to
-// the term level) is estimated in practice.
+// Section II to a simulated SERP log through the unified scoring
+// engine — models are selected by registry name, trained with
+// Engine.Fit, and score held-out sessions through ScoreBatch — then
+// print the examination curves they infer, showing how the macro-level
+// position bias (which the micro-browsing model refines to the term
+// level) is estimated in practice.
 //
 // Run with: go run ./examples/clickmodels
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,28 +27,45 @@ func main() {
 	train, test := sessions[:20000], sessions[20000:]
 
 	fmt.Printf("fitted on %d sessions, evaluated on %d\n\n", len(train), len(test))
-	fmt.Printf("%-8s %10s %12s\n", "model", "mean LL", "perplexity")
+	fmt.Printf("%-8s %10s %12s %10s\n", "model", "mean LL", "perplexity", "mean pCTR")
 
-	models := []micro.ClickModel{
-		micro.NewPBM(), micro.NewCascade(), micro.NewDCM(),
-		micro.NewUBM(), micro.NewDBN(), micro.NewSDBN(),
+	// The engine resolves config strings against the click-model
+	// registry; micro.ClickModelNames() would list all ten, we fit the
+	// fast core of the family.
+	names := []string{"pbm", "cascade", "dcm", "ubm", "dbn", "sdbn"}
+
+	eng := micro.NewEngine(micro.WithWorkers(4))
+	reqs := make([]micro.ScoreRequest, len(test))
+	for i := range test {
+		reqs[i] = micro.ScoreRequest{Session: &test[i]}
 	}
-	for _, m := range models {
-		if err := m.Fit(train); err != nil {
+
+	fitted := make([]micro.ClickModel, 0, len(names))
+	for _, name := range names {
+		m, err := eng.Fit(name, train)
+		if err != nil {
 			panic(err)
 		}
+		fitted = append(fitted, m)
 		ev := micro.EvaluateClickModel(m, test)
-		fmt.Printf("%-8s %10.4f %12.4f\n", ev.Model, ev.LogLikelihood, ev.Perplexity)
+
+		// Held-out CTR prediction through the engine's batch API.
+		for i := range reqs {
+			reqs[i].Model = name
+		}
+		pCTR, err := micro.MeanCTR(eng.ScoreBatch(context.Background(), reqs))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s %10.4f %12.4f %10.4f\n", ev.Model, ev.LogLikelihood, ev.Perplexity, pCTR)
 	}
 
 	// Examination curves: how strongly each model believes lower slots
 	// are seen. The simulator's true macro curve is 0.90/0.65/0.45/0.30.
 	fmt.Println("\ninferred examination probability by slot (sample session):")
 	sample := test[0]
-	for _, m := range models {
-		examiner, ok := m.(interface {
-			ExaminationProbs(clickmodel.Session) []float64
-		})
+	for _, m := range fitted {
+		examiner, ok := m.(clickmodel.Examiner)
 		if !ok {
 			continue
 		}

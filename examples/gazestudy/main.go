@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -73,12 +74,20 @@ func main() {
 		fmt.Printf("  %-22s %.2f\n", t.Key(), corr[t.Key()])
 	}
 
-	// 4. Close the loop: drive the micro-browsing model with the
-	// *measured* attention instead of the planted one.
+	// 4. Close the loop: serve the *measured* attention through the
+	// scoring engine instead of the planted curve.
 	measured := gaze.AttentionFromRates(rates)
 	model := micro.NewModel(measured)
 	model.Relevance["20% off"] = 0.8
-	fmt.Printf("\nmicro-browsing score of the snippet under measured attention: %+.3f\n",
-		model.ExpectedScore(terms))
-	fmt.Println("(an eye-tracking study can parameterise the model directly)")
+	eng := micro.NewEngine()
+	eng.UseMicro(model)
+	resp, err := eng.ScoreCTR(context.Background(), micro.ScoreRequest{
+		ID: creative.ID, Lines: creative.Lines,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nengine score of the snippet under measured attention: %+.3f (predicted CTR %.4f)\n",
+		resp.Score, resp.CTR)
+	fmt.Println("(an eye-tracking study can parameterise the serving model directly)")
 }

@@ -1,11 +1,12 @@
-// Quickstart: build a micro-browsing model by hand, score the paper's
-// own example snippet pair (Section IV-A), and predict which creative
-// earns the higher click-through rate.
+// Quickstart: build a micro-browsing model by hand, serve it through
+// the unified scoring engine, and predict which of the paper's own
+// example snippets (Section IV-A) earns the higher click-through rate.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,8 @@ func main() {
 	model := micro.NewModel(attention)
 
 	// Per-term perceived relevance r_i. In production these come from
-	// the feature statistics database; here we set a few by hand.
+	// the feature statistics database (see MicroModelFromStats); here we
+	// set a few by hand.
 	model.Relevance["find cheap"] = 0.80
 	model.Relevance["get discounts"] = 0.72
 	model.Relevance["flights"] = 0.65
@@ -31,31 +33,43 @@ func main() {
 	model.Relevance["new york"] = 0.55
 	model.DefaultRelevance = 0.50 // unknown terms are neutral
 
-	// The paper's example pair from Section IV-A.
-	r, err := micro.NewCreative("R",
+	// The scoring engine is the serving surface: install the model and
+	// score snippets as batch requests.
+	eng := micro.NewEngine(micro.WithWorkers(4))
+	eng.UseMicro(model)
+
+	// The paper's example pair from Section IV-A, plus a variant with
+	// the hook phrase pushed to a low-attention micro-position.
+	r := mustCreative("R",
 		"XYZ Airlines",
 		"Find cheap flights to New York.",
 		"No reservation costs. Great rates")
-	if err != nil {
-		log.Fatal(err)
-	}
-	s, err := micro.NewCreative("S",
+	s := mustCreative("S",
 		"XYZ Airlines",
 		"Flying to New York? Get discounts.",
 		"No reservation costs. Great rates!")
-	if err != nil {
-		log.Fatal(err)
+	moved := mustCreative("R'",
+		"XYZ Airlines",
+		"Flights to New York? Find cheap.",
+		"No reservation costs. Great rates")
+
+	resps := eng.ScoreBatch(context.Background(), []micro.ScoreRequest{
+		{ID: r.ID, Lines: r.Lines},
+		{ID: s.ID, Lines: s.Lines},
+		{ID: moved.ID, Lines: moved.Lines},
+	})
+	for _, resp := range resps {
+		if resp.Err != nil {
+			log.Fatal(resp.Err)
+		}
+		fmt.Printf("snippet %-2s  predicted CTR %.4f  (expected log-prob %+.4f)\n",
+			resp.ID, resp.CTR, resp.Score)
 	}
-
-	rTerms := micro.ExtractTerms(r.Lines, 2)
-	sTerms := micro.ExtractTerms(s.Lines, 2)
-
-	fmt.Println("Snippet R:", r.Text())
-	fmt.Println("Snippet S:", s.Text())
 	fmt.Println()
 
-	// Eq. 5: the expected log probability ratio score(R→S|q).
-	score := model.ScorePair(rTerms, sTerms)
+	// Eq. 5 — the expected log probability ratio score(R→S|q) — is the
+	// difference of the engine's per-snippet Scores.
+	score := resps[0].Score - resps[1].Score
 	fmt.Printf("score(R→S) = %+.4f\n", score)
 	if score > 0 {
 		fmt.Println("prediction: R wins — users reading the opening of line 2")
@@ -66,18 +80,18 @@ func main() {
 	fmt.Println()
 
 	// The same phrase matters less when pushed to a low-attention
-	// micro-position: move "find cheap" to the end of line 2.
-	moved, err := micro.NewCreative("R'",
-		"XYZ Airlines",
-		"Flights to New York? Find cheap.",
-		"No reservation costs. Great rates")
-	if err != nil {
-		log.Fatal(err)
-	}
-	movedTerms := micro.ExtractTerms(moved.Lines, 2)
+	// micro-position: R' moves "find cheap" to the end of line 2.
 	fmt.Printf("score(R→R')  = %+.4f  (same words, hook moved to position %d)\n",
-		model.ScorePair(rTerms, movedTerms), 5)
+		resps[0].Score-resps[2].Score, 5)
 	fmt.Println("positive: position alone changed the predicted winner's margin —")
 	fmt.Println("the paper's key insight, 'even where within a snippet particular")
 	fmt.Println("words are located' influences clickthrough.")
+}
+
+func mustCreative(id string, lines ...string) micro.Creative {
+	c, err := micro.NewCreative(id, lines...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -77,6 +78,26 @@ func main() {
 		m := mined[i]
 		fmt.Printf("%-28s %-28s %8.2f %7.0f\n", m.from, m.to, m.odds, m.count)
 	}
+
+	// The mined database is directly servable: MicroModelFromStats
+	// turns its term statistics into a micro-browsing scorer, and the
+	// engine batch-scores candidate snippets with it — here the paper's
+	// Section IV-A pair.
+	eng := micro.NewEngine(micro.WithWorkers(4))
+	eng.UseMicro(micro.MicroModelFromStats(db, micro.DefaultAttention(), 8))
+	resps := eng.ScoreBatch(context.Background(), []micro.ScoreRequest{
+		{ID: "R", Lines: []string{"XYZ Airlines", "Find cheap flights to New York.", "No reservation costs. Great rates"}},
+		{ID: "S", Lines: []string{"XYZ Airlines", "Flying to New York? Get discounts.", "No reservation costs. Great rates!"}},
+	})
+	fmt.Println("\nserving the database through the scoring engine (Section IV-A pair):")
+	for _, resp := range resps {
+		if resp.Err != nil {
+			panic(resp.Err)
+		}
+		fmt.Printf("  snippet %s: predicted CTR %.4f (expected log-prob %+.3f)\n",
+			resp.ID, resp.CTR, resp.Score)
+	}
+	fmt.Printf("  score(R→S) = %+.4f under the mined statistics\n", resps[0].Score-resps[1].Score)
 }
 
 // keyKind mirrors featstats.KeyKind for the small set of kinds used here.

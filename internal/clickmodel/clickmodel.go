@@ -153,7 +153,7 @@ func validateAll(sessions []Session) error {
 	return nil
 }
 
-// meanCTRByPosition returns the empirical CTR at each position of the log,
+// MeanCTRByPosition returns the empirical CTR at each position of the log,
 // a useful model-free baseline and sanity check.
 func MeanCTRByPosition(sessions []Session) []float64 {
 	n := maxPositions(sessions)

@@ -80,19 +80,18 @@ func Evaluate(m Model, sessions []Session) Evaluation {
 	}
 }
 
-// All returns one fresh instance of every model in the package, in the
-// order they appear in the paper's related-work taxonomy.
+// All returns one fresh instance of every registered model, in
+// registration order — for the built-ins, the order they appear in the
+// paper's related-work taxonomy.
 func All() []Model {
-	return []Model{
-		NewPBM(),
-		NewCascade(),
-		NewDCM(),
-		NewUBM(),
-		NewBBM(),
-		NewCCM(),
-		NewDBN(),
-		NewSDBN(),
-		NewGCM(),
-		NewSUM(),
+	names := Names()
+	out := make([]Model, 0, len(names))
+	for _, name := range names {
+		m, err := New(name)
+		if err != nil { // unreachable: Names and New share the registry
+			panic(err)
+		}
+		out = append(out, m)
 	}
+	return out
 }

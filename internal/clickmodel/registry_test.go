@@ -1,0 +1,90 @@
+package clickmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// taxonomyOrder is the paper's related-work order the built-ins must
+// keep, because All() and reports iterate it.
+var taxonomyOrder = []string{"pbm", "cascade", "dcm", "ubm", "bbm", "ccm", "dbn", "sdbn", "gcm", "sum"}
+
+func TestRegistryNamesOrder(t *testing.T) {
+	names := Names()
+	if len(names) < len(taxonomyOrder) {
+		t.Fatalf("Names() = %v, want at least the %d built-ins", names, len(taxonomyOrder))
+	}
+	for i, want := range taxonomyOrder {
+		if names[i] != want {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], want)
+		}
+	}
+}
+
+func TestRegistryNewKnown(t *testing.T) {
+	for _, name := range taxonomyOrder {
+		m, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if got := strings.ToLower(m.Name()); got != name {
+			t.Errorf("New(%q).Name() = %q", name, m.Name())
+		}
+	}
+	// Case-insensitive, whitespace-tolerant.
+	if _, err := New(" PBM "); err != nil {
+		t.Errorf("New(\" PBM \"): %v", err)
+	}
+}
+
+func TestRegistryNewReturnsFreshInstances(t *testing.T) {
+	a, _ := New("pbm")
+	b, _ := New("pbm")
+	if a == b {
+		t.Fatal("New returned the same instance twice")
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := New("nope")
+	if err == nil {
+		t.Fatal("New(\"nope\") succeeded")
+	}
+	if !strings.Contains(err.Error(), "nope") || !strings.Contains(err.Error(), "pbm") {
+		t.Errorf("error should name the request and list choices: %v", err)
+	}
+	if _, err := Lookup(""); err == nil {
+		t.Error("Lookup(\"\") succeeded")
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	cases := map[string]func(){
+		"empty name":  func() { Register("", func() Model { return NewPBM() }) },
+		"nil factory": func() { Register("x-nil", nil) },
+		"duplicate":   func() { Register("pbm", func() Model { return NewPBM() }) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register with %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAllMatchesRegistry(t *testing.T) {
+	all := All()
+	names := Names()
+	if len(all) != len(names) {
+		t.Fatalf("All() returned %d models, registry has %d", len(all), len(names))
+	}
+	for i, m := range all {
+		if got := strings.ToLower(m.Name()); got != names[i] {
+			t.Errorf("All()[%d].Name() = %q, want %q", i, m.Name(), names[i])
+		}
+	}
+}

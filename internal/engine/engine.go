@@ -1,0 +1,280 @@
+// Package engine is the unified CTR-scoring surface of this repository:
+// one request/response API over both browsing levels of the paper — the
+// macro click models of Section II (internal/clickmodel) and the
+// micro-browsing model of Section III (internal/core).
+//
+// The two levels estimate the same quantity, the probability of a
+// click, from different evidence: click models from a result's position
+// within a session, the micro model from the snippet text itself. The
+// Scorer interface abstracts over both, and the Engine adds what a
+// serving system needs on top of a single scorer:
+//
+//   - name-based model selection backed by the clickmodel registry, so
+//     binaries pick models from config strings (-model pbm);
+//   - lifecycle helpers (Fit trains a registry model on a session log
+//     and installs it; Register installs any custom Scorer);
+//   - concurrent batch scoring: ScoreBatch fans a request slice over a
+//     worker pool with per-request error reporting and cooperative
+//     context cancellation.
+//
+// The facade package re-exports the engine as the library's primary
+// public API; see the repository README for the migration table from
+// the old flat constructor surface.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/clickmodel"
+	"repro/internal/core"
+)
+
+// NameMicro is the reserved scorer name of the micro-browsing model.
+const NameMicro = "micro"
+
+// Engine routes scoring requests to named scorers and runs batches
+// over a worker pool. Create one with New; the zero value is unusable.
+//
+// An Engine is safe for concurrent use. Installing scorers (Register,
+// Fit) while batches are in flight is allowed; in-flight requests see
+// either the old or the new scorer.
+type Engine struct {
+	workers      int
+	attention    core.Attention
+	defaultModel string
+
+	mu      sync.RWMutex
+	scorers map[string]Scorer
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithWorkers sets the ScoreBatch worker-pool size (default
+// runtime.GOMAXPROCS(0); values < 1 are treated as 1).
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.workers = n
+	}
+}
+
+// WithAttention sets the attention layer used when the engine builds
+// its own default micro-browsing scorer (i.e. when no scorer was
+// explicitly installed under NameMicro). nil keeps the degenerate
+// FullAttention bag-of-terms behaviour.
+func WithAttention(att core.Attention) Option {
+	return func(e *Engine) { e.attention = att }
+}
+
+// WithDefaultModel sets the scorer used by requests that leave
+// Request.Model empty (default NameMicro).
+func WithDefaultModel(name string) Option {
+	return func(e *Engine) { e.defaultModel = canonical(name) }
+}
+
+// New returns an Engine with the given options applied.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		workers:      runtime.GOMAXPROCS(0),
+		defaultModel: NameMicro,
+		scorers:      make(map[string]Scorer),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// canonical normalises scorer names: registry names are case- and
+// whitespace-insensitive.
+func canonical(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// requestModel is the name a request will resolve to, without
+// resolving: the canonical form of its Model field, or the engine
+// default when empty. Used to stamp responses that never reach a
+// scorer (cancellation) so Response.Model is populated even on error.
+func (e *Engine) requestModel(name string) string {
+	if key := canonical(name); key != "" {
+		return key
+	}
+	return e.defaultModel
+}
+
+// Register installs a scorer under the given name, replacing any
+// previous scorer of that name.
+func (e *Engine) Register(name string, s Scorer) {
+	key := canonical(name)
+	if key == "" || s == nil {
+		panic("engine: Register needs a name and a scorer")
+	}
+	e.mu.Lock()
+	e.scorers[key] = s
+	e.mu.Unlock()
+}
+
+// RegisterModel installs a fitted macro click model under its own name.
+func (e *Engine) RegisterModel(m clickmodel.Model) {
+	e.Register(m.Name(), NewClickModelScorer(m))
+}
+
+// UseMicro installs a micro-browsing model as the NameMicro scorer.
+func (e *Engine) UseMicro(m *core.Model) {
+	e.Register(NameMicro, NewMicroScorer(m))
+}
+
+// Fit constructs the named model from the clickmodel registry, trains
+// it on the session log, installs it, and returns the fitted instance
+// (e.g. for offline evaluation with clickmodel.Evaluate).
+func (e *Engine) Fit(name string, sessions []clickmodel.Session) (clickmodel.Model, error) {
+	m, err := clickmodel.New(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Fit(sessions); err != nil {
+		return nil, fmt.Errorf("engine: fitting %s: %w", m.Name(), err)
+	}
+	e.RegisterModel(m)
+	return m, nil
+}
+
+// Models returns the names of the installed scorers in sorted order.
+func (e *Engine) Models() []string {
+	e.mu.RLock()
+	names := make([]string, 0, len(e.scorers))
+	for name := range e.scorers {
+		names = append(names, name)
+	}
+	e.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// resolve maps a request's model name to an installed scorer. The
+// micro scorer is built (and cached) on demand from the engine's
+// attention option; registry click-model names that were never fitted
+// are rejected with a hint rather than silently scored from priors.
+func (e *Engine) resolve(name string) (string, Scorer, error) {
+	key := canonical(name)
+	if key == "" {
+		key = e.defaultModel
+	}
+	e.mu.RLock()
+	s, ok := e.scorers[key]
+	e.mu.RUnlock()
+	if ok {
+		return key, s, nil
+	}
+	if key == NameMicro {
+		e.mu.Lock()
+		if s, ok = e.scorers[key]; !ok {
+			s = NewMicroScorer(core.NewModel(e.attention))
+			e.scorers[key] = s
+		}
+		e.mu.Unlock()
+		return key, s, nil
+	}
+	if _, err := clickmodel.Lookup(key); err == nil {
+		return key, nil, fmt.Errorf("engine: click model %q is known but not fitted; call Fit(%q, sessions) or Register first", key, key)
+	}
+	return key, nil, fmt.Errorf("engine: unknown model %q (installed: %s; registry: %s)",
+		name, strings.Join(e.Models(), ", "), strings.Join(clickmodel.Names(), ", "))
+}
+
+// ScoreCTR scores one request through the scorer its Model field
+// names (empty = the engine default). The returned Response carries
+// the request ID and resolved model name even on error.
+func (e *Engine) ScoreCTR(ctx context.Context, req Request) (Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Response{ID: req.ID, Model: e.requestModel(req.Model), Err: err}, err
+	}
+	name, s, err := e.resolve(req.Model)
+	if err != nil {
+		return Response{ID: req.ID, Model: name, Err: err}, err
+	}
+	resp, err := s.ScoreCTR(ctx, req)
+	resp.ID = req.ID
+	if resp.Model == "" {
+		resp.Model = name
+	}
+	resp.Err = err
+	return resp, err
+}
+
+// ScoreBatch scores every request concurrently over the engine's
+// worker pool and returns responses aligned with the input slice. A
+// request that fails records its error in Response.Err without
+// affecting its neighbours. When ctx is cancelled mid-batch,
+// unprocessed requests are returned with Err set to ctx.Err().
+func (e *Engine) ScoreBatch(ctx context.Context, reqs []Request) []Response {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Work is handed out in chunks to amortise channel hops; cancellation
+	// stays per-request because ScoreCTR checks the context on entry, so
+	// a cancelled batch drains each in-flight chunk with error responses
+	// rather than stale scores.
+	chunk := len(reqs) / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	starts := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for start := range starts {
+				end := start + chunk
+				if end > len(reqs) {
+					end = len(reqs)
+				}
+				for i := start; i < end; i++ {
+					out[i], _ = e.ScoreCTR(ctx, reqs[i])
+				}
+			}
+		}()
+	}
+
+	next := 0
+feed:
+	for ; next < len(reqs); next += chunk {
+		select {
+		case starts <- next:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(starts)
+	wg.Wait()
+
+	// Requests the feeder never dispatched carry the cancellation error.
+	for i := next; i < len(reqs); i++ {
+		out[i] = Response{ID: reqs[i].ID, Model: e.requestModel(reqs[i].Model), Err: ctx.Err()}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/clickmodel"
+	"repro/internal/core"
+	"repro/internal/featstats"
+	"repro/internal/ml"
+	"repro/internal/textproc"
+)
+
+// Request describes one CTR-prediction unit of work. The two browsing
+// levels of the paper take different evidence, so a request carries
+// either kind and the selected scorer consumes the one it understands:
+//
+//   - macro (click-model) scorers read Session — a ranked impression —
+//     and predict a click probability per position;
+//   - micro scorers read Lines — one snippet's text — and predict the
+//     snippet's standalone CTR from per-term relevance × attention.
+type Request struct {
+	// ID is an opaque correlation tag echoed into the Response.
+	ID string
+	// Model selects the scorer by name; empty uses the engine default.
+	Model string
+	// Session is the macro evidence: one query impression.
+	Session *clickmodel.Session
+	// Lines is the micro evidence: the snippet's lines.
+	Lines []string
+	// MaxN is the n-gram order for term extraction (default 2).
+	MaxN int
+}
+
+// maxN returns the request's n-gram order with the default applied.
+func (r Request) maxN() int {
+	if r.MaxN <= 0 {
+		return 2
+	}
+	return r.MaxN
+}
+
+// Response is the outcome of scoring one Request.
+type Response struct {
+	// ID echoes the request's correlation tag.
+	ID string
+	// Model is the resolved scorer name.
+	Model string
+	// CTR is the headline estimate: the predicted click-through rate of
+	// the snippet (micro) or the mean per-position click probability of
+	// the session (macro).
+	CTR float64
+	// Positions holds the per-position click probabilities for macro
+	// requests; nil for micro requests.
+	Positions []float64
+	// Score is the expected log-probability score of Eq. 3 for micro
+	// requests (differences of Scores reproduce the pairwise Eq. 5);
+	// zero for macro requests.
+	Score float64
+	// Err records the per-request failure in batch results; single-call
+	// APIs also return it as an error value.
+	Err error
+}
+
+// Scorer is the unified scoring surface: anything that can turn a
+// Request into a CTR estimate. Implementations must be safe for
+// concurrent use — the engine calls them from a worker pool.
+type Scorer interface {
+	ScoreCTR(ctx context.Context, req Request) (Response, error)
+}
+
+// ErrNoEvidence is wrapped by scorer errors when a request lacks the
+// evidence kind (session vs lines) the scorer consumes.
+var ErrNoEvidence = errors.New("engine: request lacks the evidence this scorer consumes")
+
+// ClickModelScorer adapts a fitted macro click model (internal/clickmodel)
+// to the Scorer interface. The wrapped model's ClickProbs must be
+// read-only after Fit, which holds for every model in this repository.
+type ClickModelScorer struct {
+	M clickmodel.Model
+}
+
+// NewClickModelScorer wraps a (typically fitted) click model.
+func NewClickModelScorer(m clickmodel.Model) *ClickModelScorer {
+	return &ClickModelScorer{M: m}
+}
+
+// ScoreCTR implements Scorer: per-position marginal click probabilities
+// plus their mean as the headline CTR.
+func (s *ClickModelScorer) ScoreCTR(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	if req.Session == nil {
+		return Response{}, fmt.Errorf("%w: click model %q needs a session", ErrNoEvidence, s.M.Name())
+	}
+	if err := req.Session.Validate(); err != nil {
+		return Response{}, err
+	}
+	probs := s.M.ClickProbs(*req.Session)
+	var mean float64
+	for _, p := range probs {
+		mean += p
+	}
+	if len(probs) > 0 {
+		mean /= float64(len(probs))
+	}
+	return Response{Model: s.M.Name(), CTR: mean, Positions: probs}, nil
+}
+
+// MicroScorer adapts the paper's micro-browsing model (internal/core)
+// to the Scorer interface. The wrapped model's relevance table must not
+// be mutated while the scorer is in use.
+type MicroScorer struct {
+	M *core.Model
+}
+
+// NewMicroScorer wraps a micro-browsing model (relevance table plus
+// attention layer).
+func NewMicroScorer(m *core.Model) *MicroScorer {
+	return &MicroScorer{M: m}
+}
+
+// ScoreCTR implements Scorer. CTR is the exact expectation of Eq. 3
+// under independent micro-examination,
+//
+//	E[Π r_i^{v_i}] = Π (a_i·r_i + 1 − a_i),  a_i = P(term i examined),
+//
+// and Score is the expected log-probability Σ a_i·log r_i whose
+// pairwise differences reproduce Eq. 5.
+func (s *MicroScorer) ScoreCTR(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	if len(req.Lines) == 0 {
+		return Response{}, fmt.Errorf("%w: micro scorer needs snippet lines", ErrNoEvidence)
+	}
+	terms := textproc.ExtractTerms(req.Lines, req.maxN())
+	ctr := 1.0
+	for _, t := range terms {
+		a := s.M.Examine(t)
+		ctr *= a*s.M.TermRelevance(t.Text) + 1 - a
+	}
+	if len(terms) == 0 || math.IsNaN(ctr) {
+		ctr = 0
+	}
+	return Response{Model: NameMicro, CTR: ctr, Score: s.M.ExpectedScore(terms)}, nil
+}
+
+// MeanCTR averages the headline CTR over a batch's responses,
+// returning the first per-request error encountered. An empty batch
+// has mean 0.
+func MeanCTR(resps []Response) (float64, error) {
+	if len(resps) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for _, r := range resps {
+		if r.Err != nil {
+			return 0, r.Err
+		}
+		sum += r.CTR
+	}
+	return sum / float64(len(resps)), nil
+}
+
+// MicroFromStats builds a servable micro-browsing model from a feature
+// statistics database: every position-free term feature becomes a
+// relevance entry via the sigmoid of its evidence-shrunk log odds —
+// the "in production these come from the feature statistics database"
+// path. smoothing is the Laplace count for LogOddsSmoothed (values <= 0
+// fall back to the database's own smoothing).
+func MicroFromStats(db *featstats.DB, att core.Attention, smoothing float64) *core.Model {
+	m := core.NewModel(att)
+	for key := range db.Stats {
+		text, ok := featstats.ParseTermKey(key)
+		if !ok {
+			continue
+		}
+		m.Relevance[text] = ml.Sigmoid(db.LogOddsSmoothed(key, smoothing))
+	}
+	return m
+}

@@ -187,6 +187,15 @@ const (
 // creative but not the other").
 func TermKey(text string) string { return prefixTerm + text }
 
+// ParseTermKey inverts TermKey: it returns the term text of a
+// position-free term key, with ok false for keys of any other kind.
+func ParseTermKey(key string) (text string, ok bool) {
+	if !strings.HasPrefix(key, prefixTerm) {
+		return "", false
+	}
+	return key[len(prefixTerm):], true
+}
+
 // TermPosKey is the positioned term feature text:pos:line.
 func TermPosKey(text string, pos, line int) string {
 	return fmt.Sprintf("%s%s%s%d:%d", prefixTermPos, text, sep, pos, line)

@@ -1,6 +1,25 @@
 // Package microbrowsing is the public facade of this reproduction of
 // "Micro-Browsing Models for Search Snippets" (Islam, Srikant, Basu;
-// ICDE 2019). It re-exports the library's main entry points:
+// ICDE 2019). Its primary entry point is the unified scoring engine:
+// a registry-backed, context-aware batch CTR API over both browsing
+// levels of the paper.
+//
+//	eng := microbrowsing.NewEngine(
+//		microbrowsing.WithWorkers(8),
+//		microbrowsing.WithAttention(attention))
+//	eng.Fit("pbm", trainSessions)           // macro model, by registry name
+//	resps := eng.ScoreBatch(ctx, requests)  // concurrent, per-request errors
+//
+// A ScoreRequest selects its model by name (ClickModelNames lists the
+// registry; "micro" is the micro-browsing model) and carries either a
+// Session (macro evidence: one ranked impression) or snippet Lines
+// (micro evidence). Every scorer answers the same question — the
+// probability of a click — through the one Scorer interface, so click
+// models and the micro model are interchangeable estimators behind a
+// config string. See internal/engine for the full contract and the
+// README for the migration table from the old flat constructor API.
+//
+// Around the engine, the facade re-exports the building blocks:
 //
 //   - the micro-browsing model itself (per-term relevance × per-position
 //     attention, Eq. 3–8 of the paper) from internal/core;
@@ -8,7 +27,8 @@
 //     internal/snippet;
 //   - the classical macro click models (PBM, cascade, DCM, UBM, BBM,
 //     CCM, DBN, SDBN, GCM) plus the post-click session utility model
-//     (SUM) from internal/clickmodel;
+//     (SUM) from internal/clickmodel, constructible by name through
+//     the registry;
 //   - the snippet classification framework with the paper's M1–M6
 //     ablations from internal/classifier;
 //   - the synthetic sponsored-search corpus and user simulator that
@@ -30,12 +50,70 @@ import (
 	"repro/internal/classifier"
 	"repro/internal/clickmodel"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/featstats"
 	"repro/internal/optimize"
 	"repro/internal/serp"
 	"repro/internal/snippet"
 	"repro/internal/textproc"
+)
+
+// Unified scoring engine (the primary public API).
+type (
+	// Engine routes scoring requests to named scorers and runs batches
+	// over a worker pool with context cancellation.
+	Engine = engine.Engine
+	// EngineOption configures NewEngine.
+	EngineOption = engine.Option
+	// ScoreRequest is one CTR-prediction unit of work: a model name
+	// plus macro (Session) or micro (Lines) evidence.
+	ScoreRequest = engine.Request
+	// ScoreResponse is the outcome of scoring one request.
+	ScoreResponse = engine.Response
+	// Scorer is the unified scoring surface implemented by the click
+	// model and micro-browsing adapters.
+	Scorer = engine.Scorer
+)
+
+// ModelMicro is the reserved scorer name of the micro-browsing model.
+const ModelMicro = engine.NameMicro
+
+// Engine constructors and options.
+var (
+	// NewEngine returns a scoring engine; see WithWorkers,
+	// WithAttention and WithDefaultModel.
+	NewEngine = engine.New
+	// WithWorkers sets the ScoreBatch worker-pool size.
+	WithWorkers = engine.WithWorkers
+	// WithAttention sets the attention layer of the engine's default
+	// micro scorer.
+	WithAttention = engine.WithAttention
+	// WithDefaultModel sets the scorer used when a request names none.
+	WithDefaultModel = engine.WithDefaultModel
+	// NewClickModelScorer adapts a fitted macro click model to Scorer.
+	NewClickModelScorer = engine.NewClickModelScorer
+	// NewMicroScorer adapts a micro-browsing model to Scorer.
+	NewMicroScorer = engine.NewMicroScorer
+	// MicroModelFromStats builds a servable micro-browsing model from
+	// a feature statistics database.
+	MicroModelFromStats = engine.MicroFromStats
+	// MeanCTR averages the headline CTR over a batch of responses,
+	// surfacing the first per-request error.
+	MeanCTR = engine.MeanCTR
+)
+
+// Click model registry: macro models are constructible by config
+// string ("pbm", "cascade", ..., see ClickModelNames).
+var (
+	// RegisterClickModel adds a model factory under a new name.
+	RegisterClickModel = clickmodel.Register
+	// NewClickModel constructs a fresh, unfitted model by name.
+	NewClickModel = clickmodel.New
+	// LookupClickModel returns the factory registered under a name.
+	LookupClickModel = clickmodel.Lookup
+	// ClickModelNames lists the registered names in taxonomy order.
+	ClickModelNames = clickmodel.Names
 )
 
 // Micro-browsing model (the paper's contribution).
@@ -94,6 +172,11 @@ type (
 )
 
 // Click model constructors, in the paper's taxonomy order.
+//
+// Deprecated: construct models by name through the registry instead —
+// NewClickModel("pbm") from config strings, or Engine.Fit to train and
+// install one in a scoring engine. These aliases remain for one
+// release and will be removed.
 var (
 	NewPBM     = clickmodel.NewPBM
 	NewCascade = clickmodel.NewCascade
@@ -177,6 +260,10 @@ const (
 
 // DefaultLexicon returns the built-in phrase inventory.
 func DefaultLexicon() *Lexicon { return adcorpus.DefaultLexicon() }
+
+// DefaultAttention returns the planted micro-attention curve used by
+// the simulator — a sensible default attention layer for serving.
+func DefaultAttention() GeometricAttention { return serp.DefaultAttention() }
 
 // GenerateCorpus builds a deterministic synthetic ADCORPUS.
 func GenerateCorpus(cfg CorpusConfig, lex *Lexicon) *Corpus {

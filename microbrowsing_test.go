@@ -1,6 +1,7 @@
 package microbrowsing_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -79,6 +80,51 @@ func TestFacadeSpecs(t *testing.T) {
 	}
 	if len(micro.AllClickModels()) != 10 {
 		t.Errorf("AllClickModels returned %d models, want 10", len(micro.AllClickModels()))
+	}
+}
+
+// TestFacadeEngine exercises the unified scoring engine through the
+// facade: registry-driven model selection, Fit, and a mixed macro +
+// micro batch with the deprecated constructors nowhere in sight.
+func TestFacadeEngine(t *testing.T) {
+	names := micro.ClickModelNames()
+	if len(names) != 10 || names[0] != "pbm" {
+		t.Fatalf("ClickModelNames() = %v", names)
+	}
+	if _, err := micro.NewClickModel("no-such-model"); err == nil {
+		t.Error("NewClickModel accepted an unknown name")
+	}
+
+	lex := micro.DefaultLexicon()
+	corpus := micro.GenerateCorpus(micro.CorpusConfig{Seed: 9, Groups: 150}, lex)
+	sim := micro.NewSimulator(micro.SimConfig{Seed: 10})
+	sessions := sim.Sessions(corpus, 2000, 4)
+
+	eng := micro.NewEngine(micro.WithWorkers(2), micro.WithDefaultModel("sdbn"))
+	eng.UseMicro(sim.TrueModel(lex))
+	if _, err := eng.Fit("sdbn", sessions[:1500]); err != nil {
+		t.Fatal(err)
+	}
+
+	c := &corpus.Groups[0].Creatives[0]
+	reqs := []micro.ScoreRequest{
+		{ID: "macro", Session: &sessions[1500]},
+		{ID: "micro", Model: micro.ModelMicro, Lines: c.Lines},
+	}
+	resps := eng.ScoreBatch(context.Background(), reqs)
+	for i, resp := range resps {
+		if resp.Err != nil {
+			t.Fatalf("resp %d: %v", i, resp.Err)
+		}
+		if resp.CTR <= 0 || resp.CTR >= 1 {
+			t.Errorf("resp %q: CTR %v outside (0,1)", resp.ID, resp.CTR)
+		}
+	}
+	if len(resps[0].Positions) != 4 {
+		t.Errorf("macro response has %d positions, want 4", len(resps[0].Positions))
+	}
+	if resps[1].Score >= 0 {
+		t.Errorf("micro expected log-prob should be negative: %v", resps[1].Score)
 	}
 }
 
