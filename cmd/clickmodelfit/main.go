@@ -11,7 +11,7 @@
 // Usage:
 //
 //	clickmodelfit -sessions 20000 -ads 4
-//	clickmodelfit -model pbm -workers 8
+//	clickmodelfit -model pbm -workers 8 -iters 10
 //	clickmodelfit -list
 package main
 
@@ -39,6 +39,7 @@ func main() {
 	groups := flag.Int("groups", 500, "adgroups backing the simulation")
 	seed := flag.Int64("seed", 11, "random seed")
 	only := flag.String("model", "", "fit only this registry model (empty = all; see -list)")
+	iters := flag.Int("iters", 0, "EM iterations for iterative models (0 = model default)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scoring engine worker-pool size")
 	list := flag.Bool("list", false, "list registered click models and exit")
 	flag.Parse()
@@ -64,6 +65,13 @@ func main() {
 	log.Printf("simulated %d sessions (%d train / %d test), %d ads per page",
 		len(all), len(train), len(test), *ads)
 
+	// Intern the training log once; every model fits from the compiled
+	// form instead of re-hashing the string pairs per fit.
+	compiled, err := clickmodel.Compile(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ctx := context.Background()
 	eng := engine.New(engine.WithWorkers(*workers))
 	reqs := make([]engine.Request, len(test))
@@ -74,7 +82,7 @@ func main() {
 	fmt.Printf("%-8s %14s %12s %10s  %s\n", "model", "mean LL", "perplexity", "mean pCTR", "perplexity by rank")
 	for _, name := range names {
 		start := time.Now()
-		m, err := eng.Fit(name, train)
+		m, err := eng.FitCompiled(name, compiled, engine.Iterations(*iters))
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}

@@ -9,7 +9,7 @@
 //
 //	experiments [-run table2|figure3|table4|ctr|all] [-groups N]
 //	            [-impressions N] [-folds K] [-seed S]
-//	            [-model NAME] [-workers N]
+//	            [-model NAME] [-workers N] [-iters N]
 package main
 
 import (
@@ -38,6 +38,7 @@ func main() {
 	folds := flag.Int("folds", 0, "cross-validation folds (default 10)")
 	seed := flag.Int64("seed", 0, "base random seed (default 2019)")
 	model := flag.String("model", "pbm", "macro click model for -run ctr (registry name)")
+	iters := flag.Int("iters", 0, "EM iterations for -run ctr iterative models (0 = model default)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scoring engine worker-pool size")
 	flag.Parse()
 
@@ -82,7 +83,7 @@ func main() {
 		}
 		fmt.Print(experiments.FormatTable4(rows))
 	case "ctr":
-		runCTR(setup, *model, *workers)
+		runCTR(setup, *model, *workers, *iters)
 	case "all":
 		res, err := experiments.Table2(setup)
 		if err != nil {
@@ -109,7 +110,7 @@ func main() {
 // scored at both browsing levels — the named macro model over held-out
 // sessions, and the ground-truth micro-browsing model over the
 // creatives those sessions showed.
-func runCTR(setup experiments.Setup, model string, workers int) {
+func runCTR(setup experiments.Setup, model string, workers, iters int) {
 	ctx := context.Background()
 	lex := adcorpus.DefaultLexicon()
 	corpus := adcorpus.Generate(adcorpus.Config{Seed: setup.Seed, Groups: setup.Groups}, lex)
@@ -121,7 +122,7 @@ func runCTR(setup experiments.Setup, model string, workers int) {
 	eng := engine.New(engine.WithWorkers(workers), engine.WithDefaultModel(model))
 	eng.UseMicro(sim.TrueModel(lex))
 
-	fitted, err := eng.Fit(model, train)
+	fitted, err := eng.Fit(model, train, engine.Iterations(iters))
 	if err != nil {
 		log.Fatal(err)
 	}

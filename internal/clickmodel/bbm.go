@@ -14,7 +14,10 @@ import "math"
 //
 // where n_k counts the non-clicked impressions observed under examination
 // probability gamma_k. Only those compact counts are stored (the "petabyte
-// scale" trick); the posterior is evaluated on a grid on demand.
+// scale" trick); the posterior is evaluated on a grid on demand. The
+// counts live in dense pair-ID-indexed arrays keyed by the compiled
+// log's triangular (position, previous-click) cells — for very deep
+// result lists the per-pair cell axis falls back to sparse maps.
 //
 // In this reproduction the gammas are themselves estimated by running the
 // UBM EM on the same log first, which the paper treats as equivalent for
@@ -26,10 +29,22 @@ type BBM struct {
 	// GridSize is the number of grid points on [0,1] for posterior
 	// evaluation (default 51).
 	GridSize int
+	// Workers caps the browsing-layer fit's parallel E-step fan-out
+	// (0 = GOMAXPROCS); the single counting pass itself is serial.
+	Workers int
 
-	clicks   map[qd]float64
-	nonClick map[qd]map[float64]float64 // gamma value -> count
+	queries   *Vocab              // interned queries of the fitted log
+	pairIDs   map[pairKey]int32   // (query ID, doc) -> dense pair ID
+	clicks    []float64           // pair ID -> click count
+	nCell     int                 // triangular cells per pair (dense layout)
+	cellGamma []float64           // cell -> fitted browsing gamma
+	nonClick  []float64           // pair*nCell + cell -> skip count (dense)
+	nonClickS []map[int32]float64 // sparse fallback for deep lists
 }
+
+// maxDenseBBMCells bounds the dense (pairs × cells) skip-count matrix:
+// beyond ~45 positions the triangular cell axis goes sparse instead.
+const maxDenseBBMCells = 1024
 
 // NewBBM returns a BBM with default hyper-parameters.
 func NewBBM() *BBM { return &BBM{GridSize: 51} }
@@ -37,71 +52,140 @@ func NewBBM() *BBM { return &BBM{GridSize: 51} }
 // Name implements Model.
 func (m *BBM) Name() string { return "BBM" }
 
-// Fit implements Model: fit the UBM browsing layer, then accumulate the
-// sufficient statistics for every (query, doc) relevance posterior in a
-// single pass.
+// SetIterations implements IterativeModel, tuning the browsing layer's
+// EM iteration count.
+func (m *BBM) SetIterations(n int) {
+	if m.Browse == nil {
+		m.Browse = NewUBM()
+	}
+	m.Browse.Iterations = n
+}
+
+// Fit implements Model: compile the log, fit the UBM browsing layer,
+// then accumulate the relevance sufficient statistics.
 func (m *BBM) Fit(sessions []Session) error {
+	c, err := Compile(sessions)
+	if err != nil {
+		return err
+	}
+	return m.FitLog(c)
+}
+
+// FitLog fits from a compiled log: the UBM browsing layer first, then
+// one counting pass over the impressions into dense pair-indexed
+// arrays.
+func (m *BBM) FitLog(c *CompiledLog) error {
+	if c == nil {
+		return errNilLog
+	}
 	if m.GridSize < 3 {
 		m.GridSize = 51
 	}
 	if m.Browse == nil {
 		m.Browse = NewUBM()
 	}
-	if err := m.Browse.Fit(sessions); err != nil {
+	if m.Browse.Workers == 0 {
+		m.Browse.Workers = m.Workers
+	}
+	if err := m.Browse.FitLog(c); err != nil {
 		return err
 	}
-	m.clicks = make(map[qd]float64)
-	m.nonClick = make(map[qd]map[float64]float64)
-	for _, s := range sessions {
-		prev := prevClickIndex(s)
-		for i, d := range s.Docs {
-			k := qd{s.Query, d}
-			if s.Clicks[i] {
-				m.clicks[k]++
+
+	nPair := c.NumPairs()
+	nCell := tri(c.maxPos)
+	m.queries = c.Queries
+	m.pairIDs = c.pairIDs
+	m.clicks = reuseFloats(m.clicks, nPair)
+	clear(m.clicks)
+	m.cellGamma = reuseFloats(m.cellGamma, nCell)
+	for i := 0; i < c.maxPos; i++ {
+		for j := 0; j <= i; j++ {
+			m.cellGamma[tri(i)+j] = m.Browse.gamma(i, j)
+		}
+	}
+
+	if nCell <= maxDenseBBMCells {
+		m.nCell = nCell
+		m.nonClick = reuseFloats(m.nonClick, nPair*nCell)
+		clear(m.nonClick)
+		m.nonClickS = nil
+	} else {
+		m.nCell = 0
+		m.nonClick = nil
+		m.nonClickS = make([]map[int32]float64, nPair)
+	}
+
+	for s := 0; s < c.NumSessions(); s++ {
+		b, e := c.off[s], c.off[s+1]
+		for i := b; i < e; i++ {
+			p := c.pair[i]
+			if c.click[i] {
+				m.clicks[p]++
 				continue
 			}
-			g := m.Browse.gamma(i, prev[i])
-			inner := m.nonClick[k]
-			if inner == nil {
-				inner = make(map[float64]float64)
-				m.nonClick[k] = inner
+			cell := tri(int(i-b)) + int(c.prev[i])
+			if m.nonClick != nil {
+				m.nonClick[int(p)*m.nCell+cell]++
+			} else {
+				inner := m.nonClickS[p]
+				if inner == nil {
+					inner = make(map[int32]float64)
+					m.nonClickS[p] = inner
+				}
+				inner[int32(cell)]++
 			}
-			inner[g]++
 		}
 	}
 	return nil
 }
 
-// PosteriorMean returns E[R | log] for the (query, doc) pair under a
-// uniform prior, evaluated on the grid. Unseen pairs return the prior
-// mean 0.5.
-func (m *BBM) PosteriorMean(query, doc string) float64 {
-	k := qd{query, doc}
-	c := m.clicks[k]
-	nc := m.nonClick[k]
-	if c == 0 && len(nc) == 0 {
+// bbmCell is one observed (gamma cell, skip count) sufficient statistic.
+type bbmCell struct {
+	cell int32
+	n    float64
+}
+
+// posteriorMeanID evaluates E[R | log] on the grid for a dense pair ID.
+func (m *BBM) posteriorMeanID(p int32) float64 {
+	c := m.clicks[p]
+	// Collect the nonzero skip counts once so the grid loop touches
+	// only observed cells, not the whole (mostly zero) dense row.
+	var nzStack [48]bbmCell
+	nz := nzStack[:0]
+	if m.nonClick != nil {
+		for cell, n := range m.nonClick[int(p)*m.nCell : (int(p)+1)*m.nCell] {
+			if n > 0 {
+				nz = append(nz, bbmCell{int32(cell), n})
+			}
+		}
+	} else {
+		for cell, n := range m.nonClickS[p] {
+			nz = append(nz, bbmCell{cell, n})
+		}
+	}
+	if c == 0 && len(nz) == 0 {
 		return 0.5
 	}
 	// Evaluate log-weights first and normalise by their maximum so the
 	// posterior does not underflow on documents with many impressions.
 	step := 1.0 / float64(m.GridSize-1)
+	var num, den, maxLW float64
+	maxLW = math.Inf(-1)
 	lws := make([]float64, m.GridSize)
-	maxLW := math.Inf(-1)
 	for i := 0; i < m.GridSize; i++ {
 		r := float64(i) * step
 		lw := 0.0
 		if c > 0 {
 			lw += c * log(r)
 		}
-		for g, n := range nc {
-			lw += n * log(1-g*r)
+		for _, e := range nz {
+			lw += e.n * log(1-m.cellGamma[e.cell]*r)
 		}
 		lws[i] = lw
 		if lw > maxLW {
 			maxLW = lw
 		}
 	}
-	var num, den float64
 	for i, lw := range lws {
 		w := math.Exp(lw - maxLW)
 		num += w * float64(i) * step
@@ -113,13 +197,37 @@ func (m *BBM) PosteriorMean(query, doc string) float64 {
 	return num / den
 }
 
+// PosteriorMean returns E[R | log] for the (query, doc) pair under a
+// uniform prior, evaluated on the grid. Unseen pairs return the prior
+// mean 0.5.
+func (m *BBM) PosteriorMean(query, doc string) float64 {
+	qid, ok := m.queries.Lookup(query)
+	if !ok {
+		return 0.5
+	}
+	p, ok := m.pairIDs[pairKey{qid, doc}]
+	if !ok {
+		return 0.5
+	}
+	return m.posteriorMeanID(p)
+}
+
 // ClickProbs implements Model using the UBM forward recursion with the
 // posterior-mean relevance in place of a point-estimated alpha.
 func (m *BBM) ClickProbs(s Session) []float64 {
+	return m.ClickProbsInto(s, nil)
+}
+
+// ClickProbsInto implements InplaceScorer.
+func (m *BBM) ClickProbsInto(s Session, buf []float64) []float64 {
 	n := len(s.Docs)
-	out := make([]float64, n)
-	pLast := make([]float64, n+1)
-	pLast[0] = 1
+	out := resizeProbs(buf, n)
+	var stack [maxStackPositions + 1]float64
+	pLast := stack[:]
+	if n+1 > len(stack) {
+		pLast = make([]float64, n+1)
+	}
+	pLast[0] = 1 // the rest of pLast is zero: fresh stack array or make()
 	for i, d := range s.Docs {
 		a := m.PosteriorMean(s.Query, d)
 		var pc float64
@@ -137,11 +245,14 @@ func (m *BBM) ClickProbs(s Session) []float64 {
 
 // SessionLogLikelihood implements Model.
 func (m *BBM) SessionLogLikelihood(s Session) float64 {
-	prev := prevClickIndex(s)
 	ll := 0.0
+	prev := 0
 	for i, d := range s.Docs {
-		p := m.PosteriorMean(s.Query, d) * m.Browse.gamma(i, prev[i])
+		p := m.PosteriorMean(s.Query, d) * m.Browse.gamma(i, prev)
 		ll += bernoulliLL(p, s.Clicks[i])
+		if s.Clicks[i] {
+			prev = i + 1
+		}
 	}
 	return ll
 }

@@ -12,7 +12,8 @@ package clickmodel
 // likelihood estimation is closed-form: a document's attractiveness is the
 // fraction of its *examined* impressions that were clicked, where the
 // examined positions of a session are those up to and including the first
-// click (all positions, if there is no click).
+// click (all positions, if there is no click). The count pass runs over
+// the compiled log, sharded like the EM models' E-steps.
 type Cascade struct {
 	Alpha      map[qd]float64
 	PriorAlpha float64 // attractiveness for unseen (query, doc); default 0.5
@@ -20,6 +21,8 @@ type Cascade struct {
 	// LaplaceA and LaplaceB are the add-a/add-b smoothing counts for the
 	// click/examination ratio (default 1 and 2: a Beta(1,1) prior mean).
 	LaplaceA, LaplaceB float64
+	// Workers caps the parallel counting fan-out (0 = GOMAXPROCS).
+	Workers int
 }
 
 // NewCascade returns a Cascade with default smoothing.
@@ -37,34 +40,67 @@ func (m *Cascade) defaults() {
 	}
 }
 
-// Fit implements Model with the closed-form MLE described on the type.
+// Fit implements Model: compile the log, then count.
 func (m *Cascade) Fit(sessions []Session) error {
-	if err := validateAll(sessions); err != nil {
+	c, err := Compile(sessions)
+	if err != nil {
 		return err
 	}
-	m.defaults()
-	type acc struct{ clicks, exams float64 }
-	accs := make(map[qd]acc)
-	for _, s := range sessions {
-		stop := s.FirstClick()
-		if stop < 0 {
-			stop = len(s.Docs) - 1
-		}
-		for i := 0; i <= stop; i++ {
-			k := qd{s.Query, s.Docs[i]}
-			a := accs[k]
-			a.exams++
-			if s.Clicks[i] {
-				a.clicks++
-			}
-			accs[k] = a
-		}
+	return m.FitLog(c)
+}
+
+// FitLog computes the closed-form MLE described on the type from a
+// compiled log in one sharded counting pass.
+func (m *Cascade) FitLog(c *CompiledLog) error {
+	if c == nil {
+		return errNilLog
 	}
-	m.Alpha = make(map[qd]float64, len(accs))
-	for k, a := range accs {
-		m.Alpha[k] = clampProb((a.clicks + m.LaplaceA) / (a.exams + m.LaplaceB))
+	m.defaults()
+	nPair := c.NumPairs()
+	workers := emWorkers(m.Workers, c.NumSessions())
+
+	fs, buf := getScratch(workers * 2 * nPair)
+	defer putScratch(fs)
+	all := buf
+	nSess := c.NumSessions()
+	if workers == 1 {
+		cascadeCount(c, all[:nPair], all[nPair:2*nPair], 0, nSess)
+	} else {
+		forEachShard(workers, nSess, func(w, lo, hi int) {
+			base := all[w*2*nPair:]
+			cascadeCount(c, base[:nPair], base[nPair:2*nPair], lo, hi)
+		})
+	}
+	merged := mergeShards(all, 2*nPair, workers)
+	clicks, exams := merged[:nPair], merged[nPair:2*nPair]
+
+	m.Alpha = reuseMap(m.Alpha, nPair)
+	for p, k := range c.pairs {
+		if exams[p] > 0 {
+			m.Alpha[k] = clampProb((clicks[p] + m.LaplaceA) / (exams[p] + m.LaplaceB))
+		}
 	}
 	return nil
+}
+
+// cascadeCount accumulates click/examination counts for the sessions
+// [lo, hi): every position up to and including the first click is
+// examined (the whole list when there is no click).
+func cascadeCount(c *CompiledLog, clicks, exams []float64, lo, hi int) {
+	for s := lo; s < hi; s++ {
+		b, e := c.off[s], c.off[s+1]
+		stop := c.first[s]
+		if stop < 0 {
+			stop = e - b - 1
+		}
+		for i := b; i <= b+stop; i++ {
+			p := c.pair[i]
+			exams[p]++
+			if c.click[i] {
+				clicks[p]++
+			}
+		}
+	}
 }
 
 func (m *Cascade) alpha(q, d string) float64 {
@@ -76,7 +112,12 @@ func (m *Cascade) alpha(q, d string) float64 {
 
 // ClickProbs implements Model: P(C_i=1) = alpha_i * prod_{j<i} (1-alpha_j).
 func (m *Cascade) ClickProbs(s Session) []float64 {
-	out := make([]float64, len(s.Docs))
+	return m.ClickProbsInto(s, nil)
+}
+
+// ClickProbsInto implements InplaceScorer.
+func (m *Cascade) ClickProbsInto(s Session, buf []float64) []float64 {
+	out := resizeProbs(buf, len(s.Docs))
 	survive := 1.0
 	for i, d := range s.Docs {
 		a := m.alpha(s.Query, d)

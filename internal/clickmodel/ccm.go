@@ -12,13 +12,15 @@ package clickmodel
 // EM that enumerates the latent stop position exactly (as in DBN) and
 // updates alpha2/alpha3 by relevance-weighted moment matching, a standard
 // approximation when relevance is a point estimate rather than a random
-// variable.
+// variable. The EM runs over the compiled log with per-worker scratch.
 type CCM struct {
 	Rel                    map[qd]float64
 	Alpha1, Alpha2, Alpha3 float64
 
 	Iterations int
 	PriorR     float64
+	// Workers caps the parallel E-step fan-out (0 = GOMAXPROCS).
+	Workers int
 }
 
 // NewCCM returns a CCM with default hyper-parameters.
@@ -28,6 +30,9 @@ func NewCCM() *CCM {
 
 // Name implements Model.
 func (m *CCM) Name() string { return "CCM" }
+
+// SetIterations implements IterativeModel.
+func (m *CCM) SetIterations(n int) { m.Iterations = n }
 
 func (m *CCM) defaults() {
 	if m.Iterations <= 0 {
@@ -62,7 +67,9 @@ func (m *CCM) contClick(r float64) float64 {
 
 // tailPosterior mirrors DBN.tailPosterior for CCM's transition structure:
 // after the last click the user continues with contClick(r_last), then
-// keeps examining skipped results with alpha1 per step.
+// keeps examining skipped results with alpha1 per step. This
+// Session-based form serves SessionLogLikelihood; the compiled E-step
+// inlines the same enumeration over worker-owned scratch.
 func (m *CCM) tailPosterior(s Session, last int) (pCont float64, pExam []float64, z float64) {
 	n := len(s.Docs)
 	pExam = make([]float64, n)
@@ -121,95 +128,201 @@ func (m *CCM) tailPosterior(s Session, last int) (pCont float64, pExam []float64
 	return pCont, pExam, z
 }
 
-// Fit implements Model.
+// Fit implements Model: compile the log, then run the dense EM.
 func (m *CCM) Fit(sessions []Session) error {
-	if err := validateAll(sessions); err != nil {
+	c, err := Compile(sessions)
+	if err != nil {
 		return err
 	}
+	return m.FitLog(c)
+}
+
+// ccmAccStride is one worker's accumulator layout:
+// [rNum | rDen | a1Num a1Den a2Num a2Den a3Num a3Den].
+func ccmAccStride(nPair int) int { return 2*nPair + 6 }
+
+// FitLog runs EM over a compiled log.
+func (m *CCM) FitLog(c *CompiledLog) error {
+	if c == nil {
+		return errNilLog
+	}
 	m.defaults()
-	m.Rel = make(map[qd]float64)
-	for _, s := range sessions {
-		for _, d := range s.Docs {
-			m.Rel[qd{s.Query, d}] = m.PriorR
-		}
-	}
+	nPair := c.NumPairs()
+	stride := ccmAccStride(nPair)
+	workers := emWorkers(m.Workers, c.NumSessions())
 
-	type acc struct{ num, den float64 }
+	fs, buf := getScratch(nPair + workers*(stride+2*c.maxPos))
+	defer putScratch(fs)
+	sl := slab{buf}
+	rel := sl.take(nPair)
+	for p := range rel {
+		rel[p] = m.PriorR
+	}
+	accAll := sl.take(workers * stride)
+	tails := sl.take(workers * 2 * c.maxPos)
+
+	nSess := c.NumSessions()
 	for iter := 0; iter < m.Iterations; iter++ {
-		rAcc := make(map[qd]acc, len(m.Rel))
-		var a1Num, a1Den float64
-		var a2Num, a2Den, a3Num, a3Den float64
+		if iter > 0 {
+			clear(accAll)
+		}
+		a1, a2, a3 := m.Alpha1, m.Alpha2, m.Alpha3
+		if workers == 1 {
+			ccmEStep(c, rel, a1, a2, a3, accAll[:stride], tails, 0, nSess)
+		} else {
+			forEachShard(workers, nSess, func(w, lo, hi int) {
+				ccmEStep(c, rel, a1, a2, a3,
+					accAll[w*stride:(w+1)*stride],
+					tails[w*2*c.maxPos:(w+1)*2*c.maxPos], lo, hi)
+			})
+		}
+		acc := mergeShards(accAll, stride, workers)
+		rNum := acc[:nPair]
+		rDen := acc[nPair : 2*nPair]
+		sc := acc[2*nPair:]
 
-		for _, sess := range sessions {
-			n := len(sess.Docs)
-			last := sess.LastClick()
-
-			for j := 0; j <= last; j++ {
-				k := qd{sess.Query, sess.Docs[j]}
-				ra := rAcc[k]
-				ra.den++
-				if sess.Clicks[j] {
-					ra.num++
-				}
-				rAcc[k] = ra
-				if j < last {
-					if sess.Clicks[j] {
-						// Continued after a click: relevance-weighted
-						// credit to alpha2/alpha3.
-						r := m.r(sess.Query, sess.Docs[j])
-						a2Den += 1 - r
-						a2Num += 1 - r
-						a3Den += r
-						a3Num += r
-					} else {
-						a1Den++
-						a1Num++
-					}
-				}
-			}
-
-			pCont, pExam, _ := m.tailPosterior(sess, last)
-
-			if last >= 0 && last < n-1 {
-				r := m.r(sess.Query, sess.Docs[last])
-				a2Den += 1 - r
-				a2Num += (1 - r) * pCont
-				a3Den += r
-				a3Num += r * pCont
-			}
-			for j := last + 1; j < n; j++ {
-				k := qd{sess.Query, sess.Docs[j]}
-				ra := rAcc[k]
-				ra.den += pExam[j]
-				rAcc[k] = ra
-				if j < n-1 {
-					a1Den += pExam[j]
-					a1Num += pExam[j+1]
-				}
+		for p := 0; p < nPair; p++ {
+			if rDen[p] > 0 {
+				rel[p] = clampProb(rNum[p] / rDen[p])
 			}
 		}
-
-		for k, ra := range rAcc {
-			if ra.den > 0 {
-				m.Rel[k] = clampProb(ra.num / ra.den)
-			}
+		if sc[1] > 0 {
+			m.Alpha1 = clampProb(sc[0] / sc[1])
 		}
-		if a1Den > 0 {
-			m.Alpha1 = clampProb(a1Num / a1Den)
+		if sc[3] > 0 {
+			m.Alpha2 = clampProb(sc[2] / sc[3])
 		}
-		if a2Den > 0 {
-			m.Alpha2 = clampProb(a2Num / a2Den)
-		}
-		if a3Den > 0 {
-			m.Alpha3 = clampProb(a3Num / a3Den)
+		if sc[5] > 0 {
+			m.Alpha3 = clampProb(sc[4] / sc[5])
 		}
 	}
+
+	m.Rel = c.materializeInto(m.Rel, rel)
 	return nil
+}
+
+// ccmEStep accumulates one worker's posteriors for the sessions
+// [lo, hi). acc is laid out as ccmAccStride describes; tails provides
+// the wStop/pExam scratch.
+func ccmEStep(c *CompiledLog, rel []float64, a1, a2, a3 float64, acc, tails []float64, lo, hi int) {
+	nPair := len(rel)
+	rNum := acc[:nPair]
+	rDen := acc[nPair : 2*nPair]
+	sc := acc[2*nPair:] // a1Num a1Den a2Num a2Den a3Num a3Den
+	wStop := tails[:len(tails)/2]
+	pExam := tails[len(tails)/2:]
+
+	for s := lo; s < hi; s++ {
+		b, e := c.off[s], c.off[s+1]
+		n := int(e - b)
+		last := int(c.last[s])
+
+		for j := 0; j <= last; j++ {
+			p := c.pair[b+int32(j)]
+			rDen[p]++
+			if c.click[b+int32(j)] {
+				rNum[p]++
+			}
+			if j < last {
+				if c.click[b+int32(j)] {
+					// Continued after a click: relevance-weighted
+					// credit to alpha2/alpha3.
+					r := rel[p]
+					sc[3] += 1 - r
+					sc[2] += 1 - r
+					sc[5] += r
+					sc[4] += r
+				} else {
+					sc[1]++
+					sc[0]++
+				}
+			}
+		}
+
+		// Tail posterior: enumerate the latent stop position.
+		if last >= 0 {
+			rLast := rel[c.pair[b+int32(last)]]
+			cont := a2*(1-rLast) + a3*rLast
+			cur := 1.0
+			for t := last; t < n; t++ {
+				if t > last {
+					step := a1
+					if t == last+1 {
+						step = cont
+					}
+					cur *= step * (1 - rel[c.pair[b+int32(t)]])
+				}
+				w := cur
+				if t < n-1 {
+					stop := 1 - a1
+					if t == last {
+						stop = 1 - cont
+					}
+					w *= stop
+				}
+				wStop[t] = w
+			}
+		} else {
+			cur := 1.0
+			for t := 0; t < n; t++ {
+				if t > 0 {
+					cur *= a1
+				}
+				cur *= 1 - rel[c.pair[b+int32(t)]]
+				w := cur
+				if t < n-1 {
+					w *= 1 - a1
+				}
+				wStop[t] = w
+			}
+		}
+		var z float64
+		start := last
+		if start < 0 {
+			start = 0
+		}
+		for t := start; t < n; t++ {
+			z += wStop[t]
+		}
+		if z <= 0 {
+			z = probEps
+		}
+		suffix := 0.0
+		for j := n - 1; j > last; j-- {
+			suffix += wStop[j]
+			pExam[j] = suffix / z
+		}
+		var pCont float64
+		if last >= 0 && last < n-1 {
+			pCont = pExam[last+1]
+		}
+
+		if last >= 0 && last < n-1 {
+			r := rel[c.pair[b+int32(last)]]
+			sc[3] += 1 - r
+			sc[2] += (1 - r) * pCont
+			sc[5] += r
+			sc[4] += r * pCont
+		}
+		for j := last + 1; j < n; j++ {
+			p := c.pair[b+int32(j)]
+			rDen[p] += pExam[j]
+			if j < n-1 {
+				sc[1] += pExam[j]
+				sc[0] += pExam[j+1]
+			}
+		}
+	}
 }
 
 // ClickProbs implements Model via the forward examination recursion.
 func (m *CCM) ClickProbs(s Session) []float64 {
-	out := make([]float64, len(s.Docs))
+	return m.ClickProbsInto(s, nil)
+}
+
+// ClickProbsInto implements InplaceScorer.
+func (m *CCM) ClickProbsInto(s Session, buf []float64) []float64 {
+	out := resizeProbs(buf, len(s.Docs))
 	exam := 1.0
 	for i, d := range s.Docs {
 		r := m.r(s.Query, d)

@@ -3,7 +3,8 @@
 // model (examination hypothesis), the cascade model, the dependent click
 // model (DCM), the user browsing model (UBM), a Bayesian browsing variant
 // (BBM), the click chain model (CCM), the dynamic Bayesian network model
-// (DBN) and its simplified form (SDBN).
+// (DBN), its simplified form (SDBN), a generalised chain model (GCM) and
+// a post-click session utility model (SUM).
 //
 // These models estimate, per result position, the probability that a user
 // examines the *whole* result. They serve two roles in this repository:
@@ -13,7 +14,13 @@
 //
 // All models share the Session type — one query impression with the shown
 // documents and the observed click pattern — and the Model interface, so
-// they can be fitted and evaluated interchangeably.
+// they can be fitted and evaluated interchangeably. Estimation runs on a
+// compiled form of the log (see Vocab and CompiledLog): queries and
+// (query, doc) pairs are interned to dense int32 IDs once, and the EM or
+// counting passes accumulate into flat ID-indexed arrays sharded over a
+// worker pool, instead of rebuilding string-keyed maps per iteration.
+// Fit(sessions) compiles internally; callers fitting several models on
+// one log should Compile once and use each model's FitLog.
 package clickmodel
 
 import (
@@ -100,6 +107,44 @@ type Model interface {
 // position model. Used by the simulator and by examination-curve reports.
 type Examiner interface {
 	ExaminationProbs(s Session) []float64
+}
+
+// InplaceScorer is implemented by models whose ClickProbs can write into
+// a caller-provided buffer, making repeated scoring allocation-free.
+// The returned slice is buf (resliced) when buf has the capacity, or a
+// fresh slice otherwise. Every built-in model implements it.
+type InplaceScorer interface {
+	ClickProbsInto(s Session, buf []float64) []float64
+}
+
+// IterativeModel is implemented by models estimated with EM, whose
+// iteration count is tunable (e.g. from a command-line flag) without
+// knowing the concrete type.
+type IterativeModel interface {
+	SetIterations(n int)
+}
+
+// maxStackPositions is the deepest result list for which the scoring
+// recursions keep their state on the stack; longer (rare) sessions
+// fall back to heap scratch.
+const maxStackPositions = 64
+
+// resizeProbs returns buf resliced to n when it has the capacity, or a
+// fresh slice of length n.
+func resizeProbs(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// clickProbsInto scores through the model's in-place path when it has
+// one, falling back to the allocating ClickProbs.
+func clickProbsInto(m Model, s Session, buf []float64) []float64 {
+	if ip, ok := m.(InplaceScorer); ok {
+		return ip.ClickProbsInto(s, buf)
+	}
+	return m.ClickProbs(s)
 }
 
 // qd keys attractiveness/relevance parameters by (query, document).

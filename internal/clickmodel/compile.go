@@ -1,0 +1,369 @@
+package clickmodel
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Vocab interns strings to dense int32 IDs (fslm-style): the first
+// distinct string becomes ID 0, the next ID 1, and so on. Interning the
+// session log once lets every EM pass index flat parameter arrays
+// instead of re-hashing (query, doc) string pairs on each iteration.
+//
+// A Vocab is not safe for concurrent mutation; Compile builds it once
+// and the fitted read paths only call the read-only accessors.
+type Vocab struct {
+	ids  map[string]int32
+	strs []string
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab { return &Vocab{ids: make(map[string]int32)} }
+
+// ID interns s, returning its dense ID (allocating the next one for a
+// string never seen before).
+func (v *Vocab) ID(s string) int32 {
+	if id, ok := v.ids[s]; ok {
+		return id
+	}
+	id := int32(len(v.strs))
+	v.ids[s] = id
+	v.strs = append(v.strs, s)
+	return id
+}
+
+// Lookup returns the ID of s without interning, and whether it is known.
+func (v *Vocab) Lookup(s string) (int32, bool) {
+	id, ok := v.ids[s]
+	return id, ok
+}
+
+// String returns the string behind an ID. IDs come from ID/Lookup, so
+// out-of-range values are programmer errors and panic via the slice.
+func (v *Vocab) String(id int32) string { return v.strs[id] }
+
+// Len returns the number of interned strings.
+func (v *Vocab) Len() int { return len(v.strs) }
+
+// CompiledLog is a session log compiled for dense estimation: queries
+// and (query, doc) pairs are interned to dense IDs, the per-session
+// documents and clicks live in flat backing slices (CSR layout), and
+// the derived state every model re-derives per EM iteration — last and
+// first click, UBM's previous-click column, per-position and per-pair
+// impression counts — is precomputed once.
+//
+// Compile once, then fit any number of models on the same log via
+// their FitLog methods; Fit(sessions) compiles internally for callers
+// that do not reuse the log. A CompiledLog is immutable after Compile
+// and safe for concurrent use.
+type CompiledLog struct {
+	// Queries interns the query strings; pair interning and PairID
+	// lookups key on the dense query ID, so each impression hashes one
+	// string instead of two.
+	Queries *Vocab
+
+	off   []int32 // CSR offsets: session s spans impressions off[s]..off[s+1]
+	last  []int32 // per session: 0-based last-click index, -1 for none
+	first []int32 // per session: 0-based first-click index, -1 for none
+
+	pair  []int32 // per impression: dense (query, doc) pair ID
+	click []bool  // per impression: observed click
+	prev  []int32 // per impression: UBM gamma column (0 = no prior click)
+
+	pairs   []qd              // pair ID -> (query, doc)
+	pairIDs map[pairKey]int32 // (query ID, doc) -> pair ID
+
+	// sessions references the source log (no copy), so callers holding
+	// only the compiled form can still reach models that need raw
+	// sessions (e.g. SUM's clicked-sequence fit).
+	sessions []Session
+
+	posCount  []float64 // impressions observed at each position
+	pairCount []float64 // impressions observed for each pair
+
+	maxPos int
+
+	// ubmCells caches the per-(position, previous-click) impression
+	// counts in triangular layout; only UBM-family fits need them.
+	ubmOnce  sync.Once
+	ubmCells []float64
+}
+
+// Compile validates and interns a session log. The log must be
+// non-empty and every session well-formed (the same contract Fit has
+// always enforced).
+func Compile(sessions []Session) (*CompiledLog, error) {
+	if err := validateAll(sessions); err != nil {
+		return nil, err
+	}
+	nImp, maxPos := 0, 0
+	for i := range sessions {
+		nImp += len(sessions[i].Docs)
+		if len(sessions[i].Docs) > maxPos {
+			maxPos = len(sessions[i].Docs)
+		}
+	}
+	if nImp > math.MaxInt32 {
+		return nil, errors.New("clickmodel: session log exceeds 2^31 impressions; shard it")
+	}
+
+	nSess := len(sessions)
+	c := &CompiledLog{
+		Queries:  NewVocab(),
+		sessions: sessions,
+		off:      make([]int32, nSess+1),
+		last:     make([]int32, nSess),
+		first:    make([]int32, nSess),
+		pair:     make([]int32, nImp),
+		click:    make([]bool, nImp),
+		prev:     make([]int32, nImp),
+		pairIDs:  make(map[pairKey]int32),
+		posCount: make([]float64, maxPos),
+		maxPos:   maxPos,
+	}
+
+	at := int32(0)
+	for si := range sessions {
+		s := &sessions[si]
+		c.off[si] = at
+		qid := c.Queries.ID(s.Query)
+		c.last[si] = int32(s.LastClick())
+		c.first[si] = int32(s.FirstClick())
+		prevClick := int32(0)
+		for i, d := range s.Docs {
+			k := pairKey{qid, d}
+			p, ok := c.pairIDs[k]
+			if !ok {
+				p = int32(len(c.pairs))
+				c.pairIDs[k] = p
+				c.pairs = append(c.pairs, qd{s.Query, d})
+			}
+			c.pair[at] = p
+			c.click[at] = s.Clicks[i]
+			c.prev[at] = prevClick
+			if s.Clicks[i] {
+				prevClick = int32(i + 1)
+			}
+			c.posCount[i]++
+			at++
+		}
+	}
+	c.off[nSess] = at
+
+	c.pairCount = make([]float64, len(c.pairs))
+	for _, p := range c.pair {
+		c.pairCount[p]++
+	}
+	return c, nil
+}
+
+// NumSessions returns the number of compiled sessions.
+func (c *CompiledLog) NumSessions() int { return len(c.last) }
+
+// Sessions returns the source log the CompiledLog was built from (a
+// reference, not a copy) — for callers that hold only the compiled
+// form but need the raw sessions, e.g. fitting a model without a
+// FitLog path. Treat it as read-only.
+func (c *CompiledLog) Sessions() []Session { return c.sessions }
+
+// NumImpressions returns the total number of (session, position) cells.
+func (c *CompiledLog) NumImpressions() int { return len(c.pair) }
+
+// NumPairs returns the number of distinct (query, doc) pairs.
+func (c *CompiledLog) NumPairs() int { return len(c.pairs) }
+
+// MaxPositions returns the longest result list in the log.
+func (c *CompiledLog) MaxPositions() int { return c.maxPos }
+
+// Pair returns the (query, doc) strings behind a dense pair ID.
+func (c *CompiledLog) Pair(id int32) (query, doc string) {
+	k := c.pairs[id]
+	return k.q, k.d
+}
+
+// PairID returns the dense ID of a (query, doc) pair, and whether the
+// pair occurs in the log.
+func (c *CompiledLog) PairID(query, doc string) (int32, bool) {
+	qid, ok := c.Queries.Lookup(query)
+	if !ok {
+		return 0, false
+	}
+	id, ok := c.pairIDs[pairKey{qid, doc}]
+	return id, ok
+}
+
+// pairKey identifies a (query, doc) pair by the query's interned ID,
+// so interning and lookups hash one string, not two.
+type pairKey struct {
+	q int32
+	d string
+}
+
+// tri is the row offset of position i in triangular (i, j<=i) layout.
+func tri(i int) int { return i * (i + 1) / 2 }
+
+// ubmCellCounts lazily computes the per-(position, previous-click
+// column) impression counts used as UBM/BBM gamma denominators; they
+// are a property of the log, constant across EM iterations.
+func (c *CompiledLog) ubmCellCounts() []float64 {
+	c.ubmOnce.Do(func() {
+		cells := make([]float64, tri(c.maxPos))
+		for s := 0; s < c.NumSessions(); s++ {
+			b, e := c.off[s], c.off[s+1]
+			for i := b; i < e; i++ {
+				pos := int(i - b)
+				cells[tri(pos)+int(c.prev[i])]++
+			}
+		}
+		c.ubmCells = cells
+	})
+	return c.ubmCells
+}
+
+// reuseMap clears and returns dst when a previous fit left one behind
+// (refits then allocate nothing), or allocates a fresh pre-sized map.
+func reuseMap(dst map[qd]float64, hint int) map[qd]float64 {
+	if dst == nil {
+		return make(map[qd]float64, hint)
+	}
+	clear(dst)
+	return dst
+}
+
+// materializeInto builds the exported map form of a dense per-pair
+// parameter vector, covering every pair of the log and reusing dst's
+// storage when possible.
+func (c *CompiledLog) materializeInto(dst map[qd]float64, vals []float64) map[qd]float64 {
+	dst = reuseMap(dst, len(vals))
+	for p, k := range c.pairs {
+		dst[k] = vals[p]
+	}
+	return dst
+}
+
+// LogFitter is implemented by models that can fit directly from a
+// CompiledLog, skipping the per-call interning Fit(sessions) performs.
+// Compile once and call FitLog on each model when fitting several
+// models (or refitting) over the same log. Refitting reuses the
+// model's exported parameter storage (maps and slices) in place, so a
+// steady-state refit allocates nothing; treat a model as read-only for
+// other goroutines while a refit is in flight.
+type LogFitter interface {
+	FitLog(c *CompiledLog) error
+}
+
+// reuseFloats returns dst resliced when a previous fit left storage of
+// the right capacity, or a fresh slice of length n. Contents are
+// unspecified; callers re-initialise.
+func reuseFloats(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
+
+// errNilLog guards the exported FitLog entry points.
+var errNilLog = errors.New("clickmodel: FitLog on a nil compiled log")
+
+// --- parallel E-step scaffolding ---
+
+// minSessionsPerWorker keeps the auto-sized shard fan-out from
+// swamping tiny logs with goroutine overhead.
+const minSessionsPerWorker = 256
+
+// emWorkers resolves a model's Workers knob against the log size:
+// explicit values are honoured (the race tests force >1 on any
+// machine), 0 auto-sizes to GOMAXPROCS capped by log size.
+func emWorkers(requested, nSessions int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if byLoad := nSessions / minSessionsPerWorker; byLoad < w {
+			w = byLoad
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > nSessions && nSessions > 0 {
+		w = nSessions
+	}
+	return w
+}
+
+// forEachShard splits the sessions [0, n) into `workers` contiguous
+// shards and runs fn once per shard, concurrently when workers > 1.
+// Each worker accumulates into its own slice set (disjoint regions of
+// the fit scratch slab); the caller merges them in worker order, so a
+// fit is deterministic for a fixed worker count.
+func forEachShard(workers, n int, fn func(worker, lo, hi int)) {
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// mergeShards folds the per-worker accumulator regions of a strided
+// slab into worker 0's region, in worker order (deterministic for a
+// fixed worker count), and returns that base region.
+func mergeShards(all []float64, stride, workers int) []float64 {
+	base := all[:stride]
+	for w := 1; w < workers; w++ {
+		shard := all[w*stride : (w+1)*stride]
+		for i, v := range shard {
+			base[i] += v
+		}
+	}
+	return base
+}
+
+// fitScratch is the pooled scratch slab for dense fits. Refitting
+// models on live traffic is the hot loop this package serves, so the
+// (often hundreds of KB) accumulator arrays are recycled rather than
+// reallocated per Fit.
+type fitScratch struct{ buf []float64 }
+
+var scratchPool = sync.Pool{New: func() any { return new(fitScratch) }}
+
+// getScratch returns a zeroed float64 slab of length n and the pool
+// token to hand back via putScratch when the fit completes.
+func getScratch(n int) (*fitScratch, []float64) {
+	fs := scratchPool.Get().(*fitScratch)
+	if cap(fs.buf) < n {
+		fs.buf = make([]float64, n)
+	}
+	buf := fs.buf[:n]
+	clear(buf)
+	return fs, buf
+}
+
+func putScratch(fs *fitScratch) { scratchPool.Put(fs) }
+
+// slab carves named sub-slices out of one backing allocation.
+type slab struct{ buf []float64 }
+
+func (s *slab) take(n int) []float64 {
+	out := s.buf[:n:n]
+	s.buf = s.buf[n:]
+	return out
+}

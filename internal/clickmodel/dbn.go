@@ -11,10 +11,12 @@ package clickmodel
 //	P(E_{i+1} = 1 | E_i = 1, C_i = 0)     = gamma
 //	P(E_{i+1} = 1 | E_i = 1, C_i = 1)     = gamma · (1 - s(q, d_i))
 //
-// Estimation is EM. Given the observed clicks, every position up to the
-// last click is certainly examined; the only latent structure is where
-// examination stopped in the tail and whether the last click satisfied the
-// user. Both are handled exactly by enumerating the stop position.
+// Estimation is EM over the compiled log. Given the observed clicks,
+// every position up to the last click is certainly examined; the only
+// latent structure is where examination stopped in the tail and whether
+// the last click satisfied the user. Both are handled exactly by
+// enumerating the stop position, with per-worker scratch buffers
+// replacing the per-session allocations of the map-based fit.
 type DBN struct {
 	AttrA map[qd]float64 // attractiveness
 	SatS  map[qd]float64 // satisfaction
@@ -22,6 +24,8 @@ type DBN struct {
 
 	Iterations     int
 	PriorA, PriorS float64
+	// Workers caps the parallel E-step fan-out (0 = GOMAXPROCS).
+	Workers int
 }
 
 // NewDBN returns a DBN with default hyper-parameters.
@@ -29,6 +33,9 @@ func NewDBN() *DBN { return &DBN{Iterations: 20, PriorA: 0.5, PriorS: 0.5, Gamma
 
 // Name implements Model.
 func (m *DBN) Name() string { return "DBN" }
+
+// SetIterations implements IterativeModel.
+func (m *DBN) SetIterations(n int) { m.Iterations = n }
 
 func (m *DBN) defaults() {
 	if m.Iterations <= 0 {
@@ -67,8 +74,9 @@ func (m *DBN) s(q, d string) float64 {
 //   - z: the likelihood of the tail observations (all skips past `last`),
 //     including the satisfaction/stop marginalisation at the last click.
 //
-// Enumeration is over t = last examined position. For t beyond `last`,
-// the user was unsatisfied, continued, and skipped everything through t.
+// Enumeration is over t = last examined position. This Session-based
+// form serves SessionLogLikelihood; the compiled E-step inlines the
+// same enumeration over worker-owned scratch.
 func (m *DBN) tailPosterior(s Session, last int) (pSat float64, pExam []float64, z float64) {
 	n := len(s.Docs)
 	pExam = make([]float64, n)
@@ -131,103 +139,195 @@ func (m *DBN) tailPosterior(s Session, last int) (pSat float64, pExam []float64,
 	return pSat, pExam, z
 }
 
-// Fit implements Model via EM with exact tail enumeration.
+// Fit implements Model: compile the log, then run the dense EM.
 func (m *DBN) Fit(sessions []Session) error {
-	if err := validateAll(sessions); err != nil {
+	c, err := Compile(sessions)
+	if err != nil {
 		return err
 	}
-	m.defaults()
+	return m.FitLog(c)
+}
 
-	m.AttrA = make(map[qd]float64)
-	m.SatS = make(map[qd]float64)
-	for _, s := range sessions {
-		for _, d := range s.Docs {
-			k := qd{s.Query, d}
-			m.AttrA[k] = m.PriorA
-			m.SatS[k] = m.PriorS
-		}
+// dbnAcc is the layout of one worker's accumulator region:
+// [aNum | aDen | sNum | sDen | gNum gDen], pair-indexed plus two
+// scalars at the end.
+func dbnAccStride(nPair int) int { return 4*nPair + 2 }
+
+// FitLog runs EM with exact tail enumeration over a compiled log.
+func (m *DBN) FitLog(c *CompiledLog) error {
+	if c == nil {
+		return errNilLog
 	}
+	m.defaults()
+	nPair := c.NumPairs()
+	stride := dbnAccStride(nPair)
+	workers := emWorkers(m.Workers, c.NumSessions())
 
-	type acc struct{ num, den float64 }
+	fs, buf := getScratch(2*nPair + workers*(stride+2*c.maxPos))
+	defer putScratch(fs)
+	sl := slab{buf}
+	attr := sl.take(nPair)
+	sat := sl.take(nPair)
+	for p := 0; p < nPair; p++ {
+		attr[p] = m.PriorA
+		sat[p] = m.PriorS
+	}
+	accAll := sl.take(workers * stride)
+	tails := sl.take(workers * 2 * c.maxPos)
+
+	nSess := c.NumSessions()
 	for iter := 0; iter < m.Iterations; iter++ {
-		aAcc := make(map[qd]acc, len(m.AttrA))
-		sAcc := make(map[qd]acc, len(m.SatS))
-		var gNum, gDen float64
-
-		for _, sess := range sessions {
-			n := len(sess.Docs)
-			last := sess.LastClick()
-
-			// Certainly-examined prefix.
-			for j := 0; j <= last; j++ {
-				k := qd{sess.Query, sess.Docs[j]}
-				ac := aAcc[k]
-				ac.den++
-				if sess.Clicks[j] {
-					ac.num++
-				}
-				aAcc[k] = ac
-				if sess.Clicks[j] && j < last {
-					// Satisfied here is impossible: clicks follow.
-					sc := sAcc[k]
-					sc.den++
-					sAcc[k] = sc
-					// The continue decision was taken and succeeded.
-					gNum++
-					gDen++
-				}
-				if !sess.Clicks[j] && j < last {
-					gNum++
-					gDen++
-				}
-			}
-
-			pSat, pExam, _ := m.tailPosterior(sess, last)
-
-			if last >= 0 {
-				k := qd{sess.Query, sess.Docs[last]}
-				sc := sAcc[k]
-				sc.num += pSat
-				sc.den++
-				sAcc[k] = sc
-				if last < n-1 {
-					// Unsatisfied users took a gamma decision here.
-					gDen += 1 - pSat
-					gNum += pExam[last+1]
-				}
-			}
-			for j := last + 1; j < n; j++ {
-				k := qd{sess.Query, sess.Docs[j]}
-				ac := aAcc[k]
-				ac.den += pExam[j]
-				aAcc[k] = ac
-				if j < n-1 {
-					gDen += pExam[j]
-					gNum += pExam[j+1]
-				}
-			}
+		if iter > 0 {
+			clear(accAll)
 		}
-
-		for k, ac := range aAcc {
-			if ac.den > 0 {
-				m.AttrA[k] = clampProb(ac.num / ac.den)
-			}
+		g := m.Gamma
+		if workers == 1 {
+			dbnEStep(c, attr, sat, g, accAll[:stride], tails, 0, nSess)
+		} else {
+			forEachShard(workers, nSess, func(w, lo, hi int) {
+				dbnEStep(c, attr, sat, g,
+					accAll[w*stride:(w+1)*stride],
+					tails[w*2*c.maxPos:(w+1)*2*c.maxPos], lo, hi)
+			})
 		}
-		for k, sc := range sAcc {
-			if sc.den > 0 {
-				m.SatS[k] = clampProb(sc.num / sc.den)
+		acc := mergeShards(accAll, stride, workers)
+		aNum := acc[:nPair]
+		aDen := acc[nPair : 2*nPair]
+		sNum := acc[2*nPair : 3*nPair]
+		sDen := acc[3*nPair : 4*nPair]
+		gNum, gDen := acc[4*nPair], acc[4*nPair+1]
+
+		for p := 0; p < nPair; p++ {
+			if aDen[p] > 0 {
+				attr[p] = clampProb(aNum[p] / aDen[p])
+			}
+			if sDen[p] > 0 {
+				sat[p] = clampProb(sNum[p] / sDen[p])
 			}
 		}
 		if gDen > 0 {
 			m.Gamma = clampProb(gNum / gDen)
 		}
 	}
+
+	m.AttrA = c.materializeInto(m.AttrA, attr)
+	m.SatS = c.materializeInto(m.SatS, sat)
 	return nil
+}
+
+// dbnEStep accumulates one worker's posteriors for the sessions
+// [lo, hi). acc is laid out as dbnAccStride describes; tails provides
+// the wStop/pExam scratch (maxPos entries each).
+func dbnEStep(c *CompiledLog, attr, sat []float64, g float64, acc, tails []float64, lo, hi int) {
+	nPair := len(attr)
+	aNum := acc[:nPair]
+	aDen := acc[nPair : 2*nPair]
+	sNum := acc[2*nPair : 3*nPair]
+	sDen := acc[3*nPair : 4*nPair]
+	wStop := tails[:len(tails)/2]
+	pExam := tails[len(tails)/2:]
+
+	for s := lo; s < hi; s++ {
+		b, e := c.off[s], c.off[s+1]
+		n := int(e - b)
+		last := int(c.last[s])
+
+		// Certainly-examined prefix.
+		for j := 0; j <= last; j++ {
+			p := c.pair[b+int32(j)]
+			aDen[p]++
+			if c.click[b+int32(j)] {
+				aNum[p]++
+			}
+			if j < last {
+				if c.click[b+int32(j)] {
+					// Satisfied here is impossible: clicks follow.
+					sDen[p]++
+					// The continue decision was taken and succeeded.
+				}
+				acc[4*nPair]++ // gNum
+				acc[4*nPair+1]++
+			}
+		}
+
+		// Tail posterior: enumerate the latent stop position.
+		var wSat float64
+		if last >= 0 {
+			sl := sat[c.pair[b+int32(last)]]
+			wSat = sl
+			cur := 1 - sl // unsatisfied, still deciding
+			for t := last; t < n; t++ {
+				if t > last {
+					// Continue into t, which must then be skipped.
+					cur *= g * (1 - attr[c.pair[b+int32(t)]])
+				}
+				w := cur
+				if t < n-1 {
+					w *= 1 - g // explicit stop before the next position
+				}
+				wStop[t] = w
+			}
+		} else {
+			cur := 1.0 // position 0 is always examined
+			for t := 0; t < n; t++ {
+				if t > 0 {
+					cur *= g
+				}
+				cur *= 1 - attr[c.pair[b+int32(t)]]
+				w := cur
+				if t < n-1 {
+					w *= 1 - g
+				}
+				wStop[t] = w
+			}
+		}
+		z := wSat
+		start := last
+		if start < 0 {
+			start = 0
+		}
+		for t := start; t < n; t++ {
+			z += wStop[t]
+		}
+		if z <= 0 {
+			z = probEps
+		}
+		pSat := wSat / z
+		suffix := 0.0
+		for j := n - 1; j > last; j-- {
+			suffix += wStop[j]
+			pExam[j] = suffix / z
+		}
+
+		if last >= 0 {
+			p := c.pair[b+int32(last)]
+			sNum[p] += pSat
+			sDen[p]++
+			if last < n-1 {
+				// Unsatisfied users took a gamma decision here.
+				acc[4*nPair+1] += 1 - pSat
+				acc[4*nPair] += pExam[last+1]
+			}
+		}
+		for j := last + 1; j < n; j++ {
+			p := c.pair[b+int32(j)]
+			aDen[p] += pExam[j]
+			if j < n-1 {
+				acc[4*nPair+1] += pExam[j]
+				acc[4*nPair] += pExam[j+1]
+			}
+		}
+	}
 }
 
 // ClickProbs implements Model via the forward examination recursion.
 func (m *DBN) ClickProbs(s Session) []float64 {
-	out := make([]float64, len(s.Docs))
+	return m.ClickProbsInto(s, nil)
+}
+
+// ClickProbsInto implements InplaceScorer.
+func (m *DBN) ClickProbsInto(s Session, buf []float64) []float64 {
+	out := resizeProbs(buf, len(s.Docs))
 	exam := 1.0
 	for i, d := range s.Docs {
 		a := m.a(s.Query, d)

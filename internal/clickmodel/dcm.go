@@ -11,13 +11,16 @@ package clickmodel
 // lambda_i; after a skip she always continues. Estimation follows the
 // original paper's maximum-likelihood recipe: positions up to the last
 // click are certainly examined; lambda_i is one minus the fraction of
-// clicks at position i that were the session's last click.
+// clicks at position i that were the session's last click. The count
+// pass runs over the compiled log, sharded like the EM models' E-steps.
 type DCM struct {
 	Alpha  map[qd]float64
 	Lambda []float64 // Lambda[i]: continue probability after a click at position i+1
 
 	PriorAlpha         float64
 	LaplaceA, LaplaceB float64
+	// Workers caps the parallel counting fan-out (0 = GOMAXPROCS).
+	Workers int
 }
 
 // NewDCM returns a DCM with default smoothing.
@@ -35,48 +38,50 @@ func (m *DCM) defaults() {
 	}
 }
 
-// Fit implements Model.
+// Fit implements Model: compile the log, then count.
 func (m *DCM) Fit(sessions []Session) error {
-	if err := validateAll(sessions); err != nil {
+	c, err := Compile(sessions)
+	if err != nil {
 		return err
 	}
+	return m.FitLog(c)
+}
+
+// FitLog computes the closed-form estimates from a compiled log in one
+// sharded counting pass.
+func (m *DCM) FitLog(c *CompiledLog) error {
+	if c == nil {
+		return errNilLog
+	}
 	m.defaults()
-	n := maxPositions(sessions)
+	n := c.maxPos
+	nPair := c.NumPairs()
+	stride := 2*nPair + 2*n
+	workers := emWorkers(m.Workers, c.NumSessions())
 
-	type acc struct{ clicks, exams float64 }
-	accs := make(map[qd]acc)
-	lastClickAt := make([]float64, n) // sessions whose last click is at i
-	clickAt := make([]float64, n)     // sessions with any click at i
+	fs, buf := getScratch(workers * stride)
+	defer putScratch(fs)
+	nSess := c.NumSessions()
+	if workers == 1 {
+		dcmCount(c, buf[:stride], nPair, n, 0, nSess)
+	} else {
+		forEachShard(workers, nSess, func(w, lo, hi int) {
+			dcmCount(c, buf[w*stride:(w+1)*stride], nPair, n, lo, hi)
+		})
+	}
+	merged := mergeShards(buf, stride, workers)
+	clicks := merged[:nPair]
+	exams := merged[nPair : 2*nPair]
+	clickAt := merged[2*nPair : 2*nPair+n]
+	lastClickAt := merged[2*nPair+n:]
 
-	for _, s := range sessions {
-		last := s.LastClick()
-		// Positions up to the last click are certainly examined. With no
-		// click, DCM's estimation treats the whole list as examined
-		// (the user never stops after skips).
-		stop := last
-		if stop < 0 {
-			stop = len(s.Docs) - 1
-		}
-		for i := 0; i <= stop; i++ {
-			k := qd{s.Query, s.Docs[i]}
-			a := accs[k]
-			a.exams++
-			if s.Clicks[i] {
-				a.clicks++
-				clickAt[i]++
-				if i == last {
-					lastClickAt[i]++
-				}
-			}
-			accs[k] = a
+	m.Alpha = reuseMap(m.Alpha, nPair)
+	for p, k := range c.pairs {
+		if exams[p] > 0 {
+			m.Alpha[k] = clampProb((clicks[p] + m.LaplaceA) / (exams[p] + m.LaplaceB))
 		}
 	}
-
-	m.Alpha = make(map[qd]float64, len(accs))
-	for k, a := range accs {
-		m.Alpha[k] = clampProb((a.clicks + m.LaplaceA) / (a.exams + m.LaplaceB))
-	}
-	m.Lambda = make([]float64, n)
+	m.Lambda = reuseFloats(m.Lambda, n)
 	for i := 0; i < n; i++ {
 		if den := clickAt[i] + m.LaplaceB; den > 0 {
 			m.Lambda[i] = clampProb(1 - (lastClickAt[i]+m.LaplaceA)/den)
@@ -85,6 +90,37 @@ func (m *DCM) Fit(sessions []Session) error {
 		}
 	}
 	return nil
+}
+
+// dcmCount accumulates one worker's counts for the sessions [lo, hi).
+// Positions up to the last click are certainly examined; with no click,
+// DCM's estimation treats the whole list as examined (the user never
+// stops after skips).
+func dcmCount(c *CompiledLog, acc []float64, nPair, n, lo, hi int) {
+	clicks := acc[:nPair]
+	exams := acc[nPair : 2*nPair]
+	clickAt := acc[2*nPair : 2*nPair+n]
+	lastClickAt := acc[2*nPair+n:]
+	for s := lo; s < hi; s++ {
+		b, e := c.off[s], c.off[s+1]
+		last := c.last[s]
+		stop := last
+		if stop < 0 {
+			stop = e - b - 1
+		}
+		for i := b; i <= b+stop; i++ {
+			p := c.pair[i]
+			exams[p]++
+			if c.click[i] {
+				pos := int(i - b)
+				clicks[p]++
+				clickAt[pos]++
+				if int32(pos) == last {
+					lastClickAt[pos]++
+				}
+			}
+		}
+	}
 }
 
 func (m *DCM) alpha(q, d string) float64 {
@@ -104,7 +140,12 @@ func (m *DCM) lambda(i int) float64 {
 // ClickProbs implements Model: forward recursion over the marginal
 // examination probability.
 func (m *DCM) ClickProbs(s Session) []float64 {
-	out := make([]float64, len(s.Docs))
+	return m.ClickProbsInto(s, nil)
+}
+
+// ClickProbsInto implements InplaceScorer.
+func (m *DCM) ClickProbsInto(s Session, buf []float64) []float64 {
+	out := resizeProbs(buf, len(s.Docs))
 	exam := 1.0
 	for i, d := range s.Docs {
 		a := m.alpha(s.Query, d)

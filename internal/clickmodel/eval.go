@@ -30,6 +30,51 @@ func LogLikelihood(m Model, sessions []Session) float64 {
 	return ll / float64(len(sessions))
 }
 
+// perplexityAccum holds the running per-rank log2 sums of a perplexity
+// computation, so evaluation folds into a single pass over the log.
+type perplexityAccum struct {
+	sum, cnt []float64
+	scratch  []float64
+}
+
+func newPerplexityAccum(n int) *perplexityAccum {
+	return &perplexityAccum{sum: make([]float64, n), cnt: make([]float64, n)}
+}
+
+// add scores one session through the model (via its in-place path when
+// available, reusing the accumulator's scratch buffer).
+func (a *perplexityAccum) add(m Model, s Session) {
+	probs := clickProbsInto(m, s, a.scratch)
+	a.scratch = probs
+	for i, c := range s.Clicks {
+		q := clampProb(probs[i])
+		if c {
+			a.sum[i] += math.Log2(q)
+		} else {
+			a.sum[i] += math.Log2(1 - q)
+		}
+		a.cnt[i]++
+	}
+}
+
+// finish folds the running sums into the overall and per-rank
+// perplexities.
+func (a *perplexityAccum) finish() (overall float64, byRank []float64) {
+	byRank = make([]float64, len(a.sum))
+	var tot, totCnt float64
+	for i := range a.sum {
+		if a.cnt[i] > 0 {
+			byRank[i] = math.Exp2(-a.sum[i] / a.cnt[i])
+		}
+		tot += a.sum[i]
+		totCnt += a.cnt[i]
+	}
+	if totCnt > 0 {
+		overall = math.Exp2(-tot / totCnt)
+	}
+	return overall, byRank
+}
+
 // Perplexity returns the overall and per-rank click perplexity of the
 // model's marginal click probabilities:
 //
@@ -39,45 +84,31 @@ func Perplexity(m Model, sessions []Session) (overall float64, byRank []float64)
 	if n == 0 {
 		return 0, nil
 	}
-	sum := make([]float64, n)
-	cnt := make([]float64, n)
+	acc := newPerplexityAccum(n)
 	for _, s := range sessions {
-		probs := m.ClickProbs(s)
-		for i, c := range s.Clicks {
-			q := clampProb(probs[i])
-			if c {
-				sum[i] += math.Log2(q)
-			} else {
-				sum[i] += math.Log2(1 - q)
-			}
-			cnt[i]++
-		}
+		acc.add(m, s)
 	}
-	byRank = make([]float64, n)
-	var tot, totCnt float64
-	for i := 0; i < n; i++ {
-		if cnt[i] > 0 {
-			byRank[i] = math.Exp2(-sum[i] / cnt[i])
-		}
-		tot += sum[i]
-		totCnt += cnt[i]
-	}
-	if totCnt > 0 {
-		overall = math.Exp2(-tot / totCnt)
-	}
-	return overall, byRank
+	return acc.finish()
 }
 
 // Evaluate fits nothing; it scores an already-fitted model on sessions.
+// Log-likelihood and perplexity are folded into one pass over the log
+// with a reused scoring buffer.
 func Evaluate(m Model, sessions []Session) Evaluation {
-	overall, byRank := Perplexity(m, sessions)
-	return Evaluation{
-		Model:            m.Name(),
-		LogLikelihood:    LogLikelihood(m, sessions),
-		Perplexity:       overall,
-		PerplexityByRank: byRank,
-		Sessions:         len(sessions),
+	ev := Evaluation{Model: m.Name(), Sessions: len(sessions)}
+	n := maxPositions(sessions)
+	if n == 0 {
+		return ev
 	}
+	acc := newPerplexityAccum(n)
+	ll := 0.0
+	for _, s := range sessions {
+		ll += m.SessionLogLikelihood(s)
+		acc.add(m, s)
+	}
+	ev.LogLikelihood = ll / float64(len(sessions))
+	ev.Perplexity, ev.PerplexityByRank = acc.finish()
+	return ev
 }
 
 // All returns one fresh instance of every registered model, in

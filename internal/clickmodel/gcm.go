@@ -6,7 +6,7 @@ package clickmodel
 // The original uses probit-linked latent variables with Bayesian
 // inference; this reproduction keeps the *conditional specification* —
 // the distinguishing structure — with per-position continuation
-// parameters estimated by EM:
+// parameters estimated by EM over the compiled log:
 //
 //	P(E_{i+1} = 1 | E_i = 1, C_i = 0) = lambdaSkip[i]
 //	P(E_{i+1} = 1 | E_i = 1, C_i = 1) = lambdaClick[i]
@@ -22,6 +22,8 @@ type GCM struct {
 
 	Iterations int
 	PriorR     float64
+	// Workers caps the parallel E-step fan-out (0 = GOMAXPROCS).
+	Workers int
 }
 
 // NewGCM returns a GCM with default hyper-parameters.
@@ -29,6 +31,9 @@ func NewGCM() *GCM { return &GCM{Iterations: 20, PriorR: 0.5} }
 
 // Name implements Model.
 func (m *GCM) Name() string { return "GCM" }
+
+// SetIterations implements IterativeModel.
+func (m *GCM) SetIterations(n int) { m.Iterations = n }
 
 func (m *GCM) defaults() {
 	if m.Iterations <= 0 {
@@ -60,7 +65,9 @@ func (m *GCM) lClick(i int) float64 {
 	return 0.5
 }
 
-// tailPosterior enumerates the latent stop position past the last click.
+// tailPosterior enumerates the latent stop position past the last
+// click. This Session-based form serves SessionLogLikelihood; the
+// compiled E-step inlines the same enumeration over worker scratch.
 func (m *GCM) tailPosterior(s Session, last int) (pExam []float64, z float64) {
 	n := len(s.Docs)
 	pExam = make([]float64, n)
@@ -110,78 +117,72 @@ func (m *GCM) tailPosterior(s Session, last int) (pExam []float64, z float64) {
 	return pExam, z
 }
 
-// Fit implements Model.
+// Fit implements Model: compile the log, then run the dense EM.
 func (m *GCM) Fit(sessions []Session) error {
-	if err := validateAll(sessions); err != nil {
+	c, err := Compile(sessions)
+	if err != nil {
 		return err
 	}
+	return m.FitLog(c)
+}
+
+// gcmAccStride is one worker's accumulator layout:
+// [rNum | rDen | skipNum | skipDen | clickNum | clickDen].
+func gcmAccStride(nPair, n int) int { return 2*nPair + 4*n }
+
+// FitLog runs EM over a compiled log.
+func (m *GCM) FitLog(c *CompiledLog) error {
+	if c == nil {
+		return errNilLog
+	}
 	m.defaults()
-	n := maxPositions(sessions)
-	m.LambdaSkip = make([]float64, n)
-	m.LambdaClick = make([]float64, n)
+	n := c.maxPos
+	nPair := c.NumPairs()
+	stride := gcmAccStride(nPair, n)
+	workers := emWorkers(m.Workers, c.NumSessions())
+
+	m.LambdaSkip = reuseFloats(m.LambdaSkip, n)
+	m.LambdaClick = reuseFloats(m.LambdaClick, n)
 	for i := 0; i < n; i++ {
 		m.LambdaSkip[i] = 0.9
 		m.LambdaClick[i] = 0.6
 	}
-	m.Rel = make(map[qd]float64)
-	for _, s := range sessions {
-		for _, d := range s.Docs {
-			m.Rel[qd{s.Query, d}] = m.PriorR
-		}
+
+	fs, buf := getScratch(nPair + workers*(stride+c.maxPos))
+	defer putScratch(fs)
+	sl := slab{buf}
+	rel := sl.take(nPair)
+	for p := range rel {
+		rel[p] = m.PriorR
 	}
+	accAll := sl.take(workers * stride)
+	tails := sl.take(workers * c.maxPos)
 
-	type acc struct{ num, den float64 }
+	nSess := c.NumSessions()
 	for iter := 0; iter < m.Iterations; iter++ {
-		rAcc := make(map[qd]acc, len(m.Rel))
-		skipNum := make([]float64, n)
-		skipDen := make([]float64, n)
-		clickNum := make([]float64, n)
-		clickDen := make([]float64, n)
-
-		for _, sess := range sessions {
-			ns := len(sess.Docs)
-			last := sess.LastClick()
-
-			for j := 0; j <= last; j++ {
-				k := qd{sess.Query, sess.Docs[j]}
-				ra := rAcc[k]
-				ra.den++
-				if sess.Clicks[j] {
-					ra.num++
-				}
-				rAcc[k] = ra
-				if j < last {
-					if sess.Clicks[j] {
-						clickNum[j]++
-						clickDen[j]++
-					} else {
-						skipNum[j]++
-						skipDen[j]++
-					}
-				}
-			}
-
-			pExam, _ := m.tailPosterior(sess, last)
-
-			if last >= 0 && last < ns-1 {
-				clickDen[last]++
-				clickNum[last] += pExam[last+1]
-			}
-			for j := last + 1; j < ns; j++ {
-				k := qd{sess.Query, sess.Docs[j]}
-				ra := rAcc[k]
-				ra.den += pExam[j]
-				rAcc[k] = ra
-				if j < ns-1 {
-					skipDen[j] += pExam[j]
-					skipNum[j] += pExam[j+1]
-				}
-			}
+		if iter > 0 {
+			clear(accAll)
 		}
+		if workers == 1 {
+			gcmEStep(c, rel, m.LambdaSkip, m.LambdaClick, accAll[:stride], tails, 0, nSess)
+		} else {
+			forEachShard(workers, nSess, func(w, lo, hi int) {
+				gcmEStep(c, rel, m.LambdaSkip, m.LambdaClick,
+					accAll[w*stride:(w+1)*stride],
+					tails[w*c.maxPos:(w+1)*c.maxPos], lo, hi)
+			})
+		}
+		acc := mergeShards(accAll, stride, workers)
+		rNum := acc[:nPair]
+		rDen := acc[nPair : 2*nPair]
+		skipNum := acc[2*nPair : 2*nPair+n]
+		skipDen := acc[2*nPair+n : 2*nPair+2*n]
+		clickNum := acc[2*nPair+2*n : 2*nPair+3*n]
+		clickDen := acc[2*nPair+3*n:]
 
-		for k, ra := range rAcc {
-			if ra.den > 0 {
-				m.Rel[k] = clampProb(ra.num / ra.den)
+		for p := 0; p < nPair; p++ {
+			if rDen[p] > 0 {
+				rel[p] = clampProb(rNum[p] / rDen[p])
 			}
 		}
 		for i := 0; i < n; i++ {
@@ -193,12 +194,115 @@ func (m *GCM) Fit(sessions []Session) error {
 			}
 		}
 	}
+
+	m.Rel = c.materializeInto(m.Rel, rel)
 	return nil
+}
+
+// gcmEStep accumulates one worker's posteriors for the sessions
+// [lo, hi). acc is laid out as gcmAccStride describes; tails provides
+// the wStop scratch (the examination posterior is folded into the
+// suffix scan, so no pExam buffer is needed).
+func gcmEStep(c *CompiledLog, rel, lSkip, lClick []float64, acc, tails []float64, lo, hi int) {
+	nPair := len(rel)
+	n := len(lSkip)
+	rNum := acc[:nPair]
+	rDen := acc[nPair : 2*nPair]
+	skipNum := acc[2*nPair : 2*nPair+n]
+	skipDen := acc[2*nPair+n : 2*nPair+2*n]
+	clickNum := acc[2*nPair+2*n : 2*nPair+3*n]
+	clickDen := acc[2*nPair+3*n:]
+	wStop := tails
+
+	for s := lo; s < hi; s++ {
+		b, e := c.off[s], c.off[s+1]
+		ns := int(e - b)
+		last := int(c.last[s])
+
+		for j := 0; j <= last; j++ {
+			p := c.pair[b+int32(j)]
+			rDen[p]++
+			if c.click[b+int32(j)] {
+				rNum[p]++
+				if j < last {
+					clickNum[j]++
+					clickDen[j]++
+				}
+			} else if j < last {
+				skipNum[j]++
+				skipDen[j]++
+			}
+		}
+
+		// Tail posterior: enumerate the latent stop position.
+		start := last
+		cont0 := 1.0
+		if last >= 0 {
+			cont0 = lClick[last]
+		} else {
+			start = 0
+		}
+		cur := 1.0
+		for t := start; t < ns; t++ {
+			switch {
+			case last >= 0 && t == last:
+				// No factors: the click itself is accounted upstream.
+			case last >= 0 && t == last+1:
+				cur *= cont0 * (1 - rel[c.pair[b+int32(t)]])
+			case last < 0 && t == 0:
+				cur *= 1 - rel[c.pair[b+int32(t)]] // E_1 = 1 always
+			default:
+				cur *= lSkip[t-1] * (1 - rel[c.pair[b+int32(t)]])
+			}
+			w := cur
+			if t < ns-1 {
+				stop := 1 - lSkip[t]
+				if last >= 0 && t == last {
+					stop = 1 - cont0
+				}
+				w *= stop
+			}
+			wStop[t] = w
+		}
+		var z float64
+		for t := start; t < ns; t++ {
+			z += wStop[t]
+		}
+		if z <= 0 {
+			z = probEps
+		}
+
+		// Suffix scan: pExam[j] = sum_{t>=j} wStop[t] / z for j > last.
+		// Walk backwards, accumulating the suffix and crediting the
+		// lambda accumulators from the already-known pExam[j+1].
+		suffix := 0.0
+		prevExam := 0.0 // pExam[j+1] during the walk
+		for j := ns - 1; j > last; j-- {
+			suffix += wStop[j]
+			exam := suffix / z
+			p := c.pair[b+int32(j)]
+			rDen[p] += exam
+			if j < ns-1 {
+				skipDen[j] += exam
+				skipNum[j] += prevExam
+			}
+			prevExam = exam
+		}
+		if last >= 0 && last < ns-1 {
+			clickDen[last]++
+			clickNum[last] += prevExam // pExam[last+1]
+		}
+	}
 }
 
 // ClickProbs implements Model via the forward examination recursion.
 func (m *GCM) ClickProbs(s Session) []float64 {
-	out := make([]float64, len(s.Docs))
+	return m.ClickProbsInto(s, nil)
+}
+
+// ClickProbsInto implements InplaceScorer.
+func (m *GCM) ClickProbsInto(s Session, buf []float64) []float64 {
+	out := resizeProbs(buf, len(s.Docs))
 	exam := 1.0
 	for i, d := range s.Docs {
 		r := m.r(s.Query, d)

@@ -6,7 +6,8 @@ package clickmodel
 //	P(C_i = 1) = alpha(q, d_i) * gamma(i)
 //
 // Examination depends only on the position, independent of every other
-// result (Section II-A of the paper). Parameters are estimated with EM.
+// result (Section II-A of the paper). Parameters are estimated with EM
+// over the compiled (interned, dense) form of the log.
 type PBM struct {
 	// Gamma[i] is the probability that position i+1 is examined.
 	Gamma []float64
@@ -18,6 +19,8 @@ type PBM struct {
 	Iterations int
 	// PriorAlpha initialises unseen attractiveness values (default 0.5).
 	PriorAlpha float64
+	// Workers caps the parallel E-step fan-out (0 = GOMAXPROCS).
+	Workers int
 }
 
 // NewPBM returns a PBM with default hyper-parameters.
@@ -25,6 +28,9 @@ func NewPBM() *PBM { return &PBM{Iterations: 20, PriorAlpha: 0.5} }
 
 // Name implements Model.
 func (m *PBM) Name() string { return "PBM" }
+
+// SetIterations implements IterativeModel.
+func (m *PBM) SetIterations(n int) { m.Iterations = n }
 
 func (m *PBM) defaults() {
 	if m.Iterations <= 0 {
@@ -35,72 +41,104 @@ func (m *PBM) defaults() {
 	}
 }
 
-// Fit runs EM. The E-step computes, for every impression, the posterior
-// probability that the result was examined and that it was attractive
-// given the observed click; the M-step averages those posteriors into the
-// per-position gammas and per-(query,doc) alphas.
+// Fit implements Model: compile the log, then run the dense EM.
 func (m *PBM) Fit(sessions []Session) error {
-	if err := validateAll(sessions); err != nil {
+	c, err := Compile(sessions)
+	if err != nil {
 		return err
 	}
-	m.defaults()
-	n := maxPositions(sessions)
+	return m.FitLog(c)
+}
 
-	m.Gamma = make([]float64, n)
+// FitLog runs EM over a compiled log. The E-step computes, for every
+// impression, the posterior probability that the result was examined
+// and that it was attractive given the observed click; the M-step
+// averages those posteriors into the per-position gammas and per-pair
+// alphas. Impressions are sharded over Workers goroutines with
+// per-worker accumulators merged before the M-step; the posterior
+// denominators (impressions per position and per pair) are log
+// constants precomputed at Compile.
+func (m *PBM) FitLog(c *CompiledLog) error {
+	if c == nil {
+		return errNilLog
+	}
+	m.defaults()
+	n := c.maxPos
+	nPair := c.NumPairs()
+	workers := emWorkers(m.Workers, c.NumSessions())
+
+	m.Gamma = reuseFloats(m.Gamma, n)
 	for i := range m.Gamma {
 		// Initialise with a gentle decay so EM starts from a plausible,
 		// symmetric-breaking point.
 		m.Gamma[i] = 1.0 / (1.0 + float64(i))
 	}
-	m.Alpha = make(map[qd]float64)
-	for _, s := range sessions {
-		for _, d := range s.Docs {
-			m.Alpha[qd{s.Query, d}] = m.PriorAlpha
-		}
+
+	fs, buf := getScratch(nPair + workers*(n+nPair))
+	defer putScratch(fs)
+	sl := slab{buf}
+	alpha := sl.take(nPair)
+	for p := range alpha {
+		alpha[p] = m.PriorAlpha
 	}
+	gAll := sl.take(workers * n)
+	aAll := sl.take(workers * nPair)
 
-	type acc struct{ num, den float64 }
+	nSess := c.NumSessions()
 	for iter := 0; iter < m.Iterations; iter++ {
-		gammaNum := make([]float64, n)
-		gammaDen := make([]float64, n)
-		alphaAcc := make(map[qd]acc, len(m.Alpha))
-
-		for _, s := range sessions {
-			for i, d := range s.Docs {
-				k := qd{s.Query, d}
-				a := m.Alpha[k]
-				g := m.Gamma[i]
-				var postE, postA float64
-				if s.Clicks[i] {
-					// A click implies examination and attraction.
-					postE, postA = 1, 1
-				} else {
-					// P(E=1|C=0) and P(A=1|C=0).
-					den := clampProb(1 - a*g)
-					postE = g * (1 - a) / den
-					postA = a * (1 - g) / den
-				}
-				gammaNum[i] += postE
-				gammaDen[i]++
-				ac := alphaAcc[k]
-				ac.num += postA
-				ac.den++
-				alphaAcc[k] = ac
-			}
+		if iter > 0 {
+			clear(gAll)
+			clear(aAll)
 		}
+		if workers == 1 {
+			pbmEStep(c, m.Gamma, alpha, gAll, aAll, 0, nSess)
+		} else {
+			forEachShard(workers, nSess, func(w, lo, hi int) {
+				pbmEStep(c, m.Gamma, alpha,
+					gAll[w*n:(w+1)*n], aAll[w*nPair:(w+1)*nPair], lo, hi)
+			})
+		}
+		gNum := mergeShards(gAll, n, workers)
+		aNum := mergeShards(aAll, nPair, workers)
 
 		for i := 0; i < n; i++ {
-			if gammaDen[i] > 0 {
-				m.Gamma[i] = clampProb(gammaNum[i] / gammaDen[i])
+			if c.posCount[i] > 0 {
+				m.Gamma[i] = clampProb(gNum[i] / c.posCount[i])
 			}
 		}
-		for k, ac := range alphaAcc {
-			if ac.den > 0 {
-				m.Alpha[k] = clampProb(ac.num / ac.den)
+		for p := 0; p < nPair; p++ {
+			if c.pairCount[p] > 0 {
+				alpha[p] = clampProb(aNum[p] / c.pairCount[p])
 			}
 		}
 	}
+
+	m.Alpha = c.materializeInto(m.Alpha, alpha)
 	return nil
+}
+
+// pbmEStep accumulates the examination/attraction posteriors of the
+// sessions [lo, hi) into one worker's gNum/aNum regions.
+func pbmEStep(c *CompiledLog, gamma, alpha, gNum, aNum []float64, lo, hi int) {
+	for s := lo; s < hi; s++ {
+		b, e := c.off[s], c.off[s+1]
+		for i := b; i < e; i++ {
+			pos := int(i - b)
+			p := c.pair[i]
+			a := alpha[p]
+			g := gamma[pos]
+			if c.click[i] {
+				// A click implies examination and attraction.
+				gNum[pos]++
+				aNum[p]++
+			} else {
+				// P(E=1|C=0) and P(A=1|C=0).
+				den := clampProb(1 - a*g)
+				gNum[pos] += g * (1 - a) / den
+				aNum[p] += a * (1 - g) / den
+			}
+		}
+	}
 }
 
 func (m *PBM) alpha(q, d string) float64 {
@@ -112,7 +150,13 @@ func (m *PBM) alpha(q, d string) float64 {
 
 // ClickProbs implements Model.
 func (m *PBM) ClickProbs(s Session) []float64 {
-	out := make([]float64, len(s.Docs))
+	return m.ClickProbsInto(s, nil)
+}
+
+// ClickProbsInto implements InplaceScorer, reusing buf when it has the
+// capacity.
+func (m *PBM) ClickProbsInto(s Session, buf []float64) []float64 {
+	out := resizeProbs(buf, len(s.Docs))
 	for i, d := range s.Docs {
 		g := 0.0
 		if i < len(m.Gamma) {
@@ -139,8 +183,12 @@ func (m *PBM) ExaminationProbs(s Session) []float64 {
 // independent, so the session likelihood factorises.
 func (m *PBM) SessionLogLikelihood(s Session) float64 {
 	ll := 0.0
-	for i, p := range m.ClickProbs(s) {
-		ll += bernoulliLL(p, s.Clicks[i])
+	for i, d := range s.Docs {
+		g := 0.0
+		if i < len(m.Gamma) {
+			g = m.Gamma[i]
+		}
+		ll += bernoulliLL(m.alpha(s.Query, d)*g, s.Clicks[i])
 	}
 	return ll
 }

@@ -2,7 +2,8 @@ package clickmodel
 
 // SDBN is the simplified dynamic Bayesian network model: DBN with the
 // continuation parameter fixed at gamma = 1. Estimation is closed-form
-// counting, which makes SDBN the workhorse for large logs:
+// counting over the compiled log, which makes SDBN the workhorse for
+// large logs:
 //
 //	a(q,d) = clicks on d / impressions of d at positions <= last click
 //	s(q,d) = sessions where d was the last click / sessions where d clicked
@@ -12,6 +13,8 @@ type SDBN struct {
 
 	PriorA, PriorS     float64
 	LaplaceA, LaplaceB float64
+	// Workers caps the parallel counting fan-out (0 = GOMAXPROCS).
+	Workers int
 }
 
 // NewSDBN returns an SDBN with default smoothing.
@@ -36,47 +39,82 @@ func (m *SDBN) defaults() {
 	}
 }
 
-// Fit implements Model with single-pass counting.
+// Fit implements Model: compile the log, then count.
 func (m *SDBN) Fit(sessions []Session) error {
-	if err := validateAll(sessions); err != nil {
+	c, err := Compile(sessions)
+	if err != nil {
 		return err
 	}
+	return m.FitLog(c)
+}
+
+// FitLog computes the closed-form estimates from a compiled log in one
+// sharded counting pass.
+func (m *SDBN) FitLog(c *CompiledLog) error {
+	if c == nil {
+		return errNilLog
+	}
 	m.defaults()
-	type acc struct{ num, den float64 }
-	aAcc := make(map[qd]acc)
-	sAcc := make(map[qd]acc)
-	for _, s := range sessions {
-		last := s.LastClick()
-		if last < 0 {
-			// With gamma = 1 a session without clicks means every result
-			// was examined and skipped.
-			last = len(s.Docs) - 1
-		}
-		for i := 0; i <= last; i++ {
-			k := qd{s.Query, s.Docs[i]}
-			a := aAcc[k]
-			a.den++
-			if s.Clicks[i] {
-				a.num++
-				sc := sAcc[k]
-				sc.den++
-				if i == s.LastClick() {
-					sc.num++
-				}
-				sAcc[k] = sc
-			}
-			aAcc[k] = a
-		}
+	nPair := c.NumPairs()
+	stride := 4 * nPair
+	workers := emWorkers(m.Workers, c.NumSessions())
+
+	fs, buf := getScratch(workers * stride)
+	defer putScratch(fs)
+	nSess := c.NumSessions()
+	if workers == 1 {
+		sdbnCount(c, buf[:stride], nPair, 0, nSess)
+	} else {
+		forEachShard(workers, nSess, func(w, lo, hi int) {
+			sdbnCount(c, buf[w*stride:(w+1)*stride], nPair, lo, hi)
+		})
 	}
-	m.AttrA = make(map[qd]float64, len(aAcc))
-	for k, a := range aAcc {
-		m.AttrA[k] = clampProb((a.num + m.LaplaceA) / (a.den + m.LaplaceB))
-	}
-	m.SatS = make(map[qd]float64, len(sAcc))
-	for k, sc := range sAcc {
-		m.SatS[k] = clampProb((sc.num + m.LaplaceA) / (sc.den + m.LaplaceB))
+	merged := mergeShards(buf, stride, workers)
+	aNum := merged[:nPair]
+	aDen := merged[nPair : 2*nPair]
+	sNum := merged[2*nPair : 3*nPair]
+	sDen := merged[3*nPair:]
+
+	m.AttrA = reuseMap(m.AttrA, nPair)
+	m.SatS = reuseMap(m.SatS, nPair)
+	for p, k := range c.pairs {
+		if aDen[p] > 0 {
+			m.AttrA[k] = clampProb((aNum[p] + m.LaplaceA) / (aDen[p] + m.LaplaceB))
+		}
+		if sDen[p] > 0 {
+			m.SatS[k] = clampProb((sNum[p] + m.LaplaceA) / (sDen[p] + m.LaplaceB))
+		}
 	}
 	return nil
+}
+
+// sdbnCount accumulates one worker's attractiveness/satisfaction counts
+// for the sessions [lo, hi). With gamma = 1 a session without clicks
+// means every result was examined and skipped.
+func sdbnCount(c *CompiledLog, acc []float64, nPair, lo, hi int) {
+	aNum := acc[:nPair]
+	aDen := acc[nPair : 2*nPair]
+	sNum := acc[2*nPair : 3*nPair]
+	sDen := acc[3*nPair:]
+	for s := lo; s < hi; s++ {
+		b, e := c.off[s], c.off[s+1]
+		last := c.last[s]
+		stop := last
+		if stop < 0 {
+			stop = e - b - 1
+		}
+		for i := b; i <= b+stop; i++ {
+			p := c.pair[i]
+			aDen[p]++
+			if c.click[i] {
+				aNum[p]++
+				sDen[p]++
+				if i-b == last {
+					sNum[p]++
+				}
+			}
+		}
+	}
 }
 
 func (m *SDBN) a(q, d string) float64 {
@@ -95,7 +133,12 @@ func (m *SDBN) s(q, d string) float64 {
 
 // ClickProbs implements Model.
 func (m *SDBN) ClickProbs(s Session) []float64 {
-	out := make([]float64, len(s.Docs))
+	return m.ClickProbsInto(s, nil)
+}
+
+// ClickProbsInto implements InplaceScorer.
+func (m *SDBN) ClickProbsInto(s Session, buf []float64) []float64 {
+	out := resizeProbs(buf, len(s.Docs))
 	exam := 1.0
 	for i, d := range s.Docs {
 		a := m.a(s.Query, d)

@@ -34,6 +34,9 @@ func NewSUM() *SUM { return &SUM{Iterations: 20, PriorU: 0.3} }
 // Name implements Model.
 func (m *SUM) Name() string { return "SUM" }
 
+// SetIterations implements IterativeModel.
+func (m *SUM) SetIterations(n int) { m.Iterations = n }
+
 func (m *SUM) defaults() {
 	if m.Iterations <= 0 {
 		m.Iterations = 20
@@ -125,7 +128,12 @@ func (m *SUM) tailNoClickProb(s Session) float64 {
 // does not model pre-click behaviour, so its marginal prediction is the
 // position baseline.
 func (m *SUM) ClickProbs(s Session) []float64 {
-	out := make([]float64, len(s.Docs))
+	return m.ClickProbsInto(s, nil)
+}
+
+// ClickProbsInto implements InplaceScorer.
+func (m *SUM) ClickProbsInto(s Session, buf []float64) []float64 {
+	out := resizeProbs(buf, len(s.Docs))
 	for i := range out {
 		if i < len(m.baseCTR) {
 			out[i] = m.baseCTR[i]

@@ -11,15 +11,20 @@ package clickmodel
 // the user may abandon the list and reformulate. Because the conditioning
 // click history is fully observed, EM reduces to PBM-style posterior
 // updates with the gamma cell selected by the session's click pattern.
+// The fit runs over the compiled log's flat triangular layout; the
+// previous-click columns are precomputed at Compile.
 type UBM struct {
 	// Gamma[i][j] is P(E=1) at position i+1 when the previous click was
 	// at position j (1-based), with j = 0 meaning no previous click.
-	// Valid cells have j <= i.
+	// Valid cells have j <= i. After a fit the rows share one backing
+	// array (they remain disjoint slices).
 	Gamma [][]float64
 	Alpha map[qd]float64
 
 	Iterations int
 	PriorAlpha float64
+	// Workers caps the parallel E-step fan-out (0 = GOMAXPROCS).
+	Workers int
 }
 
 // NewUBM returns a UBM with default hyper-parameters.
@@ -27,6 +32,9 @@ func NewUBM() *UBM { return &UBM{Iterations: 20, PriorAlpha: 0.5} }
 
 // Name implements Model.
 func (m *UBM) Name() string { return "UBM" }
+
+// SetIterations implements IterativeModel.
+func (m *UBM) SetIterations(n int) { m.Iterations = n }
 
 func (m *UBM) defaults() {
 	if m.Iterations <= 0 {
@@ -46,7 +54,8 @@ func (m *UBM) gamma(i, j int) float64 {
 
 // prevClickIndex returns, for each position of the session, the gamma
 // column: 0 when no click precedes it, otherwise the 1-based position of
-// the most recent preceding click.
+// the most recent preceding click. (Compile precomputes the same
+// columns for every impression of a log.)
 func prevClickIndex(s Session) []int {
 	idx := make([]int, len(s.Docs))
 	prev := 0
@@ -59,75 +68,129 @@ func prevClickIndex(s Session) []int {
 	return idx
 }
 
-// Fit implements Model via EM.
+// Fit implements Model: compile the log, then run the dense EM.
 func (m *UBM) Fit(sessions []Session) error {
-	if err := validateAll(sessions); err != nil {
+	c, err := Compile(sessions)
+	if err != nil {
 		return err
 	}
+	return m.FitLog(c)
+}
+
+// FitLog runs EM over a compiled log. The triangular gamma table is
+// kept flat (cell (i, j) at tri(i)+j); its denominators — impressions
+// per (position, previous-click) cell — are log constants cached on
+// the CompiledLog, as are the per-pair alpha denominators.
+func (m *UBM) FitLog(c *CompiledLog) error {
+	if c == nil {
+		return errNilLog
+	}
 	m.defaults()
-	n := maxPositions(sessions)
+	n := c.maxPos
+	nPair := c.NumPairs()
+	nCell := tri(n)
+	workers := emWorkers(m.Workers, c.NumSessions())
+	cellCount := c.ubmCellCounts()
 
-	m.Gamma = make([][]float64, n)
-	for i := range m.Gamma {
-		m.Gamma[i] = make([]float64, i+1)
-		for j := range m.Gamma[i] {
-			m.Gamma[i][j] = 1.0 / (1.0 + float64(i-j))
+	fs, buf := getScratch(nCell + nPair + workers*(nCell+nPair))
+	defer putScratch(fs)
+	sl := slab{buf}
+	gamma := sl.take(nCell)
+	for i := 0; i < n; i++ {
+		row := gamma[tri(i) : tri(i)+i+1]
+		for j := range row {
+			row[j] = 1.0 / (1.0 + float64(i-j))
 		}
 	}
-	m.Alpha = make(map[qd]float64)
-	for _, s := range sessions {
-		for _, d := range s.Docs {
-			m.Alpha[qd{s.Query, d}] = m.PriorAlpha
-		}
+	alpha := sl.take(nPair)
+	for p := range alpha {
+		alpha[p] = m.PriorAlpha
 	}
+	gAll := sl.take(workers * nCell)
+	aAll := sl.take(workers * nPair)
 
-	type acc struct{ num, den float64 }
+	nSess := c.NumSessions()
 	for iter := 0; iter < m.Iterations; iter++ {
-		gNum := make([][]float64, n)
-		gDen := make([][]float64, n)
-		for i := range gNum {
-			gNum[i] = make([]float64, i+1)
-			gDen[i] = make([]float64, i+1)
+		if iter > 0 {
+			clear(gAll)
+			clear(aAll)
 		}
-		aAcc := make(map[qd]acc, len(m.Alpha))
+		if workers == 1 {
+			ubmEStep(c, gamma, alpha, gAll, aAll, 0, nSess)
+		} else {
+			forEachShard(workers, nSess, func(w, lo, hi int) {
+				ubmEStep(c, gamma, alpha,
+					gAll[w*nCell:(w+1)*nCell], aAll[w*nPair:(w+1)*nPair], lo, hi)
+			})
+		}
+		gNum := mergeShards(gAll, nCell, workers)
+		aNum := mergeShards(aAll, nPair, workers)
 
-		for _, s := range sessions {
-			prev := prevClickIndex(s)
-			for i, d := range s.Docs {
-				k := qd{s.Query, d}
-				a := m.Alpha[k]
-				g := m.gamma(i, prev[i])
-				var postE, postA float64
-				if s.Clicks[i] {
-					postE, postA = 1, 1
-				} else {
-					den := clampProb(1 - a*g)
-					postE = g * (1 - a) / den
-					postA = a * (1 - g) / den
-				}
-				gNum[i][prev[i]] += postE
-				gDen[i][prev[i]]++
-				ac := aAcc[k]
-				ac.num += postA
-				ac.den++
-				aAcc[k] = ac
+		for t := 0; t < nCell; t++ {
+			if cellCount[t] > 0 {
+				gamma[t] = clampProb(gNum[t] / cellCount[t])
 			}
 		}
-
-		for i := range m.Gamma {
-			for j := range m.Gamma[i] {
-				if gDen[i][j] > 0 {
-					m.Gamma[i][j] = clampProb(gNum[i][j] / gDen[i][j])
-				}
-			}
-		}
-		for k, ac := range aAcc {
-			if ac.den > 0 {
-				m.Alpha[k] = clampProb(ac.num / ac.den)
+		for p := 0; p < nPair; p++ {
+			if c.pairCount[p] > 0 {
+				alpha[p] = clampProb(aNum[p] / c.pairCount[p])
 			}
 		}
 	}
+
+	// Materialize the exported triangular table from one backing copy,
+	// reusing the previous fit's rows when they have the right shape.
+	if gammaShapeOK(m.Gamma, n) {
+		for i := 0; i < n; i++ {
+			copy(m.Gamma[i], gamma[tri(i):tri(i)+i+1])
+		}
+	} else {
+		flat := make([]float64, nCell)
+		copy(flat, gamma)
+		m.Gamma = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			m.Gamma[i] = flat[tri(i) : tri(i)+i+1 : tri(i)+i+1]
+		}
+	}
+	m.Alpha = c.materializeInto(m.Alpha, alpha)
 	return nil
+}
+
+// gammaShapeOK reports whether an existing triangular table has
+// exactly n rows of lengths 1..n and can be refilled in place.
+func gammaShapeOK(g [][]float64, n int) bool {
+	if len(g) != n {
+		return false
+	}
+	for i := range g {
+		if len(g[i]) != i+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ubmEStep accumulates posteriors for sessions [lo, hi) into one
+// worker's gNum (triangular cells) and aNum (pairs) regions.
+func ubmEStep(c *CompiledLog, gamma, alpha, gNum, aNum []float64, lo, hi int) {
+	for s := lo; s < hi; s++ {
+		b, e := c.off[s], c.off[s+1]
+		for i := b; i < e; i++ {
+			pos := int(i - b)
+			cell := tri(pos) + int(c.prev[i])
+			p := c.pair[i]
+			a := alpha[p]
+			g := gamma[cell]
+			if c.click[i] {
+				gNum[cell]++
+				aNum[p]++
+			} else {
+				den := clampProb(1 - a*g)
+				gNum[cell] += g * (1 - a) / den
+				aNum[p] += a * (1 - g) / den
+			}
+		}
+	}
 }
 
 func (m *UBM) alpha(q, d string) float64 {
@@ -141,11 +204,23 @@ func (m *UBM) alpha(q, d string) float64 {
 // integrating over the unobserved click history; a forward recursion over
 // the "position of the last click so far" does this exactly in O(n²).
 func (m *UBM) ClickProbs(s Session) []float64 {
+	return m.ClickProbsInto(s, nil)
+}
+
+// ClickProbsInto implements InplaceScorer. For typical SERP depths the
+// forward recursion's state lives on the stack, so scoring into a
+// reused buffer is allocation-free.
+func (m *UBM) ClickProbsInto(s Session, buf []float64) []float64 {
 	n := len(s.Docs)
-	out := make([]float64, n)
+	out := resizeProbs(buf, n)
+	var stack [maxStackPositions + 1]float64
+	pLast := stack[:]
+	if n+1 > len(stack) {
+		pLast = make([]float64, n+1)
+	}
 	// pLast[j]: probability that after processing positions < i, the most
-	// recent click was at position j (1-based), j = 0 for none.
-	pLast := make([]float64, n+1)
+	// recent click was at position j (1-based), j = 0 for none. The rest
+	// of pLast is zero already: fresh stack array or make().
 	pLast[0] = 1
 	for i, d := range s.Docs {
 		a := m.alpha(s.Query, d)
@@ -189,11 +264,14 @@ func (m *UBM) ExaminationProbs(s Session) []float64 {
 // SessionLogLikelihood implements Model. Conditioned on the observed
 // click history the session likelihood factorises position by position.
 func (m *UBM) SessionLogLikelihood(s Session) float64 {
-	prev := prevClickIndex(s)
 	ll := 0.0
+	prev := 0
 	for i, d := range s.Docs {
-		p := m.alpha(s.Query, d) * m.gamma(i, prev[i])
+		p := m.alpha(s.Query, d) * m.gamma(i, prev)
 		ll += bernoulliLL(p, s.Clicks[i])
+		if s.Clicks[i] {
+			prev = i + 1
+		}
 	}
 	return ll
 }

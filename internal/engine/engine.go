@@ -132,15 +132,64 @@ func (e *Engine) UseMicro(m *core.Model) {
 	e.Register(NameMicro, NewMicroScorer(m))
 }
 
-// Fit constructs the named model from the clickmodel registry, trains
-// it on the session log, installs it, and returns the fitted instance
-// (e.g. for offline evaluation with clickmodel.Evaluate).
-func (e *Engine) Fit(name string, sessions []clickmodel.Session) (clickmodel.Model, error) {
+// FitOption tunes a freshly constructed registry model before Fit
+// trains it.
+type FitOption func(clickmodel.Model)
+
+// Iterations sets the EM iteration count on models that expose one
+// (clickmodel.IterativeModel); other models ignore it. Values <= 0
+// keep the model default.
+func Iterations(n int) FitOption {
+	return func(m clickmodel.Model) {
+		if n <= 0 {
+			return
+		}
+		if it, ok := m.(clickmodel.IterativeModel); ok {
+			it.SetIterations(n)
+		}
+	}
+}
+
+// Fit constructs the named model from the clickmodel registry, applies
+// the options, trains it on the session log, installs it, and returns
+// the fitted instance (e.g. for offline evaluation with
+// clickmodel.Evaluate).
+func (e *Engine) Fit(name string, sessions []clickmodel.Session, opts ...FitOption) (clickmodel.Model, error) {
 	m, err := clickmodel.New(name)
 	if err != nil {
 		return nil, err
 	}
+	for _, opt := range opts {
+		opt(m)
+	}
 	if err := m.Fit(sessions); err != nil {
+		return nil, fmt.Errorf("engine: fitting %s: %w", m.Name(), err)
+	}
+	e.RegisterModel(m)
+	return m, nil
+}
+
+// FitCompiled is Fit over a pre-compiled session log: when several
+// models train on one log, Compile once and the per-model interning
+// pass disappears. Models without a FitLog path fall back to the
+// compiled log's source sessions.
+func (e *Engine) FitCompiled(name string, c *clickmodel.CompiledLog, opts ...FitOption) (clickmodel.Model, error) {
+	if c == nil {
+		return nil, fmt.Errorf("engine: FitCompiled(%q) on a nil compiled log", name)
+	}
+	m, err := clickmodel.New(name)
+	if err != nil {
+		return nil, err
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if lf, ok := m.(clickmodel.LogFitter); ok {
+		err = lf.FitLog(c)
+	} else {
+		err = m.Fit(c.Sessions())
+	}
+	if err != nil {
 		return nil, fmt.Errorf("engine: fitting %s: %w", m.Name(), err)
 	}
 	e.RegisterModel(m)

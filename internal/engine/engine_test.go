@@ -311,6 +311,93 @@ func TestFitUnknownModel(t *testing.T) {
 	}
 }
 
+func TestFitIterationsOption(t *testing.T) {
+	e := New()
+	m, err := e.Fit("pbm", testSessions(50), Iterations(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.(*clickmodel.PBM).Iterations; got != 3 {
+		t.Errorf("Iterations = %d, want 3", got)
+	}
+	// Non-positive values keep the model default.
+	m, err = e.Fit("ubm", testSessions(50), Iterations(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.(*clickmodel.UBM).Iterations; got != 20 {
+		t.Errorf("default Iterations = %d, want 20", got)
+	}
+	// Non-iterative models ignore the option.
+	if _, err := e.Fit("cascade", testSessions(50), Iterations(7)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitCompiled(t *testing.T) {
+	e := New()
+	sessions := testSessions(100)
+	c, err := clickmodel.Compile(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense path: the compiled log feeds FitLog directly.
+	m, err := e.FitCompiled("pbm", c, Iterations(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New().Fit("pbm", sessions, Iterations(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sessions[:20] {
+		a, b := m.ClickProbs(s), want.ClickProbs(s)
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > 1e-9 {
+				t.Fatalf("session %d pos %d: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+	// Fallback path: SUM has no FitLog and trains from c.Sessions().
+	if _, err := e.FitCompiled("sum", c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FitCompiled("nope", c); err == nil {
+		t.Fatal("FitCompiled of unknown model succeeded")
+	}
+	// A nil log errors for both the FitLog and the fallback path.
+	if _, err := e.FitCompiled("pbm", nil); err == nil {
+		t.Fatal("FitCompiled(pbm, nil) succeeded")
+	}
+	if _, err := e.FitCompiled("sum", nil); err == nil {
+		t.Fatal("FitCompiled(sum, nil) succeeded")
+	}
+}
+
+// TestScoreCTRInplacePath pins the scorer fast path: batch scoring a
+// fitted compiled-log model produces the model's own probabilities.
+func TestScoreCTRInplacePath(t *testing.T) {
+	e := New()
+	sessions := testSessions(200)
+	m, err := e.Fit("dbn", sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.ScoreCTR(context.Background(), Request{Model: "dbn", Session: &sessions[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.ClickProbs(sessions[0])
+	if len(resp.Positions) != len(want) {
+		t.Fatalf("positions len %d, want %d", len(resp.Positions), len(want))
+	}
+	for i := range want {
+		if math.Abs(resp.Positions[i]-want[i]) > 1e-12 {
+			t.Errorf("pos %d: %v, want %v", i, resp.Positions[i], want[i])
+		}
+	}
+}
+
 func TestMeanCTR(t *testing.T) {
 	if got, err := MeanCTR(nil); err != nil || got != 0 {
 		t.Errorf("MeanCTR(nil) = %v, %v", got, err)

@@ -88,7 +88,10 @@ func NewClickModelScorer(m clickmodel.Model) *ClickModelScorer {
 }
 
 // ScoreCTR implements Scorer: per-position marginal click probabilities
-// plus their mean as the headline CTR.
+// plus their mean as the headline CTR. The Positions slice handed to
+// the caller is the only allocation: every built-in model's ClickProbs
+// rides its ClickProbsInto path, which keeps the scoring recursion's
+// internal state on the stack.
 func (s *ClickModelScorer) ScoreCTR(ctx context.Context, req Request) (Response, error) {
 	if err := ctx.Err(); err != nil {
 		return Response{}, err

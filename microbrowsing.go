@@ -116,6 +116,30 @@ var (
 	ClickModelNames = clickmodel.Names
 )
 
+// Compiled session logs: CompileSessions interns a log once (queries
+// and (query, doc) pairs to dense IDs, flat click/derived-state
+// arrays); every built-in click model then fits from it via FitLog
+// without re-hashing strings, with the E-step sharded over a worker
+// pool. See the README "Performance" section.
+type (
+	// CompiledSessionLog is the interned, dense form of a session log.
+	CompiledSessionLog = clickmodel.CompiledLog
+	// SessionVocab interns strings to dense int32 IDs.
+	SessionVocab = clickmodel.Vocab
+	// ClickModelLogFitter is implemented by models fittable from a
+	// CompiledSessionLog.
+	ClickModelLogFitter = clickmodel.LogFitter
+	// FitOption tunes a registry model before Engine.Fit trains it.
+	FitOption = engine.FitOption
+)
+
+var (
+	// CompileSessions validates and interns a session log for dense fits.
+	CompileSessions = clickmodel.Compile
+	// FitIterations is the Engine.Fit option setting EM iteration counts.
+	FitIterations = engine.Iterations
+)
+
 // Micro-browsing model (the paper's contribution).
 type (
 	// Model is the micro-browsing model: per-term relevance plus an

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# bench.sh — run the click-model substrate benchmarks and append a run
+# record to the bench trajectory file (BENCH_clickmodel.json).
+#
+# Usage:
+#   scripts/bench.sh                 # full run (1s benchtime), append to BENCH_clickmodel.json
+#   scripts/bench.sh -t 1x -o /tmp/s.json   # CI smoke: one iteration per bench
+#   scripts/bench.sh -l "post-refactor"     # label the run
+#
+# The trajectory file is a JSON array of run records ordered oldest to
+# newest; each record carries the environment and the parsed
+# ns/op / B/op / allocs/op of every BenchmarkClickModel_* benchmark.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+benchtime="1s"
+out="BENCH_clickmodel.json"
+label=""
+while getopts "t:o:l:h" opt; do
+  case "$opt" in
+    t) benchtime="$OPTARG" ;;
+    o) out="$OPTARG" ;;
+    l) label="$OPTARG" ;;
+    h)
+      sed -n '2,12p' "$0"
+      exit 0
+      ;;
+    *) exit 2 ;;
+  esac
+done
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -bench=ClickModel -benchmem -run '^$' -benchtime "$benchtime" . | tee "$raw"
+
+results=$(awk '
+  /^BenchmarkClickModel/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $2, $3, $5, $7
+    sep = ",\n"
+  }
+' "$raw")
+
+if [ -z "$results" ]; then
+  echo "bench.sh: no BenchmarkClickModel results parsed" >&2
+  exit 1
+fi
+
+# json_escape backslashes and double quotes so free-form fields (the
+# -l label in particular) cannot corrupt the trajectory file.
+json_escape() {
+  printf '%s' "$1" | sed 's/\\/\\\\/g; s/"/\\"/g'
+}
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+goversion=$(go env GOVERSION)
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+label=$(json_escape "$label")
+benchtime_esc=$(json_escape "$benchtime")
+
+entry=$(printf '  {\n    "date": "%s",\n    "commit": "%s",\n    "label": "%s",\n    "go": "%s",\n    "benchtime": "%s",\n    "results": [\n%s\n    ]\n  }' \
+  "$date" "$commit" "$label" "$goversion" "$benchtime_esc" "$results")
+
+if [ ! -s "$out" ]; then
+  printf '[\n%s\n]\n' "$entry" > "$out"
+else
+  # The trajectory file ends with "]" on its own line; splice before it.
+  if [ "$(tail -n 1 "$out")" != "]" ]; then
+    echo "bench.sh: $out does not end with ']' — refusing to append" >&2
+    exit 1
+  fi
+  tmp=$(mktemp)
+  sed '$ d' "$out" > "$tmp"
+  # Add a comma to the previous record's closing brace.
+  sed -i '$ s/}$/},/' "$tmp"
+  printf '%s\n]\n' "$entry" >> "$tmp"
+  mv "$tmp" "$out"
+fi
+
+echo "bench.sh: appended run ($label) to $out"
