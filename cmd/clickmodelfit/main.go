@@ -8,10 +8,16 @@
 // engine; held-out CTR prediction runs through Engine.ScoreBatch over
 // the configured worker pool.
 //
+// With -o the fitted model is also written as a versioned snapshot
+// artifact — the train-offline half of the serving split; point
+// cmd/microserve -load at the file (or POST it to /v1/models/{name}/load)
+// to serve it.
+//
 // Usage:
 //
 //	clickmodelfit -sessions 20000 -ads 4
 //	clickmodelfit -model pbm -workers 8 -iters 10
+//	clickmodelfit -model pbm -o pbm.bin   # fit → snapshot → serve
 //	clickmodelfit -list
 package main
 
@@ -20,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -41,6 +49,7 @@ func main() {
 	only := flag.String("model", "", "fit only this registry model (empty = all; see -list)")
 	iters := flag.Int("iters", 0, "EM iterations for iterative models (0 = model default)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scoring engine worker-pool size")
+	out := flag.String("o", "", "write the fitted model (-model; default pbm when fitting all) as a snapshot artifact")
 	list := flag.Bool("list", false, "list registered click models and exit")
 	flag.Parse()
 
@@ -79,6 +88,13 @@ func main() {
 		reqs[i] = engine.Request{Session: &test[i]}
 	}
 
+	// The snapshot target: the explicitly selected model, or PBM when
+	// fitting the whole registry.
+	snapTarget := strings.ToLower(strings.TrimSpace(*only))
+	if snapTarget == "" {
+		snapTarget = "pbm"
+	}
+
 	fmt.Printf("%-8s %14s %12s %10s  %s\n", "model", "mean LL", "perplexity", "mean pCTR", "perplexity by rank")
 	for _, name := range names {
 		start := time.Now()
@@ -104,6 +120,14 @@ func main() {
 		fmt.Printf("%-8s %14.4f %12.4f %10.4f  [%s]  (%v)\n",
 			ev.Model, ev.LogLikelihood, ev.Perplexity, pCTR, strings.Join(ranks, " "),
 			time.Since(start).Round(time.Millisecond))
+
+		if *out != "" && strings.EqualFold(name, snapTarget) {
+			if err := writeSnapshot(*out, m); err != nil {
+				log.Fatalf("-o %s: %v", *out, err)
+			}
+			log.Printf("wrote %s snapshot to %s (serve with: microserve -load %s=%s)",
+				m.Name(), *out, snapTarget, *out)
+		}
 	}
 
 	// Model-free baseline for reference.
@@ -118,4 +142,27 @@ func main() {
 		mean /= float64(len(ctr))
 	}
 	fmt.Printf("\nempirical CTR by position: [%s] (mean %.4f)\n", strings.Join(parts, " "), mean)
+}
+
+// writeSnapshot saves a fitted model as a binary artifact, atomically
+// (write to a temp file, then rename) so a serving process never loads
+// a half-written file.
+func writeSnapshot(path string, m clickmodel.Model) error {
+	sn, ok := m.(clickmodel.Snapshotter)
+	if !ok {
+		return fmt.Errorf("model %s does not support snapshots", m.Name())
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := sn.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -1,0 +1,122 @@
+// Command microserve is the HTTP serving binary of the scoring engine:
+// the serve-online half of the train-offline / serve-online split. It
+// loads snapshot artifacts produced offline (cmd/clickmodelfit -o, or
+// any model's Save) and answers CTR-scoring requests over JSON, with
+// admin endpoints to hot-swap new artifacts in and roll bad ones back
+// without a restart.
+//
+// Usage:
+//
+//	microserve -addr :8377
+//	microserve -load pbm=/models/pbm.bin -load /models/micro.bin
+//	microserve -default pbm -workers 8
+//
+// Endpoints (see internal/server):
+//
+//	GET  /healthz
+//	GET  /v1/models
+//	POST /v1/score            {"model":"pbm","session":{...}} or {"lines":[...]}
+//	POST /v1/score/batch      {"requests":[...]}
+//	POST /v1/models/{name}/load      {"path":"/models/pbm-v2.bin"}
+//	POST /v1/models/{name}/rollback
+//
+// The process drains in-flight requests on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("microserve: ")
+
+	addr := flag.String("addr", ":8377", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scoring worker-pool size")
+	defModel := flag.String("default", engine.NameMicro, "model served when a request names none")
+	keep := flag.Int("keep", 8, "model versions kept per name (0 = unbounded)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	var loads []string
+	flag.Func("load", "snapshot artifact to serve, as name=path or path (repeatable)", func(v string) error {
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Parse()
+
+	eng := engine.New(
+		engine.WithWorkers(*workers),
+		engine.WithDefaultModel(*defModel),
+		engine.WithKeepVersions(*keep),
+	)
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			name, path = "", spec // bare path: install under the artifact's own name
+		}
+		info, err := loadArtifact(eng, name, path)
+		if err != nil {
+			log.Fatalf("-load %s: %v", spec, err)
+		}
+		log.Printf("loaded %s from %s (%d params, source %s)", info.Ref(), path, info.Params, info.Source)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(eng, log.Default()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (default model %q, %d workers)", *addr, *defModel, *workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down, draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("bye")
+}
+
+// loadArtifact installs one snapshot file into the engine.
+func loadArtifact(eng *engine.Engine, name, path string) (engine.ModelInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return engine.ModelInfo{}, err
+	}
+	defer f.Close()
+	info, err := eng.LoadSnapshot(name, f)
+	if err != nil {
+		return engine.ModelInfo{}, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return info, nil
+}

@@ -33,10 +33,12 @@ import (
 // shown and which of them were clicked. Docs[i] is the document at
 // position i+1 (positions are 1-based in the literature, 0-based here as
 // slice indices).
+// The JSON tags make sessions part of the serving wire format (the
+// macro evidence of cmd/microserve's /v1/score requests).
 type Session struct {
-	Query  string
-	Docs   []string
-	Clicks []bool
+	Query  string   `json:"query"`
+	Docs   []string `json:"docs"`
+	Clicks []bool   `json:"clicks"`
 }
 
 // Validate reports whether the session is well-formed.

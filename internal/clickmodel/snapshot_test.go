@@ -1,0 +1,283 @@
+package clickmodel
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/snapshot"
+)
+
+// snapSessions builds a multi-query log with varying result-list
+// depths, so snapshots carry non-trivial vocabularies, triangular
+// tables and position arrays.
+func snapSessions(seed int64, n, maxDepth int) []Session {
+	rng := rand.New(rand.NewSource(seed))
+	queries := []string{"flights", "hotels", "insurance", "rental cars", "cruises"}
+	out := make([]Session, n)
+	for k := range out {
+		depth := 2 + rng.Intn(maxDepth-1)
+		s := Session{
+			Query:  queries[rng.Intn(len(queries))],
+			Docs:   make([]string, depth),
+			Clicks: make([]bool, depth),
+		}
+		perm := rng.Perm(simDocs)
+		for i := 0; i < depth; i++ {
+			d := perm[i]
+			s.Docs[i] = docName(d)
+			s.Clicks[i] = rng.Float64() < truthAlpha(d)/(1.0+float64(i))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// fitFresh constructs, tunes and fits one registry model.
+func fitFresh(t *testing.T, name string, sessions []Session) Model {
+	t.Helper()
+	m, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it, ok := m.(IterativeModel); ok {
+		it.SetIterations(5)
+	}
+	if err := m.Fit(sessions); err != nil {
+		t.Fatalf("fit %s: %v", name, err)
+	}
+	return m
+}
+
+// TestSnapshotRoundTrip is the per-model property test: fit → Save →
+// Load into a fresh instance → identical predictions (ClickProbs,
+// SessionLogLikelihood, ExaminationProbs) within 1e-12 on held-out
+// sessions, including sessions with unseen queries and documents so
+// the round-tripped priors are exercised too.
+func TestSnapshotRoundTrip(t *testing.T) {
+	train := snapSessions(101, 800, 6)
+	eval := snapSessions(202, 60, 6)
+	// Unseen query and unseen docs hit every prior/fallback path.
+	eval = append(eval,
+		Session{Query: "novel query", Docs: []string{"zz", "yy", "xx"}, Clicks: []bool{true, false, false}},
+		Session{Query: "flights", Docs: []string{"qq", "a", "rr"}, Clicks: []bool{false, true, false}},
+	)
+
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			fitted := fitFresh(t, name, train)
+
+			var buf bytes.Buffer
+			if err := fitted.(Snapshotter).Save(&buf); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			fresh, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.(Snapshotter).Load(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+
+			for i, s := range eval {
+				want, got := fitted.ClickProbs(s), fresh.ClickProbs(s)
+				if len(want) != len(got) {
+					t.Fatalf("session %d: %d probs, want %d", i, len(got), len(want))
+				}
+				for j := range want {
+					if math.Abs(want[j]-got[j]) > 1e-12 {
+						t.Errorf("session %d pos %d: ClickProbs %v, want %v", i, j, got[j], want[j])
+					}
+				}
+				wll, gll := fitted.SessionLogLikelihood(s), fresh.SessionLogLikelihood(s)
+				if math.Abs(wll-gll) > 1e-12 {
+					t.Errorf("session %d: LL %v, want %v", i, gll, wll)
+				}
+				if ex, ok := fitted.(Examiner); ok {
+					we, ge := ex.ExaminationProbs(s), fresh.(Examiner).ExaminationProbs(s)
+					for j := range we {
+						if math.Abs(we[j]-ge[j]) > 1e-12 {
+							t.Errorf("session %d pos %d: ExaminationProbs %v, want %v", i, j, ge[j], we[j])
+						}
+					}
+				}
+			}
+
+			// A second Save must produce identical bytes: artifacts are
+			// deterministic (sorted keys), so they diff and cache cleanly.
+			var buf2 bytes.Buffer
+			if err := fresh.(Snapshotter).Save(&buf2); err != nil {
+				t.Fatalf("re-save: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Error("re-saved artifact differs from the original")
+			}
+
+			if ParamCount(fitted) <= 0 {
+				t.Errorf("ParamCount(%s) = %d after fit", name, ParamCount(fitted))
+			}
+		})
+	}
+}
+
+// TestSnapshotBBMSparse forces BBM's sparse skip-count fallback (deep
+// result lists) through the codec.
+func TestSnapshotBBMSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	depth := 50 // tri(50) > maxDenseBBMCells → sparse layout
+	sessions := make([]Session, 40)
+	for k := range sessions {
+		s := Session{Query: "q", Docs: make([]string, depth), Clicks: make([]bool, depth)}
+		for i := 0; i < depth; i++ {
+			s.Docs[i] = docName(i % simDocs)
+			s.Clicks[i] = rng.Float64() < 0.2/(1+float64(i))
+		}
+		sessions[k] = s
+	}
+	m := NewBBM()
+	m.SetIterations(2)
+	if err := m.Fit(sessions); err != nil {
+		t.Fatal(err)
+	}
+	if m.nonClickS == nil {
+		t.Fatal("test did not reach the sparse layout")
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewBBM()
+	if err := fresh.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sessions[:5] {
+		want, got := m.ClickProbs(s), fresh.ClickProbs(s)
+		for j := range want {
+			if math.Abs(want[j]-got[j]) > 1e-12 {
+				t.Fatalf("session %d pos %d: %v, want %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestLoadModelDispatch reads artifacts back through the registry
+// without knowing the concrete type up front.
+func TestLoadModelDispatch(t *testing.T) {
+	sessions := snapSessions(303, 300, 5)
+	for _, name := range []string{"pbm", "dbn", "sum"} {
+		fitted := fitFresh(t, name, sessions)
+		var buf bytes.Buffer
+		if err := fitted.(Snapshotter).Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m, err := LoadModel(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.EqualFold(m.Name(), name) {
+			t.Errorf("LoadModel gave %q, want %q", m.Name(), name)
+		}
+		want, got := fitted.ClickProbs(sessions[0]), m.ClickProbs(sessions[0])
+		for j := range want {
+			if math.Abs(want[j]-got[j]) > 1e-12 {
+				t.Errorf("%s pos %d: %v, want %v", name, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestSnapshotWrongModel(t *testing.T) {
+	sessions := snapSessions(404, 200, 4)
+	pbm := fitFresh(t, "pbm", sessions)
+	var buf bytes.Buffer
+	if err := pbm.(Snapshotter).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	err := NewUBM().Load(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "PBM") {
+		t.Fatalf("UBM loaded a PBM artifact: %v", err)
+	}
+}
+
+// TestSnapshotRejectsDamage truncates and corrupts a real artifact at
+// every byte: no damaged artifact may load cleanly.
+func TestSnapshotRejectsDamage(t *testing.T) {
+	sessions := snapSessions(505, 120, 4)
+	pbm := fitFresh(t, "pbm", sessions)
+	var buf bytes.Buffer
+	if err := pbm.(Snapshotter).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	for cut := 0; cut < len(raw); cut++ {
+		if err := NewPBM().Load(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d loaded cleanly", cut, len(raw))
+		}
+	}
+	for i := range raw {
+		bad := bytes.Clone(raw)
+		bad[i] ^= 0x5A
+		if err := NewPBM().Load(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipped byte %d/%d loaded cleanly", i, len(raw))
+		}
+		if _, err := LoadModel(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("LoadModel accepted artifact with flipped byte %d", i)
+		}
+	}
+}
+
+// TestSnapshotHugeCountFailsFast: a corrupt count prefix near the
+// codec's length bound must fail on the first missing element instead
+// of pre-allocating gigabytes or spinning through millions of no-op
+// reads.
+func TestSnapshotHugeCountFailsFast(t *testing.T) {
+	var buf bytes.Buffer
+	e := snapshot.NewEncoder(&buf, "PBM")
+	e.Floats(nil)   // Gamma
+	e.Uint(1 << 27) // query count: plausible to Int(), far past the data
+	e.String("q")   // one query, then nothing
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- NewPBM().Load(bytes.NewReader(buf.Bytes())) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("huge-count artifact loaded cleanly")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("decoder spun on a corrupt count instead of failing fast")
+	}
+}
+
+// TestSnapshotRefusesBadTriangle: a hand-mangled UBM gamma table must
+// fail Save rather than emit an artifact only the decoder rejects.
+func TestSnapshotRefusesBadTriangle(t *testing.T) {
+	sessions := snapSessions(707, 100, 4)
+	m := fitFresh(t, "ubm", sessions).(*UBM)
+	m.Gamma[1] = m.Gamma[1][:1] // row 1 should have 2 cells
+	if err := m.Save(&bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "triangular") {
+		t.Fatalf("non-triangular gamma saved cleanly: %v", err)
+	}
+}
+
+func TestSnapshotCorruptIsErrCorrupt(t *testing.T) {
+	sessions := snapSessions(606, 100, 4)
+	pbm := fitFresh(t, "pbm", sessions)
+	var buf bytes.Buffer
+	if err := pbm.(Snapshotter).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xFF // damage the checksum itself
+	if err := NewPBM().Load(bytes.NewReader(raw)); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("checksum damage not ErrCorrupt: %v", err)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+// Snapshot codec for the micro-browsing model: the per-term relevance
+// table, the default relevance, and the attention layer serialize to
+// the self-describing artifact format of internal/snapshot under the
+// reserved model name "micro". Only the shipped attention families
+// (Full, Geometric, Table, nil) are serializable; a custom Attention
+// implementation must be re-attached after Load.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/snapshot"
+)
+
+// SnapshotName is the model name recorded in micro-browsing artifacts,
+// matching the engine's reserved "micro" scorer name.
+const SnapshotName = "micro"
+
+// Attention kind bytes in artifacts.
+const (
+	attNil       = 0 // no attention layer (degenerates to FullAttention)
+	attFull      = 1
+	attGeometric = 2
+	attTable     = 3
+)
+
+// Save writes the model as a self-describing binary artifact. It
+// fails if the attention layer is a custom implementation the codec
+// cannot represent.
+func (m *Model) Save(w io.Writer) error {
+	e := snapshot.NewEncoder(w, SnapshotName)
+
+	terms := make([]string, 0, len(m.Relevance))
+	for t := range m.Relevance {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms) // deterministic artifacts
+	e.Int(len(terms))
+	for _, t := range terms {
+		e.String(t)
+	}
+	for _, t := range terms {
+		e.Float(m.Relevance[t])
+	}
+	e.Float(m.DefaultRelevance)
+
+	switch att := m.Attention.(type) {
+	case nil:
+		e.Uint(attNil)
+	case FullAttention:
+		e.Uint(attFull)
+	case GeometricAttention:
+		e.Uint(attGeometric)
+		e.Floats(att.LineWeights)
+		e.Float(att.Decay)
+	case TableAttention:
+		e.Uint(attTable)
+		e.Int(len(att.W))
+		for _, row := range att.W {
+			e.Floats(row)
+		}
+		e.Float(att.Default)
+	default:
+		e.Close()
+		return fmt.Errorf("core: attention %T is not snapshot-serializable", m.Attention)
+	}
+	return e.Close()
+}
+
+// Load restores the model from an artifact written by Save.
+func (m *Model) Load(r io.Reader) error {
+	d, err := snapshot.NewDecoder(r)
+	if err != nil {
+		return err
+	}
+	if !strings.EqualFold(d.ModelName(), SnapshotName) {
+		return fmt.Errorf("core: artifact holds a %q model, not %q", d.ModelName(), SnapshotName)
+	}
+	m.decodeSnapshot(d)
+	return d.Close()
+}
+
+// LoadModel reads a micro-browsing artifact into a fresh model.
+func LoadModel(r io.Reader) (*Model, error) {
+	m := NewModel(nil)
+	if err := m.Load(r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Decode restores a fresh model's payload from an already-open
+// artifact decoder whose header named "micro". The caller must Close
+// the decoder (verifying the checksum) before trusting the result.
+func Decode(d *snapshot.Decoder) (*Model, error) {
+	m := NewModel(nil)
+	m.decodeSnapshot(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Model) decodeSnapshot(d *snapshot.Decoder) {
+	// Count-prefixed storage grows incrementally with early-out on read
+	// errors, so a corrupt count cannot pre-allocate gigabytes.
+	n := d.Int()
+	terms := make([]string, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		terms = append(terms, d.String())
+		if d.Err() != nil {
+			return
+		}
+	}
+	m.Relevance = make(map[string]float64, min(n, 4096))
+	for _, t := range terms {
+		m.Relevance[t] = d.Float()
+		if d.Err() != nil {
+			return
+		}
+	}
+	m.DefaultRelevance = d.Float()
+
+	switch kind := d.Uint(); kind {
+	case attNil:
+		m.Attention = nil
+	case attFull:
+		m.Attention = FullAttention{}
+	case attGeometric:
+		m.Attention = GeometricAttention{LineWeights: d.Floats(), Decay: d.Float()}
+	case attTable:
+		rows := d.Int()
+		w := make([][]float64, 0, min(rows, 4096))
+		for i := 0; i < rows; i++ {
+			w = append(w, d.Floats())
+			if d.Err() != nil {
+				return
+			}
+		}
+		m.Attention = TableAttention{W: w, Default: d.Float()}
+	default:
+		d.Failf("unknown attention kind %d", kind)
+	}
+}
+
+// NumParams reports the relevance-table size — the engine's Models()
+// metadata for micro scorers.
+func (m *Model) NumParams() int { return len(m.Relevance) }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+func snapModel(att Attention) *Model {
+	m := NewModel(att)
+	m.Relevance["find cheap"] = 0.85
+	m.Relevance["flights"] = 0.6
+	m.Relevance["terms apply"] = 0.2
+	m.DefaultRelevance = 0.45
+	return m
+}
+
+var snapLines = []string{"Acme Air", "Find cheap flights to Rome", "Terms apply"}
+
+func TestMicroSnapshotRoundTrip(t *testing.T) {
+	attentions := map[string]Attention{
+		"nil":       nil,
+		"full":      FullAttention{},
+		"geometric": GeometricAttention{LineWeights: []float64{0.9, 0.6, 0.3}, Decay: 0.8},
+		"table":     TableAttention{W: [][]float64{{0.9, 0.7}, {0.5}}, Default: 0.1},
+	}
+	for name, att := range attentions {
+		t.Run(name, func(t *testing.T) {
+			m := snapModel(att)
+			var buf bytes.Buffer
+			if err := m.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadModel(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			terms := textproc.ExtractTerms(snapLines, 2)
+			if w, g := m.ExpectedScore(terms), got.ExpectedScore(terms); math.Abs(w-g) > 1e-12 {
+				t.Errorf("ExpectedScore %v, want %v", g, w)
+			}
+			for _, tm := range terms {
+				if w, g := m.Examine(tm), got.Examine(tm); math.Abs(w-g) > 1e-12 {
+					t.Errorf("Examine(%v) %v, want %v", tm, g, w)
+				}
+				if w, g := m.TermRelevance(tm.Text), got.TermRelevance(tm.Text); math.Abs(w-g) > 1e-12 {
+					t.Errorf("TermRelevance(%q) %v, want %v", tm.Text, g, w)
+				}
+			}
+			if got.NumParams() != m.NumParams() {
+				t.Errorf("NumParams %d, want %d", got.NumParams(), m.NumParams())
+			}
+		})
+	}
+}
+
+type customAttention struct{}
+
+func (customAttention) Examine(line, pos int) float64 { return 0.5 }
+
+func TestMicroSnapshotCustomAttention(t *testing.T) {
+	m := snapModel(customAttention{})
+	if err := m.Save(&bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "customAttention") {
+		t.Fatalf("custom attention saved cleanly: %v", err)
+	}
+}
+
+func TestMicroSnapshotRejectsDamage(t *testing.T) {
+	m := snapModel(GeometricAttention{LineWeights: []float64{0.9}, Decay: 0.7})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := LoadModel(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d loaded cleanly", cut, len(raw))
+		}
+	}
+	for i := range raw {
+		bad := bytes.Clone(raw)
+		bad[i] ^= 0x5A
+		if _, err := LoadModel(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipped byte %d/%d loaded cleanly", i, len(raw))
+		}
+	}
+}

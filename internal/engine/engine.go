@@ -11,45 +11,109 @@
 //
 //   - name-based model selection backed by the clickmodel registry, so
 //     binaries pick models from config strings (-model pbm);
-//   - lifecycle helpers (Fit trains a registry model on a session log
-//     and installs it; Register installs any custom Scorer);
+//   - immutable, versioned model installs: every Register/Fit/
+//     LoadSnapshot publishes a new version of the named scorer into a
+//     copy-on-write table behind an atomic pointer, so the read path
+//     (ScoreCTR/ScoreBatch) is lock-free and in-flight requests always
+//     see a consistent table. Requests address "name" (the latest
+//     version) or "name@3" (a pinned version); Rollback moves the
+//     latest pointer back without discarding the newer version.
+//   - snapshot artifacts: SaveSnapshot writes an installed model's
+//     fitted parameters as a self-describing binary artifact
+//     (internal/snapshot) and LoadSnapshot hot-swaps one in — the
+//     fit-offline / serve-online split (cmd/microserve is the HTTP
+//     front over exactly this surface);
 //   - concurrent batch scoring: ScoreBatch fans a request slice over a
 //     worker pool with per-request error reporting and cooperative
 //     context cancellation.
 //
 // The facade package re-exports the engine as the library's primary
-// public API; see the repository README for the migration table from
-// the old flat constructor surface.
+// public API; see the repository README for the serving walkthrough
+// and DESIGN.md for the system inventory.
 package engine
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/clickmodel"
 	"repro/internal/core"
+	"repro/internal/snapshot"
 )
 
 // NameMicro is the reserved scorer name of the micro-browsing model.
 const NameMicro = "micro"
 
-// Engine routes scoring requests to named scorers and runs batches
-// over a worker pool. Create one with New; the zero value is unusable.
+// Engine routes scoring requests to named, versioned scorers and runs
+// batches over a worker pool. Create one with New; the zero value is
+// unusable.
 //
 // An Engine is safe for concurrent use. Installing scorers (Register,
-// Fit) while batches are in flight is allowed; in-flight requests see
-// either the old or the new scorer.
+// Fit, LoadSnapshot, Rollback) while batches are in flight is allowed:
+// writers publish a fresh immutable scorer table through an atomic
+// pointer, so readers never block and each request resolves against
+// one consistent table.
 type Engine struct {
 	workers      int
 	attention    core.Attention
 	defaultModel string
+	keep         int
 
-	mu      sync.RWMutex
-	scorers map[string]Scorer
+	mu  sync.Mutex                  // serialises table writers only
+	tab atomic.Pointer[scorerTable] // read path loads this, lock-free
+}
+
+// scorerTable is one immutable generation of the engine's model table.
+// Writers clone-and-replace; readers treat everything reachable from
+// it as read-only.
+type scorerTable struct {
+	entries map[string]*modelEntry
+}
+
+// modelEntry is the version history of one model name. Immutable once
+// published (writers clone the entry they modify).
+type modelEntry struct {
+	latest   int // version currently served by bare-name requests
+	maxVer   int // highest version ever assigned under this name
+	versions map[int]modelVersion
+}
+
+// modelVersion is one installed scorer plus its metadata.
+type modelVersion struct {
+	scorer Scorer
+	info   ModelInfo
+}
+
+// ModelInfo describes one installed model version — the engine's
+// Models() metadata and the wire shape of GET /v1/models.
+type ModelInfo struct {
+	// Name is the canonical scorer name.
+	Name string `json:"name"`
+	// Version is the install counter under this name (1-based,
+	// monotonic; never reused even after Rollback).
+	Version int `json:"version"`
+	// Latest reports whether bare-name requests resolve to this version.
+	Latest bool `json:"latest"`
+	// Params is the fitted parameter count (0 when unknown).
+	Params int `json:"params"`
+	// Source records how the version arrived: "fit", "register" or
+	// "snapshot".
+	Source string `json:"source"`
+	// FittedAt is the install time (UTC).
+	FittedAt time.Time `json:"fitted_at"`
+}
+
+// Ref is the version-addressed name of this model ("pbm@3").
+func (mi ModelInfo) Ref() string {
+	return mi.Name + "@" + strconv.Itoa(mi.Version)
 }
 
 // Option configures an Engine at construction time.
@@ -80,13 +144,27 @@ func WithDefaultModel(name string) Option {
 	return func(e *Engine) { e.defaultModel = canonical(name) }
 }
 
+// WithKeepVersions bounds the version history kept per model name
+// (default 8). Older versions beyond the bound are dropped on install;
+// n <= 0 keeps every version. The served (latest) version is never
+// dropped.
+func WithKeepVersions(n int) Option {
+	return func(e *Engine) { e.keep = n }
+}
+
+// defaultKeepVersions bounds per-name history so a serving process
+// refitting on live traffic does not accumulate old parameter tables
+// without bound.
+const defaultKeepVersions = 8
+
 // New returns an Engine with the given options applied.
 func New(opts ...Option) *Engine {
 	e := &Engine{
 		workers:      runtime.GOMAXPROCS(0),
 		defaultModel: NameMicro,
-		scorers:      make(map[string]Scorer),
+		keep:         defaultKeepVersions,
 	}
+	e.tab.Store(&scorerTable{entries: map[string]*modelEntry{}})
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -99,37 +177,129 @@ func canonical(name string) string {
 	return strings.ToLower(strings.TrimSpace(name))
 }
 
-// requestModel is the name a request will resolve to, without
-// resolving: the canonical form of its Model field, or the engine
-// default when empty. Used to stamp responses that never reach a
-// scorer (cancellation) so Response.Model is populated even on error.
-func (e *Engine) requestModel(name string) string {
-	if key := canonical(name); key != "" {
-		return key
+// parseRef splits a model reference into canonical name and pinned
+// version: "pbm" → ("pbm", 0), "pbm@3" → ("pbm", 3). Version 0 means
+// "latest".
+func parseRef(ref string) (name string, version int, err error) {
+	name = canonical(ref)
+	at := strings.LastIndexByte(name, '@')
+	if at < 0 {
+		return name, 0, nil
 	}
-	return e.defaultModel
+	v, convErr := strconv.Atoi(strings.TrimSpace(name[at+1:]))
+	if convErr != nil || v < 1 || at == 0 {
+		return "", 0, fmt.Errorf("%w: bad reference %q (want name or name@version)", ErrNoModel, ref)
+	}
+	return strings.TrimSpace(name[:at]), v, nil
 }
 
-// Register installs a scorer under the given name, replacing any
-// previous scorer of that name.
-func (e *Engine) Register(name string, s Scorer) {
+// requestModel is the canonical name a request will resolve to,
+// without resolving: used to stamp responses that never reach a scorer
+// (cancellation) so Response.Model is populated even on error.
+func (e *Engine) requestModel(ref string) string {
+	name, _, err := parseRef(ref)
+	if err != nil {
+		return canonical(ref)
+	}
+	if name == "" {
+		if dn, _, derr := parseRef(e.defaultModel); derr == nil && dn != "" {
+			return dn
+		}
+		return e.defaultModel
+	}
+	return name
+}
+
+// installLocked publishes a new version of name serving s. Caller
+// holds e.mu.
+func (e *Engine) installLocked(name string, s Scorer, source string) ModelInfo {
+	cur := e.tab.Load()
+	next := &scorerTable{entries: make(map[string]*modelEntry, len(cur.entries)+1)}
+	for k, v := range cur.entries {
+		next.entries[k] = v
+	}
+
+	ent := &modelEntry{versions: map[int]modelVersion{}}
+	if old := cur.entries[name]; old != nil {
+		ent.maxVer = old.maxVer
+		for v, mv := range old.versions {
+			ent.versions[v] = mv
+		}
+	}
+	ent.maxVer++
+	ent.latest = ent.maxVer
+	info := ModelInfo{
+		Name:     name,
+		Version:  ent.maxVer,
+		Params:   scorerParams(s),
+		Source:   source,
+		FittedAt: time.Now().UTC(),
+	}
+	ent.versions[ent.maxVer] = modelVersion{scorer: s, info: info}
+
+	if e.keep > 0 && len(ent.versions) > e.keep {
+		vers := make([]int, 0, len(ent.versions))
+		for v := range ent.versions {
+			vers = append(vers, v)
+		}
+		sort.Ints(vers)
+		for _, v := range vers[:len(vers)-e.keep] {
+			if v != ent.latest {
+				delete(ent.versions, v)
+			}
+		}
+	}
+
+	next.entries[name] = ent
+	e.tab.Store(next)
+	info.Latest = true // the stored copy leaves Latest to Models(), which computes it per table generation
+	return info
+}
+
+// install takes the writer lock and publishes a new version. Name
+// validation returns an error (not a panic) because names arrive from
+// the wire via LoadSnapshot.
+func (e *Engine) install(name string, s Scorer, source string) (ModelInfo, error) {
 	key := canonical(name)
 	if key == "" || s == nil {
-		panic("engine: Register needs a name and a scorer")
+		return ModelInfo{}, fmt.Errorf("engine: install needs a name and a scorer")
+	}
+	if strings.ContainsRune(key, '@') {
+		return ModelInfo{}, fmt.Errorf("engine: model name %q must not contain '@' (reserved for version references)", name)
 	}
 	e.mu.Lock()
-	e.scorers[key] = s
-	e.mu.Unlock()
+	defer e.mu.Unlock()
+	return e.installLocked(key, s, source), nil
+}
+
+// mustInstall is install for compile-time-known names, where a bad
+// name or nil scorer is a programmer error worth failing loudly at
+// process start.
+func (e *Engine) mustInstall(name string, s Scorer, source string) ModelInfo {
+	info, err := e.install(name, s, source)
+	if err != nil {
+		panic(err)
+	}
+	return info
+}
+
+// Register installs a scorer as a new version under the given name.
+// Earlier versions stay addressable as name@version (subject to
+// WithKeepVersions pruning). Invalid names and nil scorers panic —
+// Register wires code, not wire input; use LoadSnapshot for the
+// latter.
+func (e *Engine) Register(name string, s Scorer) ModelInfo {
+	return e.mustInstall(name, s, "register")
 }
 
 // RegisterModel installs a fitted macro click model under its own name.
-func (e *Engine) RegisterModel(m clickmodel.Model) {
-	e.Register(m.Name(), NewClickModelScorer(m))
+func (e *Engine) RegisterModel(m clickmodel.Model) ModelInfo {
+	return e.mustInstall(m.Name(), NewClickModelScorer(m), "fit")
 }
 
 // UseMicro installs a micro-browsing model as the NameMicro scorer.
-func (e *Engine) UseMicro(m *core.Model) {
-	e.Register(NameMicro, NewMicroScorer(m))
+func (e *Engine) UseMicro(m *core.Model) ModelInfo {
+	return e.mustInstall(NameMicro, NewMicroScorer(m), "register")
 }
 
 // FitOption tunes a freshly constructed registry model before Fit
@@ -151,9 +321,9 @@ func Iterations(n int) FitOption {
 }
 
 // Fit constructs the named model from the clickmodel registry, applies
-// the options, trains it on the session log, installs it, and returns
-// the fitted instance (e.g. for offline evaluation with
-// clickmodel.Evaluate).
+// the options, trains it on the session log, installs it as a new
+// version, and returns the fitted instance (e.g. for offline
+// evaluation with clickmodel.Evaluate or snapshotting with Save).
 func (e *Engine) Fit(name string, sessions []clickmodel.Session, opts ...FitOption) (clickmodel.Model, error) {
 	m, err := clickmodel.New(name)
 	if err != nil {
@@ -196,69 +366,239 @@ func (e *Engine) FitCompiled(name string, c *clickmodel.CompiledLog, opts ...Fit
 	return m, nil
 }
 
-// Models returns the names of the installed scorers in sorted order.
-func (e *Engine) Models() []string {
-	e.mu.RLock()
-	names := make([]string, 0, len(e.scorers))
-	for name := range e.scorers {
+// Models returns the metadata of every installed model version,
+// sorted by name then version.
+func (e *Engine) Models() []ModelInfo {
+	t := e.tab.Load()
+	out := make([]ModelInfo, 0, len(t.entries))
+	for _, ent := range t.entries {
+		for v, mv := range ent.versions {
+			info := mv.info
+			info.Latest = v == ent.latest
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// ModelNames returns the installed model names in sorted order.
+func (e *Engine) ModelNames() []string {
+	t := e.tab.Load()
+	names := make([]string, 0, len(t.entries))
+	for name := range t.entries {
 		names = append(names, name)
 	}
-	e.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
-// resolve maps a request's model name to an installed scorer. The
-// micro scorer is built (and cached) on demand from the engine's
-// attention option; registry click-model names that were never fitted
-// are rejected with a hint rather than silently scored from priors.
-func (e *Engine) resolve(name string) (string, Scorer, error) {
+// Rollback moves a model's latest pointer to the highest version below
+// the current one, so bare-name requests are served by the previous
+// model while the rolled-back version stays addressable by name@version.
+// Returns the metadata of the newly-latest version.
+func (e *Engine) Rollback(name string) (ModelInfo, error) {
+	key := canonical(name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	cur := e.tab.Load()
+	old := cur.entries[key]
+	if old == nil {
+		return ModelInfo{}, fmt.Errorf("engine: rollback of unknown model %q (installed: %s)",
+			name, strings.Join(e.ModelNames(), ", "))
+	}
+	prev := 0
+	for v := range old.versions {
+		if v < old.latest && v > prev {
+			prev = v
+		}
+	}
+	if prev == 0 {
+		return ModelInfo{}, fmt.Errorf("engine: model %q has no version before %d to roll back to", name, old.latest)
+	}
+
+	next := &scorerTable{entries: make(map[string]*modelEntry, len(cur.entries))}
+	for k, v := range cur.entries {
+		next.entries[k] = v
+	}
+	ent := &modelEntry{latest: prev, maxVer: old.maxVer, versions: make(map[int]modelVersion, len(old.versions))}
+	for v, mv := range old.versions {
+		ent.versions[v] = mv
+	}
+	next.entries[key] = ent
+	e.tab.Store(next)
+
+	info := ent.versions[prev].info
+	info.Latest = true
+	return info, nil
+}
+
+// LoadSnapshot decodes a model artifact (written by SaveSnapshot, a
+// model's own Save, or cmd/clickmodelfit -o) and installs it as a new
+// version under name; an empty name installs under the model name
+// recorded in the artifact. The swap is atomic: requests in flight
+// keep the version they resolved, later requests see the new one.
+func (e *Engine) LoadSnapshot(name string, r io.Reader) (ModelInfo, error) {
+	s, artifactName, err := DecodeScorer(r)
+	if err != nil {
+		return ModelInfo{}, err
+	}
 	key := canonical(name)
 	if key == "" {
-		key = e.defaultModel
+		key = artifactName
 	}
-	e.mu.RLock()
-	s, ok := e.scorers[key]
-	e.mu.RUnlock()
-	if ok {
-		return key, s, nil
+	return e.install(key, s, "snapshot")
+}
+
+// SaveSnapshot writes the model a reference resolves to ("pbm",
+// "pbm@2", "micro", empty = engine default) as a binary artifact.
+func (e *Engine) SaveSnapshot(ref string, w io.Writer) error {
+	_, _, s, err := e.resolve(ref)
+	if err != nil {
+		return err
 	}
-	if key == NameMicro {
-		e.mu.Lock()
-		if s, ok = e.scorers[key]; !ok {
-			s = NewMicroScorer(core.NewModel(e.attention))
-			e.scorers[key] = s
+	switch t := s.(type) {
+	case *ClickModelScorer:
+		if sn, ok := t.M.(clickmodel.Snapshotter); ok {
+			return sn.Save(w)
 		}
+		return fmt.Errorf("engine: click model %q does not implement clickmodel.Snapshotter", t.M.Name())
+	case *MicroScorer:
+		return t.M.Save(w)
+	}
+	if sn, ok := s.(interface{ Save(io.Writer) error }); ok {
+		return sn.Save(w)
+	}
+	return fmt.Errorf("engine: scorer %q is not snapshot-serializable", ref)
+}
+
+// DecodeScorer reads any model artifact — macro or micro — and returns
+// a ready Scorer plus the canonical model name recorded in the header.
+func DecodeScorer(r io.Reader) (Scorer, string, error) {
+	d, err := snapshot.NewDecoder(r)
+	if err != nil {
+		return nil, "", err
+	}
+	name := canonical(d.ModelName())
+	var s Scorer
+	if name == NameMicro {
+		m, err := core.Decode(d)
+		if err != nil {
+			return nil, "", err
+		}
+		s = NewMicroScorer(m)
+	} else {
+		m, err := clickmodel.Decode(d)
+		if err != nil {
+			return nil, "", err
+		}
+		s = NewClickModelScorer(m)
+	}
+	if err := d.Close(); err != nil {
+		return nil, "", err
+	}
+	return s, name, nil
+}
+
+// scorerParams extracts the fitted-parameter count for Models()
+// metadata; unknown scorer types report 0.
+func scorerParams(s Scorer) int {
+	switch t := s.(type) {
+	case *ClickModelScorer:
+		return clickmodel.ParamCount(t.M)
+	case *MicroScorer:
+		return t.M.NumParams()
+	case interface{ NumParams() int }:
+		return t.NumParams()
+	}
+	return 0
+}
+
+// resolve maps a request's model reference to an installed scorer from
+// one atomic load of the table — no locks on the read path. The micro
+// scorer is built (and installed) on demand from the engine's
+// attention option; registry click-model names that were never fitted
+// are rejected with a hint rather than silently scored from priors.
+func (e *Engine) resolve(ref string) (name string, version int, s Scorer, err error) {
+	name, version, err = parseRef(ref)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	if name == "" {
+		// The default may itself be a versioned reference
+		// (WithDefaultModel("pbm@2")); honour the pin.
+		name, version, err = parseRef(e.defaultModel)
+		if err != nil {
+			return "", 0, nil, fmt.Errorf("engine: bad default model: %w", err)
+		}
+	}
+	t := e.tab.Load()
+	if ent := t.entries[name]; ent != nil {
+		v := version
+		if v == 0 {
+			v = ent.latest
+		}
+		if mv, ok := ent.versions[v]; ok {
+			return name, v, mv.scorer, nil
+		}
+		return name, 0, nil, fmt.Errorf("%w: %q has no installed version %d (latest is %d)", ErrNoModel, name, version, ent.latest)
+	}
+	if name == NameMicro && version == 0 {
+		// Materialise the default micro scorer on first use.
+		e.mu.Lock()
+		t = e.tab.Load() // re-check: another writer may have won
+		if ent := t.entries[name]; ent != nil {
+			mv := ent.versions[ent.latest]
+			e.mu.Unlock()
+			return name, ent.latest, mv.scorer, nil
+		}
+		s = NewMicroScorer(core.NewModel(e.attention))
+		info := e.installLocked(name, s, "register")
 		e.mu.Unlock()
-		return key, s, nil
+		return name, info.Version, s, nil
 	}
-	if _, err := clickmodel.Lookup(key); err == nil {
-		return key, nil, fmt.Errorf("engine: click model %q is known but not fitted; call Fit(%q, sessions) or Register first", key, key)
+	if _, lookupErr := clickmodel.Lookup(name); lookupErr == nil {
+		return name, 0, nil, fmt.Errorf("%w: click model %q is known but not fitted; call Fit(%q, sessions) or LoadSnapshot first", ErrNoModel, name, name)
 	}
-	return key, nil, fmt.Errorf("engine: unknown model %q (installed: %s; registry: %s)",
-		name, strings.Join(e.Models(), ", "), strings.Join(clickmodel.Names(), ", "))
+	return name, 0, nil, fmt.Errorf("%w: unknown model %q (installed: %s; registry: %s)",
+		ErrNoModel, ref, strings.Join(e.ModelNames(), ", "), strings.Join(clickmodel.Names(), ", "))
 }
 
 // ScoreCTR scores one request through the scorer its Model field
-// names (empty = the engine default). The returned Response carries
-// the request ID and resolved model name even on error.
+// references (empty = the engine default; "name@version" pins a
+// version). The returned Response carries the request ID, resolved
+// model name and serving version even on error.
 func (e *Engine) ScoreCTR(ctx context.Context, req Request) (Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
-		return Response{ID: req.ID, Model: e.requestModel(req.Model), Err: err}, err
+		resp := Response{ID: req.ID, Model: e.requestModel(req.Model)}
+		resp.setErr(err)
+		return resp, err
 	}
-	name, s, err := e.resolve(req.Model)
+	name, version, s, err := e.resolve(req.Model)
 	if err != nil {
-		return Response{ID: req.ID, Model: name, Err: err}, err
+		resp := Response{ID: req.ID, Model: name}
+		resp.setErr(err)
+		return resp, err
 	}
+	return e.scoreResolved(ctx, req, name, version, s)
+}
+
+// scoreResolved is the post-resolution half of ScoreCTR.
+func (e *Engine) scoreResolved(ctx context.Context, req Request, name string, version int, s Scorer) (Response, error) {
 	resp, err := s.ScoreCTR(ctx, req)
 	resp.ID = req.ID
-	if resp.Model == "" {
-		resp.Model = name
-	}
-	resp.Err = err
+	resp.Model = name // canonical table key, whatever the scorer stamped
+	resp.ModelVersion = version
+	resp.setErr(err)
 	return resp, err
 }
 
@@ -267,6 +607,11 @@ func (e *Engine) ScoreCTR(ctx context.Context, req Request) (Response, error) {
 // request that fails records its error in Response.Err without
 // affecting its neighbours. When ctx is cancelled mid-batch,
 // unprocessed requests are returned with Err set to ctx.Err().
+//
+// Model references are resolved against the table as the batch runs
+// (workers memoise repeated references), so a concurrent hot-swap may
+// serve part of a batch from the old version and part from the new —
+// each response's ModelVersion records which.
 func (e *Engine) ScoreBatch(ctx context.Context, reqs []Request) []Response {
 	if ctx == nil {
 		ctx = context.Background()
@@ -284,9 +629,9 @@ func (e *Engine) ScoreBatch(ctx context.Context, reqs []Request) []Response {
 	}
 
 	// Work is handed out in chunks to amortise channel hops; cancellation
-	// stays per-request because ScoreCTR checks the context on entry, so
-	// a cancelled batch drains each in-flight chunk with error responses
-	// rather than stale scores.
+	// stays per-request because the worker loop checks the context before
+	// each score, so a cancelled batch drains each in-flight chunk with
+	// error responses rather than stale scores.
 	chunk := len(reqs) / (workers * 8)
 	if chunk < 1 {
 		chunk = 1
@@ -297,13 +642,40 @@ func (e *Engine) ScoreBatch(ctx context.Context, reqs []Request) []Response {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Batches overwhelmingly score one or two models, so each
+			// worker memoises its last successful resolution: repeated
+			// references skip the ref parse and table lookup, keeping the
+			// hot dispatch loop at a string compare per request. The cache
+			// lives for one batch only — a hot-swap lands no later than
+			// the next ScoreBatch call.
+			var (
+				cacheRef    string
+				cacheName   string
+				cacheVer    int
+				cacheScorer Scorer
+			)
 			for start := range starts {
 				end := start + chunk
 				if end > len(reqs) {
 					end = len(reqs)
 				}
 				for i := start; i < end; i++ {
-					out[i], _ = e.ScoreCTR(ctx, reqs[i])
+					req := reqs[i]
+					if err := ctx.Err(); err != nil {
+						out[i] = Response{ID: req.ID, Model: e.requestModel(req.Model)}
+						out[i].setErr(err)
+						continue
+					}
+					if cacheScorer == nil || req.Model != cacheRef {
+						name, version, s, err := e.resolve(req.Model)
+						if err != nil {
+							out[i] = Response{ID: req.ID, Model: name}
+							out[i].setErr(err)
+							continue
+						}
+						cacheRef, cacheName, cacheVer, cacheScorer = req.Model, name, version, s
+					}
+					out[i], _ = e.scoreResolved(ctx, req, cacheName, cacheVer, cacheScorer)
 				}
 			}
 		}()
@@ -323,7 +695,8 @@ feed:
 
 	// Requests the feeder never dispatched carry the cancellation error.
 	for i := next; i < len(reqs); i++ {
-		out[i] = Response{ID: reqs[i].ID, Model: e.requestModel(reqs[i].Model), Err: ctx.Err()}
+		out[i] = Response{ID: reqs[i].ID, Model: e.requestModel(reqs[i].Model)}
+		out[i].setErr(ctx.Err())
 	}
 	return out
 }

@@ -290,16 +290,32 @@ func TestEngineModelsAndRegister(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := e.Models()
-	want := []string{"cascade", "micro"}
-	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
-		t.Errorf("Models() = %v, want %v", got, want)
+	if len(got) != 2 || got[0].Name != "cascade" || got[1].Name != "micro" {
+		t.Fatalf("Models() = %v", got)
+	}
+	for _, mi := range got {
+		if mi.Version != 1 || !mi.Latest {
+			t.Errorf("%s: version %d latest %v, want fresh v1 latest", mi.Name, mi.Version, mi.Latest)
+		}
+		if mi.Params <= 0 {
+			t.Errorf("%s: Params = %d", mi.Name, mi.Params)
+		}
+		if mi.FittedAt.IsZero() {
+			t.Errorf("%s: FittedAt is zero", mi.Name)
+		}
+	}
+	if got[0].Source != "fit" || got[1].Source != "register" {
+		t.Errorf("sources = %q, %q", got[0].Source, got[1].Source)
+	}
+	if names := e.ModelNames(); len(names) != 2 || names[0] != "cascade" || names[1] != "micro" {
+		t.Errorf("ModelNames() = %v", names)
 	}
 	// The default micro scorer is materialised lazily on first use.
 	e2 := New(WithAttention(core.FullAttention{}))
 	if _, err := e2.ScoreCTR(context.Background(), Request{Lines: testLines}); err != nil {
 		t.Fatal(err)
 	}
-	if got := e2.Models(); len(got) != 1 || got[0] != NameMicro {
+	if got := e2.Models(); len(got) != 1 || got[0].Name != NameMicro {
 		t.Errorf("lazy micro not installed: %v", got)
 	}
 }

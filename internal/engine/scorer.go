@@ -21,17 +21,21 @@ import (
 //     and predict a click probability per position;
 //   - micro scorers read Lines — one snippet's text — and predict the
 //     snippet's standalone CTR from per-term relevance × attention.
+//
+// Requests and responses carry JSON tags because they are also the
+// wire format of cmd/microserve's /v1/score endpoints.
 type Request struct {
 	// ID is an opaque correlation tag echoed into the Response.
-	ID string
-	// Model selects the scorer by name; empty uses the engine default.
-	Model string
+	ID string `json:"id,omitempty"`
+	// Model selects the scorer by name; empty uses the engine default
+	// and "name@version" pins an installed version.
+	Model string `json:"model,omitempty"`
 	// Session is the macro evidence: one query impression.
-	Session *clickmodel.Session
+	Session *clickmodel.Session `json:"session,omitempty"`
 	// Lines is the micro evidence: the snippet's lines.
-	Lines []string
+	Lines []string `json:"lines,omitempty"`
 	// MaxN is the n-gram order for term extraction (default 2).
-	MaxN int
+	MaxN int `json:"max_n,omitempty"`
 }
 
 // maxN returns the request's n-gram order with the default applied.
@@ -45,23 +49,41 @@ func (r Request) maxN() int {
 // Response is the outcome of scoring one Request.
 type Response struct {
 	// ID echoes the request's correlation tag.
-	ID string
+	ID string `json:"id,omitempty"`
 	// Model is the resolved scorer name.
-	Model string
+	Model string `json:"model,omitempty"`
+	// ModelVersion is the installed version that served the request
+	// (0 when resolution failed) — under hot-swapping, the way to tell
+	// which parameters produced an estimate.
+	ModelVersion int `json:"model_version,omitempty"`
 	// CTR is the headline estimate: the predicted click-through rate of
 	// the snippet (micro) or the mean per-position click probability of
 	// the session (macro).
-	CTR float64
+	CTR float64 `json:"ctr"`
 	// Positions holds the per-position click probabilities for macro
 	// requests; nil for micro requests.
-	Positions []float64
+	Positions []float64 `json:"positions,omitempty"`
 	// Score is the expected log-probability score of Eq. 3 for micro
 	// requests (differences of Scores reproduce the pairwise Eq. 5);
 	// zero for macro requests.
-	Score float64
+	Score float64 `json:"score,omitempty"`
 	// Err records the per-request failure in batch results; single-call
-	// APIs also return it as an error value.
-	Err error
+	// APIs also return it as an error value. Interface values do not
+	// survive encoding/json (they marshal as {}), so Err is excluded
+	// from the wire format in favour of Error.
+	Err error `json:"-"`
+	// Error is Err's message, the wire-visible failure of this request;
+	// empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// setErr records a failure on both the in-process (Err) and wire
+// (Error) fields.
+func (r *Response) setErr(err error) {
+	r.Err = err
+	if err != nil {
+		r.Error = err.Error()
+	}
 }
 
 // Scorer is the unified scoring surface: anything that can turn a
@@ -74,6 +96,11 @@ type Scorer interface {
 // ErrNoEvidence is wrapped by scorer errors when a request lacks the
 // evidence kind (session vs lines) the scorer consumes.
 var ErrNoEvidence = errors.New("engine: request lacks the evidence this scorer consumes")
+
+// ErrNoModel is wrapped by resolution errors — unknown names, malformed
+// or missing version references, registry models that were never
+// fitted. The HTTP layer maps it to 404 while evidence errors stay 422.
+var ErrNoModel = errors.New("engine: no such model")
 
 // ClickModelScorer adapts a fitted macro click model (internal/clickmodel)
 // to the Scorer interface. The wrapped model's ClickProbs must be

@@ -1,0 +1,182 @@
+// Package server is the HTTP/JSON serving surface over the scoring
+// engine: the serve-online half of the train-offline / serve-online
+// split. cmd/microserve wires it to a listener; the handlers are
+// exported through New so tests drive them with net/http/httptest.
+//
+// Routes:
+//
+//	GET  /healthz                  — liveness + installed model count
+//	GET  /v1/models                — metadata of every installed version
+//	POST /v1/score                 — score one engine.Request
+//	POST /v1/score/batch           — score a request slice concurrently
+//	POST /v1/models/{name}/load    — hot-swap a snapshot artifact in
+//	POST /v1/models/{name}/rollback— move the latest pointer back
+//
+// Scoring endpoints speak engine.Request / engine.Response verbatim
+// (the engine types carry the wire tags); per-request failures travel
+// in Response.Error, never silently as "{}".
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/engine"
+)
+
+// maxBodyBytes bounds request bodies; a batch of tens of thousands of
+// snippet requests fits comfortably, an accidental upload does not.
+const maxBodyBytes = 32 << 20
+
+// Server serves one Engine over HTTP.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+	log *log.Logger
+}
+
+// New returns a Server routing to eng. logger may be nil (discards).
+func New(eng *engine.Engine, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	s := &Server{eng: eng, mux: http.NewServeMux(), log: logger}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/score", s.handleScore)
+	s.mux.HandleFunc("POST /v1/score/batch", s.handleScoreBatch)
+	s.mux.HandleFunc("POST /v1/models/{name}/load", s.handleLoad)
+	s.mux.HandleFunc("POST /v1/models/{name}/rollback", s.handleRollback)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON sends one JSON document with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) // past WriteHeader there is no better way to report failure
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody unmarshals a bounded JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Models int    `json:"models"`
+	}{"ok", len(s.eng.ModelNames())})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Models []engine.ModelInfo `json:"models"`
+	}{s.eng.Models()})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req engine.Request
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.eng.ScoreCTR(r.Context(), req)
+	if err != nil {
+		// Model-resolution failures are addressing errors (404); evidence
+		// and validation failures are semantic (422). resp carries Error.
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, engine.ErrNoModel) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchRequest / batchResponse are the /v1/score/batch wire shapes.
+type batchRequest struct {
+	Requests []engine.Request `json:"requests"`
+}
+
+type batchResponse struct {
+	Responses []engine.Response `json:"responses"`
+}
+
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resps := s.eng.ScoreBatch(r.Context(), req.Requests)
+	writeJSON(w, http.StatusOK, batchResponse{Responses: resps})
+}
+
+// loadRequest is the admin body of POST /v1/models/{name}/load: the
+// snapshot artifact to swap in, by file path on the serving host.
+type loadRequest struct {
+	Path string `json:"path"`
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req loadRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "load needs a snapshot path")
+		return
+	}
+	f, err := os.Open(req.Path)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "open snapshot: %v", err)
+		return
+	}
+	defer f.Close()
+	info, err := s.eng.LoadSnapshot(name, f)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "load snapshot: %v", err)
+		return
+	}
+	s.log.Printf("hot-swapped %s from %s (%d params)", info.Ref(), req.Path, info.Params)
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, err := s.eng.Rollback(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "rollback: %v", err)
+		return
+	}
+	s.log.Printf("rolled %s back to %s", name, info.Ref())
+	writeJSON(w, http.StatusOK, info)
+}

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/clickmodel"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// testSessions builds a deterministic synthetic log (mirrors the
+// engine tests' generator).
+func testSessions(n int) []clickmodel.Session {
+	rng := rand.New(rand.NewSource(7))
+	docs := []string{"a", "b", "c", "d", "e", "f"}
+	gamma := []float64{0.9, 0.6, 0.4, 0.2}
+	out := make([]clickmodel.Session, 0, n)
+	for k := 0; k < n; k++ {
+		s := clickmodel.Session{Query: "q", Docs: make([]string, 4), Clicks: make([]bool, 4)}
+		for i := range s.Docs {
+			s.Docs[i] = docs[rng.Intn(len(docs))]
+			s.Clicks[i] = rng.Float64() < gamma[i]*0.4
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func testMicroModel() *core.Model {
+	m := core.NewModel(core.GeometricAttention{LineWeights: []float64{0.9, 0.6, 0.3}, Decay: 0.8})
+	m.Relevance["find cheap"] = 0.85
+	m.Relevance["flights"] = 0.6
+	return m
+}
+
+// newTestServer builds an engine with a fitted PBM + micro model and
+// wraps it in an httptest server.
+func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine, []clickmodel.Session) {
+	t.Helper()
+	sessions := testSessions(300)
+	eng := engine.New(engine.WithWorkers(2))
+	if _, err := eng.Fit("pbm", sessions[:200], engine.Iterations(5)); err != nil {
+		t.Fatal(err)
+	}
+	eng.UseMicro(testMicroModel())
+	ts := httptest.NewServer(New(eng, nil))
+	t.Cleanup(ts.Close)
+	return ts, eng, sessions
+}
+
+// postJSON posts a JSON body and decodes the JSON answer into out.
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s answer: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	var got struct {
+		Status string `json:"status"`
+		Models int    `json:"models"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &got); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if got.Status != "ok" || got.Models != 2 {
+		t.Errorf("healthz = %+v", got)
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	var got struct {
+		Models []engine.ModelInfo `json:"models"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/models", &got); code != http.StatusOK {
+		t.Fatalf("models status %d", code)
+	}
+	if len(got.Models) != 2 {
+		t.Fatalf("models = %+v", got.Models)
+	}
+	for _, mi := range got.Models {
+		if !mi.Latest || mi.Version != 1 || mi.Params <= 0 {
+			t.Errorf("model metadata off the wire: %+v", mi)
+		}
+	}
+}
+
+func TestScoreEndpoint(t *testing.T) {
+	ts, eng, sessions := newTestServer(t)
+
+	// Macro request: the wire answer must match in-process scoring.
+	s := sessions[250]
+	var got engine.Response
+	code := postJSON(t, ts.URL+"/v1/score", engine.Request{ID: "s1", Model: "pbm", Session: &s}, &got)
+	if code != http.StatusOK {
+		t.Fatalf("score status %d: %+v", code, got)
+	}
+	want, err := eng.ScoreCTR(t.Context(), engine.Request{Model: "pbm", Session: &s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "s1" || got.Model != "pbm" || got.ModelVersion != 1 {
+		t.Errorf("wire response header fields: %+v", got)
+	}
+	if math.Abs(got.CTR-want.CTR) > 1e-12 || len(got.Positions) != len(want.Positions) {
+		t.Errorf("wire CTR %v positions %v, want %v %v", got.CTR, got.Positions, want.CTR, want.Positions)
+	}
+
+	// Micro request.
+	var micro engine.Response
+	code = postJSON(t, ts.URL+"/v1/score",
+		engine.Request{ID: "m1", Model: "micro", Lines: []string{"Acme", "Find cheap flights"}}, &micro)
+	if code != http.StatusOK || micro.CTR <= 0 || micro.CTR > 1 {
+		t.Errorf("micro score: %d %+v", code, micro)
+	}
+}
+
+func TestScoreEndpointErrors(t *testing.T) {
+	ts, _, sessions := newTestServer(t)
+
+	// Unknown model → 404 with the failure on the wire.
+	var got engine.Response
+	code := postJSON(t, ts.URL+"/v1/score", engine.Request{Model: "bogus", Session: &sessions[0]}, &got)
+	if code != http.StatusNotFound {
+		t.Errorf("unknown model status %d", code)
+	}
+	if !strings.Contains(got.Error, "bogus") {
+		t.Errorf("error not on the wire: %+v", got)
+	}
+
+	// Missing evidence → 422.
+	code = postJSON(t, ts.URL+"/v1/score", engine.Request{Model: "pbm"}, &got)
+	if code != http.StatusUnprocessableEntity || got.Error == "" {
+		t.Errorf("missing evidence: %d %+v", code, got)
+	}
+
+	// Malformed body → 400.
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status %d", resp.StatusCode)
+	}
+}
+
+func TestScoreBatchEndpoint(t *testing.T) {
+	ts, _, sessions := newTestServer(t)
+	body := struct {
+		Requests []engine.Request `json:"requests"`
+	}{}
+	for i := 0; i < 10; i++ {
+		body.Requests = append(body.Requests, engine.Request{ID: fmt.Sprint(i), Model: "pbm", Session: &sessions[200+i]})
+	}
+	body.Requests = append(body.Requests,
+		engine.Request{ID: "micro", Lines: []string{"Find cheap flights"}},
+		engine.Request{ID: "bad", Model: "ghost", Lines: []string{"x"}})
+
+	var got struct {
+		Responses []engine.Response `json:"responses"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/score/batch", body, &got); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(got.Responses) != len(body.Requests) {
+		t.Fatalf("%d responses for %d requests", len(got.Responses), len(body.Requests))
+	}
+	for i, r := range got.Responses[:11] {
+		if r.Error != "" || r.CTR <= 0 {
+			t.Errorf("resp %d: %+v", i, r)
+		}
+	}
+	if bad := got.Responses[11]; bad.Error == "" || bad.ID != "bad" {
+		t.Errorf("failed request lost its error on the wire: %+v", bad)
+	}
+}
+
+// TestLoadAndRollbackEndpoints is the hot-swap e2e: fit a second model
+// offline, snapshot it to disk, POST it into the serving engine, watch
+// the served version change, then roll back.
+func TestLoadAndRollbackEndpoints(t *testing.T) {
+	ts, eng, sessions := newTestServer(t)
+
+	// Offline fit with different hyper-parameters, snapshot to disk.
+	offline := engine.New()
+	if _, err := offline.Fit("pbm", sessions[:100], engine.Iterations(2)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pbm-v2.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := offline.SaveSnapshot("pbm", f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var info engine.ModelInfo
+	code := postJSON(t, ts.URL+"/v1/models/pbm/load", map[string]string{"path": path}, &info)
+	if code != http.StatusOK {
+		t.Fatalf("load status %d: %+v", code, info)
+	}
+	if info.Name != "pbm" || info.Version != 2 || info.Source != "snapshot" {
+		t.Fatalf("load info = %+v", info)
+	}
+
+	// Bare-name requests now serve version 2 …
+	var got engine.Response
+	postJSON(t, ts.URL+"/v1/score", engine.Request{Model: "pbm", Session: &sessions[250]}, &got)
+	if got.ModelVersion != 2 {
+		t.Errorf("served version %d after load, want 2", got.ModelVersion)
+	}
+	// … and must agree with the offline model exactly.
+	want, err := offline.ScoreCTR(t.Context(), engine.Request{Model: "pbm", Session: &sessions[250]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.CTR-want.CTR) > 1e-12 {
+		t.Errorf("hot-swapped CTR %v, want %v", got.CTR, want.CTR)
+	}
+
+	// Rollback over HTTP.
+	code = postJSON(t, ts.URL+"/v1/models/pbm/rollback", struct{}{}, &info)
+	if code != http.StatusOK || info.Version != 1 || !info.Latest {
+		t.Fatalf("rollback: %d %+v", code, info)
+	}
+	postJSON(t, ts.URL+"/v1/score", engine.Request{Model: "pbm", Session: &sessions[250]}, &got)
+	if got.ModelVersion != 1 {
+		t.Errorf("served version %d after rollback, want 1", got.ModelVersion)
+	}
+	if _, err := eng.Rollback("pbm"); err == nil {
+		t.Error("engine still had versions to roll back to")
+	}
+
+	// Error paths: missing file, bad body, unknown rollback target.
+	var eb struct {
+		Error string `json:"error"`
+	}
+	code = postJSON(t, ts.URL+"/v1/models/pbm/load", map[string]string{"path": filepath.Join(t.TempDir(), "nope.bin")}, &eb)
+	if code != http.StatusBadRequest || eb.Error == "" {
+		t.Errorf("missing file: %d %+v", code, eb)
+	}
+	code = postJSON(t, ts.URL+"/v1/models/pbm/load", map[string]string{}, &eb)
+	if code != http.StatusBadRequest {
+		t.Errorf("empty path: %d", code)
+	}
+	code = postJSON(t, ts.URL+"/v1/models/ghost/rollback", struct{}{}, &eb)
+	if code != http.StatusNotFound {
+		t.Errorf("ghost rollback: %d", code)
+	}
+
+	// A corrupt artifact is rejected with 422 and never installed.
+	bad := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(bad, []byte("garbage artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code = postJSON(t, ts.URL+"/v1/models/pbm/load", map[string]string{"path": bad}, &eb)
+	if code != http.StatusUnprocessableEntity || eb.Error == "" {
+		t.Errorf("corrupt artifact: %d %+v", code, eb)
+	}
+
+	// A versioned path name ("pbm@2") is a client error, not a handler
+	// panic: the connection must get a JSON error back.
+	code = postJSON(t, ts.URL+"/v1/models/pbm@2/load", map[string]string{"path": path}, &eb)
+	if code != http.StatusUnprocessableEntity || !strings.Contains(eb.Error, "@") {
+		t.Errorf("versioned load name: %d %+v", code, eb)
+	}
+}

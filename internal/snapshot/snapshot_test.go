@@ -1,0 +1,157 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// encodeSample writes one artifact exercising every field type.
+func encodeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	e := NewEncoder(&buf, "pbm")
+	e.Uint(42)
+	e.Int(7)
+	e.Float(math.Pi)
+	e.Floats([]float64{0.25, 0.5, math.Inf(1), -0})
+	e.String("query string")
+	e.Bool(true)
+	e.Bool(false)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	raw := encodeSample(t)
+	d, err := NewDecoder(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ModelName() != "pbm" {
+		t.Errorf("ModelName = %q", d.ModelName())
+	}
+	if v := d.Uint(); v != 42 {
+		t.Errorf("Uint = %d", v)
+	}
+	if v := d.Int(); v != 7 {
+		t.Errorf("Int = %d", v)
+	}
+	if v := d.Float(); v != math.Pi {
+		t.Errorf("Float = %v", v)
+	}
+	fs := d.Floats()
+	want := []float64{0.25, 0.5, math.Inf(1), 0}
+	if len(fs) != len(want) {
+		t.Fatalf("Floats = %v", fs)
+	}
+	for i := range want {
+		if fs[i] != want[i] {
+			t.Errorf("Floats[%d] = %v, want %v", i, fs[i], want[i])
+		}
+	}
+	if s := d.String(); s != "query string" {
+		t.Errorf("String = %q", s)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	raw := encodeSample(t)
+	raw[0] ^= 0xFF
+	if _, err := NewDecoder(bytes.NewReader(raw)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+}
+
+func TestWrongVersion(t *testing.T) {
+	// Hand-craft a header with an unsupported version.
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], 99)])
+	_, err := NewDecoder(&buf)
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+// TestTruncated cuts the artifact at every length: no prefix may decode
+// cleanly through Close.
+func TestTruncated(t *testing.T) {
+	raw := encodeSample(t)
+	for cut := 0; cut < len(raw); cut++ {
+		d, err := NewDecoder(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			continue // header already broken
+		}
+		d.Uint()
+		d.Int()
+		d.Float()
+		d.Floats()
+		_ = d.String()
+		d.Bool()
+		d.Bool()
+		if err := d.Close(); err == nil {
+			t.Fatalf("truncation at %d/%d decoded cleanly", cut, len(raw))
+		}
+	}
+}
+
+// TestCorrupt flips every byte in turn: either decoding fails outright
+// or the checksum catches the damage at Close.
+func TestCorrupt(t *testing.T) {
+	raw := encodeSample(t)
+	for i := range raw {
+		bad := bytes.Clone(raw)
+		bad[i] ^= 0x5A
+		d, err := NewDecoder(bytes.NewReader(bad))
+		if err != nil {
+			continue
+		}
+		d.Uint()
+		d.Int()
+		d.Float()
+		d.Floats()
+		_ = d.String()
+		d.Bool()
+		d.Bool()
+		if err := d.Close(); err == nil {
+			t.Fatalf("flipped byte %d went undetected", i)
+		}
+	}
+}
+
+func TestImplausibleLength(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf, "x")
+	e.Uint(1 << 40) // far past maxLen, read back as a length
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Int(); d.Err() == nil {
+		t.Fatal("implausible length accepted")
+	}
+}
+
+func TestNegativeLengthEncode(t *testing.T) {
+	e := NewEncoder(&bytes.Buffer{}, "x")
+	e.Int(-1)
+	if err := e.Close(); err == nil {
+		t.Fatal("negative length encoded cleanly")
+	}
+}

@@ -10,14 +10,24 @@
 //	eng.Fit("pbm", trainSessions)           // macro model, by registry name
 //	resps := eng.ScoreBatch(ctx, requests)  // concurrent, per-request errors
 //
-// A ScoreRequest selects its model by name (ClickModelNames lists the
-// registry; "micro" is the micro-browsing model) and carries either a
-// Session (macro evidence: one ranked impression) or snippet Lines
-// (micro evidence). Every scorer answers the same question — the
+// A ScoreRequest selects its model by reference — "pbm" for the
+// latest installed version, "pbm@3" to pin one (ClickModelNames lists
+// the registry; "micro" is the micro-browsing model) — and carries
+// either a Session (macro evidence: one ranked impression) or snippet
+// Lines (micro evidence). Every scorer answers the same question — the
 // probability of a click — through the one Scorer interface, so click
 // models and the micro model are interchangeable estimators behind a
-// config string. See internal/engine for the full contract and the
-// README for the migration table from the old flat constructor API.
+// config string.
+//
+// The engine is built for the train-offline / serve-online split:
+// every install (Fit, Register, LoadSnapshot) publishes an immutable
+// new version into a lock-free table, fitted models Save to
+// self-describing binary artifacts and Load back (LoadClickModel,
+// LoadMicroModel, Engine.LoadSnapshot), Rollback un-ships a bad
+// artifact, and cmd/microserve is the HTTP front over exactly this
+// surface. See internal/engine for the full contract and the README
+// "Serving" section for the fit → snapshot → serve → hot-swap
+// walkthrough.
 //
 // Around the engine, the facade re-exports the building blocks:
 //
@@ -61,19 +71,24 @@ import (
 
 // Unified scoring engine (the primary public API).
 type (
-	// Engine routes scoring requests to named scorers and runs batches
-	// over a worker pool with context cancellation.
+	// Engine routes scoring requests to named, versioned scorers and
+	// runs batches over a worker pool with context cancellation.
 	Engine = engine.Engine
 	// EngineOption configures NewEngine.
 	EngineOption = engine.Option
-	// ScoreRequest is one CTR-prediction unit of work: a model name
-	// plus macro (Session) or micro (Lines) evidence.
+	// ScoreRequest is one CTR-prediction unit of work: a model
+	// reference ("pbm", "pbm@3") plus macro (Session) or micro (Lines)
+	// evidence.
 	ScoreRequest = engine.Request
-	// ScoreResponse is the outcome of scoring one request.
+	// ScoreResponse is the outcome of scoring one request. Failures
+	// travel as Err in process and as the Error string on the wire.
 	ScoreResponse = engine.Response
 	// Scorer is the unified scoring surface implemented by the click
 	// model and micro-browsing adapters.
 	Scorer = engine.Scorer
+	// ModelInfo is the metadata of one installed model version
+	// (Engine.Models, GET /v1/models).
+	ModelInfo = engine.ModelInfo
 )
 
 // ModelMicro is the reserved scorer name of the micro-browsing model.
@@ -91,6 +106,8 @@ var (
 	WithAttention = engine.WithAttention
 	// WithDefaultModel sets the scorer used when a request names none.
 	WithDefaultModel = engine.WithDefaultModel
+	// WithKeepVersions bounds the version history kept per model name.
+	WithKeepVersions = engine.WithKeepVersions
 	// NewClickModelScorer adapts a fitted macro click model to Scorer.
 	NewClickModelScorer = engine.NewClickModelScorer
 	// NewMicroScorer adapts a micro-browsing model to Scorer.
@@ -114,6 +131,26 @@ var (
 	LookupClickModel = clickmodel.Lookup
 	// ClickModelNames lists the registered names in taxonomy order.
 	ClickModelNames = clickmodel.Names
+)
+
+// Versioned model snapshots: fitted models serialize to
+// self-describing binary artifacts (fit offline → Save → ship → Load
+// into a serving engine; cmd/microserve hot-swaps them over HTTP).
+type (
+	// ClickModelSnapshotter is the Save/Load artifact contract every
+	// built-in click model implements.
+	ClickModelSnapshotter = clickmodel.Snapshotter
+)
+
+var (
+	// LoadClickModel reads any click-model artifact, constructing the
+	// model named in its header through the registry.
+	LoadClickModel = clickmodel.LoadModel
+	// LoadMicroModel reads a micro-browsing model artifact.
+	LoadMicroModel = core.LoadModel
+	// DecodeScorer reads any artifact — macro or micro — into a ready
+	// Scorer plus the model name recorded in the header.
+	DecodeScorer = engine.DecodeScorer
 )
 
 // Compiled session logs: CompileSessions interns a log once (queries
@@ -193,25 +230,6 @@ type (
 	Session = clickmodel.Session
 	// ClickModelEvaluation aggregates log-likelihood and perplexity.
 	ClickModelEvaluation = clickmodel.Evaluation
-)
-
-// Click model constructors, in the paper's taxonomy order.
-//
-// Deprecated: construct models by name through the registry instead —
-// NewClickModel("pbm") from config strings, or Engine.Fit to train and
-// install one in a scoring engine. These aliases remain for one
-// release and will be removed.
-var (
-	NewPBM     = clickmodel.NewPBM
-	NewCascade = clickmodel.NewCascade
-	NewDCM     = clickmodel.NewDCM
-	NewUBM     = clickmodel.NewUBM
-	NewBBM     = clickmodel.NewBBM
-	NewCCM     = clickmodel.NewCCM
-	NewDBN     = clickmodel.NewDBN
-	NewSDBN    = clickmodel.NewSDBN
-	NewGCM     = clickmodel.NewGCM
-	NewSUM     = clickmodel.NewSUM
 )
 
 // AllClickModels returns a fresh instance of every macro model.

@@ -1,6 +1,7 @@
 package microbrowsing_test
 
 import (
+	"bytes"
 	"context"
 	"math"
 	"testing"
@@ -60,16 +61,36 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Errorf("PredictPair = %v", p)
 	}
 
-	// 4. Click models through the facade.
+	// 4. Click models through the facade registry.
 	sessions := sim.Sessions(corpus, 2000, 4)
-	pbm := micro.NewPBM()
-	pbm.Iterations = 5
+	pbm, err := micro.NewClickModel("pbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbm.(interface{ SetIterations(int) }).SetIterations(5)
 	if err := pbm.Fit(sessions); err != nil {
 		t.Fatal(err)
 	}
 	ev := micro.EvaluateClickModel(pbm, sessions)
 	if ev.Perplexity < 1 {
 		t.Errorf("perplexity %v < 1", ev.Perplexity)
+	}
+
+	// 5. Snapshot round-trip through the facade: the fitted model
+	// serializes and restores to identical predictions.
+	var artifact bytes.Buffer
+	if err := pbm.(micro.ClickModelSnapshotter).Save(&artifact); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := micro.LoadClickModel(&artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := pbm.ClickProbs(sessions[0]), restored.ClickProbs(sessions[0])
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Errorf("pos %d: restored %v, want %v", i, got[i], want[i])
+		}
 	}
 }
 

@@ -1,52 +1,79 @@
 #!/usr/bin/env bash
-# bench.sh — run the click-model substrate benchmarks and append a run
-# record to the bench trajectory file (BENCH_clickmodel.json).
+# bench.sh — run one benchmark suite and append a run record to its
+# trajectory file.
 #
 # Usage:
-#   scripts/bench.sh                 # full run (1s benchtime), append to BENCH_clickmodel.json
-#   scripts/bench.sh -t 1x -o /tmp/s.json   # CI smoke: one iteration per bench
-#   scripts/bench.sh -l "post-refactor"     # label the run
+#   scripts/bench.sh                          # clickmodel suite -> BENCH_clickmodel.json
+#   scripts/bench.sh -s engine                # engine read-path suite -> BENCH_engine.json
+#   scripts/bench.sh -t 1x -o /tmp/s.json     # CI smoke: one iteration per bench
+#   scripts/bench.sh -l "post-refactor"       # label the run
 #
-# The trajectory file is a JSON array of run records ordered oldest to
+# Suites:
+#   clickmodel — BenchmarkClickModel_* (fit substrate), BENCH_clickmodel.json
+#   engine     — BenchmarkEngineScoreBatch/* (batch read path), BENCH_engine.json
+#
+# A trajectory file is a JSON array of run records ordered oldest to
 # newest; each record carries the environment and the parsed
-# ns/op / B/op / allocs/op of every BenchmarkClickModel_* benchmark.
+# ns/op / B/op / allocs/op (and req/s where reported) of every
+# benchmark in the suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 benchtime="1s"
-out="BENCH_clickmodel.json"
+out=""
 label=""
-while getopts "t:o:l:h" opt; do
+suite="clickmodel"
+while getopts "s:t:o:l:h" opt; do
   case "$opt" in
+    s) suite="$OPTARG" ;;
     t) benchtime="$OPTARG" ;;
     o) out="$OPTARG" ;;
     l) label="$OPTARG" ;;
     h)
-      sed -n '2,12p' "$0"
+      sed -n '2,17p' "$0"
       exit 0
       ;;
     *) exit 2 ;;
   esac
 done
 
+case "$suite" in
+  clickmodel) pattern="ClickModel"; default_out="BENCH_clickmodel.json" ;;
+  engine)     pattern="EngineScoreBatch"; default_out="BENCH_engine.json" ;;
+  *) echo "bench.sh: unknown suite $suite (clickmodel, engine)" >&2; exit 2 ;;
+esac
+out="${out:-$default_out}"
+
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -bench=ClickModel -benchmem -run '^$' -benchtime "$benchtime" . | tee "$raw"
+go test -bench="$pattern" -benchmem -run '^$' -benchtime "$benchtime" . | tee "$raw"
 
+# Parse benchmark lines by unit token, so extra ReportMetric columns
+# (req/s) are picked up wherever they appear.
 results=$(awk '
-  /^BenchmarkClickModel/ {
+  /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
-    printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $2, $3, $5, $7
+    ns = ""; bytes = ""; allocs = ""; reqs = ""
+    for (i = 3; i <= NF; i++) {
+      if ($i == "ns/op") ns = $(i-1)
+      else if ($i == "B/op") bytes = $(i-1)
+      else if ($i == "allocs/op") allocs = $(i-1)
+      else if ($i == "req/s") reqs = $(i-1)
+    }
+    if (ns == "") next
+    extra = ""
+    if (reqs != "") extra = sprintf(", \"req_per_s\": %s", reqs)
+    printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}", sep, name, $2, ns, bytes, allocs, extra
     sep = ",\n"
   }
 ' "$raw")
 
 if [ -z "$results" ]; then
-  echo "bench.sh: no BenchmarkClickModel results parsed" >&2
+  echo "bench.sh: no Benchmark$pattern results parsed" >&2
   exit 1
 fi
 

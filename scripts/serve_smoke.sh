@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the fit → snapshot → serve loop:
+# build the two binaries, fit a small PBM and snapshot it, start
+# microserve with the artifact, hit /healthz, score through both
+# browsing levels, hot-swap the artifact a second time, and shut down
+# gracefully. Exits non-zero on any failed step. CI runs this; it is
+# equally useful locally.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+addr="127.0.0.1:8389"
+srv_pid=""
+cleanup() {
+  [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "serve_smoke: building binaries"
+go build -o "$workdir/clickmodelfit" ./cmd/clickmodelfit
+go build -o "$workdir/microserve" ./cmd/microserve
+
+echo "serve_smoke: fitting pbm and writing snapshot"
+"$workdir/clickmodelfit" -sessions 1500 -groups 60 -model pbm -iters 3 -o "$workdir/pbm.bin" >/dev/null
+
+echo "serve_smoke: starting microserve"
+"$workdir/microserve" -addr "$addr" -load "pbm=$workdir/pbm.bin" >"$workdir/serve.log" 2>&1 &
+srv_pid=$!
+
+up=""
+for _ in $(seq 100); do
+  if curl -fs "http://$addr/healthz" >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.1
+done
+if [ -z "$up" ]; then
+  echo "serve_smoke: server never came up" >&2
+  cat "$workdir/serve.log" >&2
+  exit 1
+fi
+
+check() { # check <name> <got> <needle>
+  case "$2" in
+    *"$3"*) echo "serve_smoke: $1 ok" ;;
+    *) echo "serve_smoke: $1 FAILED: $2" >&2; exit 1 ;;
+  esac
+}
+
+check healthz "$(curl -fs "http://$addr/healthz")" '"status":"ok"'
+check models "$(curl -fs "http://$addr/v1/models")" '"name":"pbm"'
+check macro-score "$(curl -fs -X POST "http://$addr/v1/score" \
+  -d '{"id":"s1","model":"pbm","session":{"query":"q","docs":["a","b","c"],"clicks":[false,false,false]}}')" '"model":"pbm"'
+check micro-score "$(curl -fs -X POST "http://$addr/v1/score" \
+  -d '{"id":"m1","lines":["Acme Air","Find cheap flights"]}')" '"model":"micro"'
+check batch "$(curl -fs -X POST "http://$addr/v1/score/batch" \
+  -d '{"requests":[{"id":"a","lines":["Find cheap flights"]}]}')" '"id":"a"'
+check hot-swap "$(curl -fs -X POST "http://$addr/v1/models/pbm/load" \
+  -d "{\"path\":\"$workdir/pbm.bin\"}")" '"version":2'
+check rollback "$(curl -fs -X POST "http://$addr/v1/models/pbm/rollback" -d '{}')" '"version":1'
+
+echo "serve_smoke: shutting down"
+kill -TERM "$srv_pid"
+for _ in $(seq 100); do
+  kill -0 "$srv_pid" 2>/dev/null || { srv_pid=""; break; }
+  sleep 0.1
+done
+if [ -n "$srv_pid" ]; then
+  echo "serve_smoke: server did not shut down gracefully" >&2
+  exit 1
+fi
+grep -q "bye" "$workdir/serve.log" || { echo "serve_smoke: graceful shutdown log missing" >&2; exit 1; }
+echo "serve_smoke: PASS"
