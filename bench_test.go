@@ -27,6 +27,7 @@ import (
 	"repro/internal/rewrite"
 	"repro/internal/serp"
 	"repro/internal/snippet"
+	"repro/internal/textproc"
 )
 
 // benchData lazily builds one shared small experiment corpus.
@@ -332,6 +333,104 @@ func BenchmarkEngineScoreBatch(b *testing.B) {
 			b.ReportMetric(float64(len(nopReqs))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
 		})
 	}
+}
+
+// --- micro scoring path: compiled vs map-based ---
+
+// BenchmarkMicroScore prices one micro scoring request through the
+// three serving layers: the compiled model kernel (interned vocab,
+// byte-window n-gram lookup, dense attention table — the steady-state
+// zero-allocation path), the fused map-based fallback, and the full
+// engine dispatch (resolution + pooled scratch around the compiled
+// kernel).
+func BenchmarkMicroScore(b *testing.B) {
+	reqs, model := getEngineBench(b)
+	ctx := context.Background()
+
+	b.Run("compiled", func(b *testing.B) {
+		cm := model.Compile()
+		var sc textproc.Scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := reqs[i%len(reqs)]
+			ctr, _ := cm.ScoreSnippet(r.Lines, r.MaxN, &sc)
+			if ctr < 0 || ctr > 1 {
+				b.Fatalf("ctr out of range: %v", ctr)
+			}
+		}
+	})
+
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := reqs[i%len(reqs)]
+			ctr, _ := model.ScoreSnippet(r.Lines, r.MaxN)
+			if ctr < 0 || ctr > 1 {
+				b.Fatalf("ctr out of range: %v", ctr)
+			}
+		}
+	})
+
+	b.Run("engine", func(b *testing.B) {
+		eng := micro.NewEngine()
+		eng.UseMicro(model)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ScoreCTR(ctx, reqs[i%len(reqs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtractTermsPath compares the two term-resolution paths on
+// the bench corpus: materialising every positioned n-gram string
+// (textproc.ExtractTerms, what the serving loop used to do per
+// request) against the zero-copy tokenise + byte-window vocab lookup
+// the compiled scorer rides.
+func BenchmarkExtractTermsPath(b *testing.B) {
+	reqs, model := getEngineBench(b)
+
+	b.Run("materialize", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := reqs[i%len(reqs)]
+			if terms := textproc.ExtractTerms(r.Lines, r.MaxN); len(terms) == 0 {
+				b.Fatal("no terms extracted")
+			}
+		}
+	})
+
+	b.Run("lookup", func(b *testing.B) {
+		vocab := textproc.NewTermVocab(len(model.Relevance))
+		for t := range model.Relevance {
+			vocab.Add(t)
+		}
+		var sc textproc.Scratch
+		hits := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := reqs[i%len(reqs)]
+			for _, line := range r.Lines {
+				spans := sc.Tokenize(line)
+				for n := 1; n <= r.MaxN; n++ {
+					for j := 0; j+n <= len(spans); j++ {
+						if _, ok := vocab.LookupBytes(sc.Norm[spans[j].Start:spans[j+n-1].End]); ok {
+							hits++
+						}
+					}
+				}
+			}
+		}
+		if b.N > 100 && hits == 0 {
+			b.Fatal("vocab lookups never hit; bench is not measuring the hit path")
+		}
+	})
 }
 
 // nopScorer answers instantly: the engine's own per-request overhead

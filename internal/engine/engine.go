@@ -387,6 +387,14 @@ func (e *Engine) Models() []ModelInfo {
 	return out
 }
 
+// ModelCount reports the number of installed model names from one
+// atomic table load. It is the allocation-free counter behind
+// GET /healthz; ModelNames sorts a freshly allocated slice, which a
+// liveness probe called at monitoring frequency has no use for.
+func (e *Engine) ModelCount() int {
+	return len(e.tab.Load().entries)
+}
+
 // ModelNames returns the installed model names in sorted order.
 func (e *Engine) ModelNames() []string {
 	t := e.tab.Load()
@@ -589,12 +597,23 @@ func (e *Engine) ScoreCTR(ctx context.Context, req Request) (Response, error) {
 		resp.setErr(err)
 		return resp, err
 	}
-	return e.scoreResolved(ctx, req, name, version, s)
+	sc := getScratch()
+	defer putScratch(sc)
+	return e.scoreResolved(ctx, req, name, version, s, sc)
 }
 
-// scoreResolved is the post-resolution half of ScoreCTR.
-func (e *Engine) scoreResolved(ctx context.Context, req Request, name string, version int, s Scorer) (Response, error) {
-	resp, err := s.ScoreCTR(ctx, req)
+// scoreResolved is the post-resolution half of ScoreCTR. Scorers that
+// implement the internal scratchScorer surface run with the caller's
+// scratch (per-worker in batches, pooled for single requests);
+// third-party Scorer implementations take their public path.
+func (e *Engine) scoreResolved(ctx context.Context, req Request, name string, version int, s Scorer, sc *scratch) (Response, error) {
+	var resp Response
+	var err error
+	if ss, ok := s.(scratchScorer); ok {
+		resp, err = ss.scoreCTR(ctx, req, sc)
+	} else {
+		resp, err = s.ScoreCTR(ctx, req)
+	}
 	resp.ID = req.ID
 	resp.Model = name // canonical table key, whatever the scorer stamped
 	resp.ModelVersion = version
@@ -642,6 +661,12 @@ func (e *Engine) ScoreBatch(ctx context.Context, reqs []Request) []Response {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Each worker owns one scratch for the whole batch: the
+			// tokenisation buffers are reused per request and the macro
+			// Positions arena hands out write-once regions, so the
+			// steady-state per-request path allocates nothing.
+			sc := getScratch()
+			defer putScratch(sc)
 			// Batches overwhelmingly score one or two models, so each
 			// worker memoises its last successful resolution: repeated
 			// references skip the ref parse and table lookup, keeping the
@@ -675,7 +700,7 @@ func (e *Engine) ScoreBatch(ctx context.Context, reqs []Request) []Response {
 						}
 						cacheRef, cacheName, cacheVer, cacheScorer = req.Model, name, version, s
 					}
-					out[i], _ = e.scoreResolved(ctx, req, cacheName, cacheVer, cacheScorer)
+					out[i], _ = e.scoreResolved(ctx, req, cacheName, cacheVer, cacheScorer, sc)
 				}
 			}
 		}()

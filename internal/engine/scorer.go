@@ -4,13 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/clickmodel"
 	"repro/internal/core"
 	"repro/internal/featstats"
 	"repro/internal/ml"
-	"repro/internal/textproc"
 )
 
 // Request describes one CTR-prediction unit of work. The two browsing
@@ -115,11 +113,21 @@ func NewClickModelScorer(m clickmodel.Model) *ClickModelScorer {
 }
 
 // ScoreCTR implements Scorer: per-position marginal click probabilities
-// plus their mean as the headline CTR. The Positions slice handed to
-// the caller is the only allocation: every built-in model's ClickProbs
-// rides its ClickProbsInto path, which keeps the scoring recursion's
-// internal state on the stack.
+// plus their mean as the headline CTR. It borrows a pooled scratch so
+// the Positions slice is carved from an arena rather than allocated
+// per request; the engine's batch path passes each worker's own
+// scratch instead.
 func (s *ClickModelScorer) ScoreCTR(ctx context.Context, req Request) (Response, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	return s.scoreCTR(ctx, req, sc)
+}
+
+// scoreCTR implements scratchScorer. Every built-in model's
+// ClickProbsInto keeps the scoring recursion's internal state on the
+// stack and writes the marginals straight into the arena-carved
+// region, so the steady-state macro path allocates nothing.
+func (s *ClickModelScorer) scoreCTR(ctx context.Context, req Request, sc *scratch) (Response, error) {
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
@@ -129,7 +137,12 @@ func (s *ClickModelScorer) ScoreCTR(ctx context.Context, req Request) (Response,
 	if err := req.Session.Validate(); err != nil {
 		return Response{}, err
 	}
-	probs := s.M.ClickProbs(*req.Session)
+	var probs []float64
+	if ip, ok := s.M.(clickmodel.InplaceScorer); ok {
+		probs = ip.ClickProbsInto(*req.Session, sc.positions.take(len(req.Session.Docs)))
+	} else {
+		probs = s.M.ClickProbs(*req.Session)
+	}
 	var mean float64
 	for _, p := range probs {
 		mean += p
@@ -141,16 +154,26 @@ func (s *ClickModelScorer) ScoreCTR(ctx context.Context, req Request) (Response,
 }
 
 // MicroScorer adapts the paper's micro-browsing model (internal/core)
-// to the Scorer interface. The wrapped model's relevance table must not
-// be mutated while the scorer is in use.
+// to the Scorer interface. NewMicroScorer compiles the model on wrap
+// (interned relevance vocab, precomputed log-relevances, dense
+// attention table), so every engine install — Register, Fit,
+// LoadSnapshot, the hot-swap admin endpoint — publishes a pre-compiled
+// version and the read path runs allocation-free. The wrapped model
+// must not be mutated once the scorer exists: the compiled form
+// snapshots it.
+//
+// A MicroScorer built as a literal (&MicroScorer{M: m}) has no
+// compiled form and falls back to the fused map-based pass.
 type MicroScorer struct {
 	M *core.Model
+
+	c *core.CompiledModel
 }
 
-// NewMicroScorer wraps a micro-browsing model (relevance table plus
-// attention layer).
+// NewMicroScorer wraps and compiles a micro-browsing model (relevance
+// table plus attention layer).
 func NewMicroScorer(m *core.Model) *MicroScorer {
-	return &MicroScorer{M: m}
+	return &MicroScorer{M: m, c: m.Compile()}
 }
 
 // ScoreCTR implements Scorer. CTR is the exact expectation of Eq. 3
@@ -159,24 +182,31 @@ func NewMicroScorer(m *core.Model) *MicroScorer {
 //	E[Π r_i^{v_i}] = Π (a_i·r_i + 1 − a_i),  a_i = P(term i examined),
 //
 // and Score is the expected log-probability Σ a_i·log r_i whose
-// pairwise differences reproduce Eq. 5.
+// pairwise differences reproduce Eq. 5. Both are computed in a single
+// fused pass; the compiled path additionally skips all term
+// materialisation by resolving n-gram byte windows against the
+// interned vocab.
 func (s *MicroScorer) ScoreCTR(ctx context.Context, req Request) (Response, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	return s.scoreCTR(ctx, req, sc)
+}
+
+// scoreCTR implements scratchScorer.
+func (s *MicroScorer) scoreCTR(ctx context.Context, req Request, sc *scratch) (Response, error) {
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
 	if len(req.Lines) == 0 {
 		return Response{}, fmt.Errorf("%w: micro scorer needs snippet lines", ErrNoEvidence)
 	}
-	terms := textproc.ExtractTerms(req.Lines, req.maxN())
-	ctr := 1.0
-	for _, t := range terms {
-		a := s.M.Examine(t)
-		ctr *= a*s.M.TermRelevance(t.Text) + 1 - a
+	var ctr, score float64
+	if s.c != nil {
+		ctr, score = s.c.ScoreSnippet(req.Lines, req.maxN(), &sc.text)
+	} else {
+		ctr, score = s.M.ScoreSnippet(req.Lines, req.maxN())
 	}
-	if len(terms) == 0 || math.IsNaN(ctr) {
-		ctr = 0
-	}
-	return Response{Model: NameMicro, CTR: ctr, Score: s.M.ExpectedScore(terms)}, nil
+	return Response{Model: NameMicro, CTR: ctr, Score: score}, nil
 }
 
 // MeanCTR averages the headline CTR over a batch's responses,

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/textproc"
+)
+
+// scratch is the per-goroutine working storage of the serving read
+// path. Each ScoreBatch worker owns one for the duration of the batch
+// (no pool contention on the hot loop); single-request ScoreCTR calls
+// borrow one from the pool.
+//
+// Ownership rules:
+//
+//   - text is reused freely: nothing derived from it survives a
+//     request (the compiled micro scorer returns plain floats).
+//   - positions is an arena, not a buffer: the macro scorer carves
+//     each Response.Positions slice out of it exactly once and never
+//     writes that region again, so carved slices stay valid in the
+//     caller's hands while the scratch (and the arena's unused tail)
+//     is recycled.
+type scratch struct {
+	text      textproc.Scratch
+	positions floatArena
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// floatArena hands out write-once []float64 regions from a chunked
+// backing slice. take never recycles handed-out memory: when a chunk
+// fills, the arena moves to a fresh one and the old chunk stays alive
+// exactly as long as the responses that reference it.
+type floatArena struct {
+	buf []float64
+	off int
+}
+
+// arenaChunk amortises Positions allocations across roughly this many
+// floats per chunk.
+const arenaChunk = 1024
+
+func (a *floatArena) take(n int) []float64 {
+	if a.off+n > len(a.buf) {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		a.buf = make([]float64, size)
+		a.off = 0
+	}
+	out := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return out
+}
+
+// scratchScorer is the widened internal scoring surface: scorers that
+// can use per-worker scratch implement it, and the engine's dispatch
+// prefers it over the public allocation-per-call Scorer method. The
+// public ScoreCTR methods remain the same computation with a pooled
+// scratch borrowed per call.
+type scratchScorer interface {
+	scoreCTR(ctx context.Context, req Request, sc *scratch) (Response, error)
+}

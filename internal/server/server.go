@@ -18,6 +18,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sync"
 
 	"repro/internal/engine"
 )
@@ -60,13 +62,47 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// writeJSON sends one JSON document with the given status.
+// pooledEncoder is a reusable JSON encode buffer with its encoder
+// permanently bound to it, so the per-response path allocates neither.
+type pooledEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	pe := &pooledEncoder{}
+	pe.enc = json.NewEncoder(&pe.buf)
+	pe.enc.SetEscapeHTML(false)
+	return pe
+}}
+
+// maxPooledEncodeBuf keeps one giant batch response from pinning a
+// multi-megabyte buffer in the pool forever.
+const maxPooledEncodeBuf = 1 << 20
+
+// writeJSON sends one JSON document with the given status. Encoding
+// lands in a pooled buffer first, so serving steady state allocates
+// no encoder or growth churn per response — and an encode failure can
+// still become a clean 500, because nothing has been written to the
+// wire yet.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	pe := encPool.Get().(*pooledEncoder)
+	pe.buf.Reset()
+	if err := pe.enc.Encode(v); err != nil {
+		if pe.buf.Cap() <= maxPooledEncodeBuf {
+			encPool.Put(pe)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, `{"error":"response encoding failed"}`+"\n")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	enc.Encode(v) // past WriteHeader there is no better way to report failure
+	w.Write(pe.buf.Bytes())
+	if pe.buf.Cap() <= maxPooledEncodeBuf {
+		encPool.Put(pe)
+	}
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -93,7 +129,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Status string `json:"status"`
 		Models int    `json:"models"`
-	}{"ok", len(s.eng.ModelNames())})
+	}{"ok", s.eng.ModelCount()})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

@@ -10,7 +10,6 @@ package textproc
 
 import (
 	"strings"
-	"unicode"
 )
 
 // Token is a single normalised word together with its 1-based position
@@ -43,43 +42,36 @@ func (t Term) Key() string {
 	return b.String()
 }
 
-// writeInt appends a small non-negative integer without allocating.
+// writeInt appends an integer without allocating. Term positions are
+// 1-based so negatives never occur in practice, but Key must not emit
+// garbage when handed a malformed Term: the sign is peeled off in
+// uint space, so even math.MinInt (whose negation overflows int)
+// prints correctly.
 func writeInt(b *strings.Builder, v int) {
+	u := uint(v)
 	if v < 0 {
 		b.WriteByte('-')
-		v = -v
+		u = -u // two's-complement negation: exact for every int, MinInt included
 	}
-	if v >= 10 {
-		writeInt(b, v/10)
+	writeUint(b, u)
+}
+
+func writeUint(b *strings.Builder, u uint) {
+	if u >= 10 {
+		writeUint(b, u/10)
 	}
-	b.WriteByte(byte('0' + v%10))
+	b.WriteByte(byte('0' + u%10))
 }
 
 // Normalize lower-cases s and removes punctuation that carries no appeal
 // signal. Characters that do carry signal in ad text — digits, '%', '$'
 // — are preserved, so "20% off" survives normalisation intact.
+// Apostrophes are dropped entirely ("don't" -> "dont") and separator
+// runs collapse to single interior spaces. The rules live in
+// NormalizeInto (and, fused with span/hash bookkeeping, in
+// Scratch.Tokenize); this is the string-allocating convenience form.
 func Normalize(s string) string {
-	var b strings.Builder
-	b.Grow(len(s))
-	prevSpace := true
-	for _, r := range s {
-		switch {
-		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			b.WriteRune(unicode.ToLower(r))
-			prevSpace = false
-		case r == '%' || r == '$':
-			b.WriteRune(r)
-			prevSpace = false
-		case r == '\'':
-			// Drop apostrophes entirely: "don't" -> "dont".
-		default:
-			if !prevSpace {
-				b.WriteByte(' ')
-				prevSpace = true
-			}
-		}
-	}
-	return strings.TrimRight(b.String(), " ")
+	return string(NormalizeInto(nil, s))
 }
 
 // Tokenize normalises a line and splits it into positioned tokens.

@@ -1,0 +1,263 @@
+package textproc
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestNormalizeIntoParity pins the zero-copy normaliser to Normalize
+// byte for byte, on the hand-picked signal characters and under
+// randomised input.
+func TestNormalizeIntoParity(t *testing.T) {
+	cases := []string{
+		"Find Cheap Flights", "20% Off Today!", "From $99", "Don't Miss Out",
+		"no -- reservation  costs", "", "?!.,", "...sale", "Café Déals",
+		"24/7 support", "'''", "a'b c'd", "a !'b", "trailing space ",
+		" $ % ' mixed $5 o'clock", "ÉCLAIR – 50%",
+	}
+	for _, in := range cases {
+		if got, want := string(NormalizeInto(nil, in)), Normalize(in); got != want {
+			t.Errorf("NormalizeInto(%q) = %q, want %q", in, got, want)
+		}
+	}
+	f := func(s string) bool {
+		return string(NormalizeInto(nil, s)) == Normalize(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNormalizeIntoReusesBuffer checks that a warm buffer is reused in
+// place rather than reallocated.
+func TestNormalizeIntoReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 128)
+	out := NormalizeInto(buf, "Find Cheap Flights")
+	if &out[0] != &buf[:1][0] {
+		t.Error("NormalizeInto reallocated despite sufficient capacity")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = NormalizeInto(buf[:0], "Find cheap flights to New York. No reservation costs!")
+	})
+	if allocs != 0 {
+		t.Errorf("warm NormalizeInto allocates %v per run, want 0", allocs)
+	}
+}
+
+// FuzzNormalize fuzzes the normaliser invariants, seeded with the
+// '%', '$' and apostrophe edge cases the ad-text rules special-case.
+func FuzzNormalize(f *testing.F) {
+	for _, seed := range []string{
+		"20% Off Today!", "From $99", "Don't Miss Out", "%%% $$$ '''",
+		"a%b$c'd", "$ % '", "50%% of''f", "O'Brien's $5 o'clock — 100%",
+		"", " % ", "'%'$'",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n := Normalize(s)
+		if got := Normalize(n); got != n {
+			t.Errorf("not idempotent: Normalize(%q) = %q, re-normalised %q", s, n, got)
+		}
+		if n != strings.ToLower(n) {
+			t.Errorf("uppercase survived: %q -> %q", s, n)
+		}
+		if strings.HasPrefix(n, " ") || strings.HasSuffix(n, " ") || strings.Contains(n, "  ") {
+			t.Errorf("edge or double space: %q -> %q", s, n)
+		}
+		if strings.ContainsRune(n, '\'') {
+			t.Errorf("apostrophe survived: %q -> %q", s, n)
+		}
+		if got := string(NormalizeInto(nil, s)); got != n {
+			t.Errorf("NormalizeInto diverges: %q vs Normalize %q", got, n)
+		}
+	})
+}
+
+// TestScratchTokenize checks that byte spans reconstruct exactly the
+// tokens (text and 1-based position) of the string-materialising path.
+func TestScratchTokenize(t *testing.T) {
+	var sc Scratch
+	lines := []string{
+		"Find cheap flights to New York.",
+		"20% Off — From $99!",
+		"", "   ?! ", "Don't Miss O'Brien's Deals",
+	}
+	for _, line := range lines {
+		spans := sc.Tokenize(line)
+		want := Tokenize(line)
+		if len(spans) != len(want) {
+			t.Fatalf("Tokenize(%q): %d spans, want %d tokens", line, len(spans), len(want))
+		}
+		for i, sp := range spans {
+			if got := string(sc.Norm[sp.Start:sp.End]); got != want[i].Text {
+				t.Errorf("Tokenize(%q) span %d = %q, want %q", line, i, got, want[i].Text)
+			}
+			if want[i].Pos != i+1 {
+				t.Errorf("Tokenize(%q) token %d has Pos %d, want %d", line, i, want[i].Pos, i+1)
+			}
+		}
+	}
+}
+
+// TestScratchTokenizeZeroAlloc pins the steady-state allocation count
+// of the zero-copy path.
+func TestScratchTokenizeZeroAlloc(t *testing.T) {
+	var sc Scratch
+	sc.Tokenize("warm the buffers with a reasonably long line of ad text")
+	allocs := testing.AllocsPerRun(100, func() {
+		sc.Tokenize("Find cheap flights to New York. No reservation costs!")
+	})
+	if allocs != 0 {
+		t.Errorf("warm Scratch.Tokenize allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestNGramWindowContiguity is the invariant the compiled scorer
+// depends on: the text of an n-gram equals the contiguous byte window
+// from the first token's start to the last token's end.
+func TestNGramWindowContiguity(t *testing.T) {
+	var sc Scratch
+	line := "Find cheap flights to New York today"
+	spans := sc.Tokenize(line)
+	toks := Tokenize(line)
+	for n := 1; n <= 3; n++ {
+		grams := NGrams(toks, n)
+		for i, g := range grams {
+			win := string(sc.Norm[spans[i].Start:spans[i+n-1].End])
+			if win != g.Text {
+				t.Errorf("n=%d window %d = %q, want %q", n, i, win, g.Text)
+			}
+		}
+	}
+}
+
+func TestTermVocab(t *testing.T) {
+	v := NewTermVocab(0)
+	terms := []string{"find cheap", "flights", "new york", "20% off", "$99", "find cheap flights"}
+	for i, s := range terms {
+		if id := v.Add(s); id != int32(i) {
+			t.Fatalf("Add(%q) = %d, want %d", s, id, i)
+		}
+	}
+	// Re-adding returns the existing ID.
+	if id := v.Add("flights"); id != 1 {
+		t.Errorf("re-Add(flights) = %d, want 1", id)
+	}
+	if v.Len() != len(terms) {
+		t.Errorf("Len = %d, want %d", v.Len(), len(terms))
+	}
+	for i, s := range terms {
+		if id, ok := v.Lookup(s); !ok || id != int32(i) {
+			t.Errorf("Lookup(%q) = %d, %v; want %d, true", s, id, ok, i)
+		}
+		if id, ok := v.LookupBytes([]byte(s)); !ok || id != int32(i) {
+			t.Errorf("LookupBytes(%q) = %d, %v; want %d, true", s, id, ok, i)
+		}
+		if v.Text(int32(i)) != s {
+			t.Errorf("Text(%d) = %q, want %q", i, v.Text(int32(i)), s)
+		}
+	}
+	for _, absent := range []string{"", "find", "cheap flights", "flights ", " flights", "FLIGHTS"} {
+		if _, ok := v.Lookup(absent); ok {
+			t.Errorf("Lookup(%q) found a vocab hit, want miss", absent)
+		}
+		if _, ok := v.LookupBytes([]byte(absent)); ok {
+			t.Errorf("LookupBytes(%q) found a vocab hit, want miss", absent)
+		}
+	}
+}
+
+// TestTermVocabCollisions forces same-bucket probe chains and checks
+// that the byte-compare collision check keeps colliding terms
+// distinct, for hits and misses alike.
+func TestTermVocabCollisions(t *testing.T) {
+	v := NewTermVocab(0)
+	mask := v.mask
+	// Gather strings landing in one bucket of the initial table.
+	target := hashString("term0") & mask
+	var colliding []string
+	for i := 0; len(colliding) < 4 && i < 100000; i++ {
+		s := "term" + strconv.Itoa(i)
+		if hashString(s)&mask == target {
+			colliding = append(colliding, s)
+		}
+	}
+	if len(colliding) < 4 {
+		t.Fatalf("could not build a collision set over mask %#x", mask)
+	}
+	for _, s := range colliding {
+		v.Add(s)
+	}
+	for i, s := range colliding {
+		if id, ok := v.LookupBytes([]byte(s)); !ok || id != int32(i) {
+			t.Errorf("colliding LookupBytes(%q) = %d, %v; want %d, true", s, id, ok, i)
+		}
+	}
+	// A probe that walks the whole colliding chain and still misses.
+	for i := 100000; ; i++ {
+		s := "term" + strconv.Itoa(i)
+		if hashString(s)&mask != target {
+			continue
+		}
+		if _, ok := v.LookupBytes([]byte(s)); ok {
+			t.Errorf("absent colliding term %q reported found", s)
+		}
+		break
+	}
+}
+
+// TestTermVocabGrowth crosses several table rebuilds and re-verifies
+// every interned term afterwards.
+func TestTermVocabGrowth(t *testing.T) {
+	v := NewTermVocab(0)
+	n := 5000
+	for i := 0; i < n; i++ {
+		v.Add("w" + strconv.Itoa(i))
+	}
+	if v.Len() != n {
+		t.Fatalf("Len = %d, want %d", v.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		s := "w" + strconv.Itoa(i)
+		if id, ok := v.LookupBytes([]byte(s)); !ok || id != int32(i) {
+			t.Fatalf("post-growth LookupBytes(%q) = %d, %v; want %d, true", s, id, ok, i)
+		}
+	}
+}
+
+// TestLookupBytesZeroAlloc pins the hot lookup to zero allocations.
+func TestLookupBytesZeroAlloc(t *testing.T) {
+	v := NewTermVocab(4)
+	v.Add("find cheap flights")
+	v.Add("new york")
+	hit := []byte("find cheap flights")
+	miss := []byte("not in the vocab at all")
+	allocs := testing.AllocsPerRun(100, func() {
+		v.LookupBytes(hit)
+		v.LookupBytes(miss)
+	})
+	if allocs != 0 {
+		t.Errorf("LookupBytes allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestWriteIntNegative makes the sign branch live: malformed Terms
+// with negative coordinates must render sign-correctly, including the
+// one value whose int negation overflows.
+func TestWriteIntNegative(t *testing.T) {
+	tm := Term{Text: "x", N: 1, Line: -12, Pos: -3}
+	if got, want := tm.Key(), "x:-3:-12"; got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+	for _, v := range []int{0, 7, -1, -10, 12345, -98765, math.MaxInt, math.MinInt} {
+		var b strings.Builder
+		writeInt(&b, v)
+		if got, want := b.String(), strconv.Itoa(v); got != want {
+			t.Errorf("writeInt(%d) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -11,6 +11,8 @@
 # Suites:
 #   clickmodel — BenchmarkClickModel_* (fit substrate), BENCH_clickmodel.json
 #   engine     — BenchmarkEngineScoreBatch/* (batch read path), BENCH_engine.json
+#   micro      — BenchmarkMicroScore/* + BenchmarkExtractTermsPath/*
+#                (compiled micro kernel vs map path), BENCH_engine.json
 #
 # A trajectory file is a JSON array of run records ordered oldest to
 # newest; each record carries the environment and the parsed
@@ -41,7 +43,8 @@ done
 case "$suite" in
   clickmodel) pattern="ClickModel"; default_out="BENCH_clickmodel.json" ;;
   engine)     pattern="EngineScoreBatch"; default_out="BENCH_engine.json" ;;
-  *) echo "bench.sh: unknown suite $suite (clickmodel, engine)" >&2; exit 2 ;;
+  micro)      pattern="MicroScore|ExtractTermsPath"; default_out="BENCH_engine.json" ;;
+  *) echo "bench.sh: unknown suite $suite (clickmodel, engine, micro)" >&2; exit 2 ;;
 esac
 out="${out:-$default_out}"
 
@@ -73,7 +76,7 @@ results=$(awk '
 ' "$raw")
 
 if [ -z "$results" ]; then
-  echo "bench.sh: no Benchmark$pattern results parsed" >&2
+  echo "bench.sh: no results parsed for suite $suite (pattern $pattern)" >&2
   exit 1
 fi
 
