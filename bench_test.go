@@ -27,6 +27,7 @@ import (
 	"repro/internal/rewrite"
 	"repro/internal/serp"
 	"repro/internal/snippet"
+	"repro/internal/stream"
 	"repro/internal/textproc"
 )
 
@@ -547,5 +548,128 @@ func BenchmarkAblation_InitSmoothing(b *testing.B) {
 		for _, k := range keys {
 			_ = data.DB.LogOddsSmoothed(k, 8)
 		}
+	}
+}
+
+// --- online learning stream ---
+
+// getStreamSessions reuses the click-model bench log as replayable
+// feedback traffic.
+func getStreamSessions(b *testing.B) []clickmodel.Session {
+	sessions, _ := getBenchSessions(b)
+	return sessions
+}
+
+// BenchmarkStreamIngest prices the sustained sink throughput — the
+// per-event cost the HTTP feedback handler pays, plus the amortised
+// drain that empties shard buffers as they fill. Draining happens
+// inline on saturation (a background drainer cannot be relied on under
+// GOMAXPROCS=1), guarded by a mutex in the parallel case because only
+// one drainer may work a shard at a time. Steady state must not
+// allocate, and with the drain keeping pace nothing may drop.
+func BenchmarkStreamIngest(b *testing.B) {
+	sessions := getStreamSessions(b)
+	run := func(b *testing.B, parallel bool) {
+		sink := stream.NewSink(runtime.GOMAXPROCS(0), 1<<13)
+		var drainMu sync.Mutex
+		discard := func(*stream.Event) {}
+		offer := func(ev stream.Event) {
+			for !sink.Offer(ev) {
+				drainMu.Lock()
+				for s := 0; s < sink.Shards(); s++ {
+					sink.DrainShard(s, discard)
+				}
+				drainMu.Unlock()
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if parallel {
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					offer(stream.Event{Session: &sessions[i%len(sessions)]})
+					i++
+				}
+			})
+		} else {
+			for i := 0; i < b.N; i++ {
+				offer(stream.Event{Session: &sessions[i%len(sessions)]})
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+		if q := sink.Queued(); q < uint64(b.N) {
+			b.Fatalf("queued %d of %d offers", q, b.N)
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, false) })
+	b.Run("parallel", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkStreamFold prices the per-session accumulation into the
+// incremental sufficient statistics (interning plus dense count
+// updates); after the first pass over the log every pair is interned
+// and the steady state allocates nothing.
+func BenchmarkStreamFold(b *testing.B) {
+	sessions := getStreamSessions(b)
+	st := clickmodel.NewStats()
+	for i := range sessions {
+		if err := st.Add(sessions[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Add(sessions[i%len(sessions)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+}
+
+// BenchmarkStreamPublish measures publish latency end to end — drain,
+// merge, refit, install — per model family: counting (SDBN, from the
+// global statistics) and EM (PBM, windowed mini-batch refit). Each op
+// ingests a fresh slice of traffic and publishes one new version.
+func BenchmarkStreamPublish(b *testing.B) {
+	sessions := getStreamSessions(b)
+	for _, tc := range []struct {
+		name   string
+		models []string
+	}{
+		{"counting", []string{"sdbn"}},
+		{"em", []string{"pbm"}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			eng := micro.NewEngine(micro.WithKeepVersions(2))
+			l, err := stream.New(eng, stream.Config{
+				Models: tc.models, Shards: 4, QueueCap: 1 << 13, Window: len(sessions), Iterations: 3,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm: the whole log folded once, one version installed.
+			for i := range sessions {
+				if err := l.Ingest(stream.Event{Session: &sessions[i]}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := l.Publish(); err != nil {
+				b.Fatal(err)
+			}
+			const perOp = 500
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < perOp; k++ {
+					l.Ingest(stream.Event{Session: &sessions[(i*perOp+k)%len(sessions)]})
+				}
+				if _, err := l.Publish(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -26,8 +26,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -36,6 +34,7 @@ import (
 	"repro/internal/clickmodel"
 	"repro/internal/engine"
 	"repro/internal/serp"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -152,17 +151,5 @@ func writeSnapshot(path string, m clickmodel.Model) error {
 	if !ok {
 		return fmt.Errorf("model %s does not support snapshots", m.Name())
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := sn.Save(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return snapshot.WriteFileAtomic(path, sn.Save)
 }

@@ -1,0 +1,175 @@
+// Command loadgen replays simulated SERP traffic against a running
+// microserve instance, driving the whole online loop end to end: the
+// simulator's two-layer user model produces sessions (and optionally
+// aggregated snippet feedback), loadgen batches them into POST
+// /v1/feedback calls, and — with -score-every — mixes scoring reads in
+// so the serving path and the learning path run concurrently, the way
+// production traffic arrives.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8377 -sessions 20000
+//	loadgen -sessions 50000 -batch 500 -workers 8 -snippets 2
+//	loadgen -sessions 10000 -score-every 4   # 1 score batch per 4 feedback batches
+//
+// The exit status is non-zero when the server rejects traffic for any
+// reason other than saturation (429 counts as drops, not failure).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adcorpus"
+	"repro/internal/clickmodel"
+	"repro/internal/engine"
+	"repro/internal/serp"
+)
+
+// feedbackBody mirrors the server's /v1/feedback wire shape.
+type feedbackBody struct {
+	Sessions []clickmodel.Session `json:"sessions,omitempty"`
+	Snippets []snippetEvent       `json:"snippets,omitempty"`
+}
+
+type snippetEvent struct {
+	Lines       []string `json:"lines"`
+	Impressions int      `json:"impressions"`
+	Clicks      int      `json:"clicks"`
+}
+
+type feedbackReply struct {
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+	Invalid  int `json:"invalid"`
+}
+
+type scoreBody struct {
+	Requests []engine.Request `json:"requests"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	addr := flag.String("addr", "http://127.0.0.1:8377", "microserve base URL")
+	nSessions := flag.Int("sessions", 10000, "sessions to replay")
+	batch := flag.Int("batch", 200, "sessions per feedback POST")
+	snippets := flag.Int("snippets", 0, "snippet feedback events per batch (micro model fuel)")
+	impressions := flag.Int("impressions", 50, "impressions aggregated into each snippet event")
+	scoreEvery := flag.Int("score-every", 0, "POST one score batch per N feedback batches (0 = feedback only)")
+	scoreModel := flag.String("score-model", "", "model reference for score traffic (empty = server default)")
+	workers := flag.Int("workers", 4, "concurrent HTTP senders")
+	groups := flag.Int("groups", 200, "adgroups backing the simulation")
+	ads := flag.Int("ads", 4, "ads per session")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	corpus := adcorpus.Generate(adcorpus.Config{Seed: *seed, Groups: *groups}, adcorpus.DefaultLexicon())
+	sim := serp.New(serp.Config{Seed: *seed + 1})
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var accepted, dropped, invalid, scored, httpErrs atomic.Uint64
+
+	// One generator feeds request bodies to the sender pool: the
+	// simulator's rng is not safe for concurrent draws, and a single
+	// producer keeps the replayed traffic deterministic per seed.
+	type job struct {
+		path string
+		body []byte
+	}
+	jobs := make(chan job, *workers)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				resp, err := client.Post(*addr+j.path, "application/json", bytes.NewReader(j.body))
+				if err != nil {
+					httpErrs.Add(1)
+					log.Printf("%s: %v", j.path, err)
+					continue
+				}
+				switch j.path {
+				case "/v1/feedback":
+					var fr feedbackReply
+					if err := json.NewDecoder(resp.Body).Decode(&fr); err == nil {
+						accepted.Add(uint64(fr.Accepted))
+						dropped.Add(uint64(fr.Dropped))
+						invalid.Add(uint64(fr.Invalid))
+					}
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+						httpErrs.Add(1)
+						log.Printf("feedback status %d", resp.StatusCode)
+					}
+				default:
+					io.Copy(io.Discard, resp.Body)
+					if resp.StatusCode != http.StatusOK {
+						httpErrs.Add(1)
+						log.Printf("%s status %d", j.path, resp.StatusCode)
+					} else {
+						scored.Add(1)
+					}
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	start := time.Now()
+	sent, batches := 0, 0
+	for sent < *nSessions {
+		n := *batch
+		if left := *nSessions - sent; n > left {
+			n = left
+		}
+		fb := feedbackBody{Sessions: make([]clickmodel.Session, 0, n)}
+		for i := 0; i < n; i++ {
+			fb.Sessions = append(fb.Sessions, sim.Session(corpus, *ads))
+		}
+		for i := 0; i < *snippets; i++ {
+			lines, clicks := sim.SnippetFeedback(corpus, *impressions)
+			fb.Snippets = append(fb.Snippets, snippetEvent{Lines: lines, Impressions: *impressions, Clicks: clicks})
+		}
+		body, err := json.Marshal(fb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs <- job{path: "/v1/feedback", body: body}
+		sent += n
+		batches++
+
+		if *scoreEvery > 0 && batches%*scoreEvery == 0 {
+			sb := scoreBody{Requests: make([]engine.Request, 0, n)}
+			for i := range fb.Sessions {
+				sb.Requests = append(sb.Requests, engine.Request{Model: *scoreModel, Session: &fb.Sessions[i]})
+			}
+			body, err := json.Marshal(sb)
+			if err != nil {
+				log.Fatal(err)
+			}
+			jobs <- job{path: "/v1/score/batch", body: body}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rate := float64(sent) / elapsed.Seconds()
+	fmt.Printf("replayed %d sessions in %v (%.0f sessions/s): accepted %d, dropped %d, invalid %d, score batches %d\n",
+		sent, elapsed.Round(time.Millisecond), rate, accepted.Load(), dropped.Load(), invalid.Load(), scored.Load())
+	if httpErrs.Load() > 0 {
+		log.Printf("%d transport/status errors", httpErrs.Load())
+		os.Exit(1)
+	}
+}

@@ -5,11 +5,22 @@
 // admin endpoints to hot-swap new artifacts in and roll bad ones back
 // without a restart.
 //
+// With -online the process also becomes a learner: click feedback
+// POSTed to /v1/feedback streams into internal/stream's sharded sink,
+// and the configured models are refitted and auto-published as new
+// engine versions on every interval — the serve→observe→retrain loop
+// in one binary.
+//
 // Usage:
 //
 //	microserve -addr :8377
 //	microserve -load pbm=/models/pbm.bin -load /models/micro.bin
 //	microserve -default pbm -workers 8
+//	microserve -online model=pbm,interval=30s
+//	microserve -online model=sdbn+micro,interval=10s,decay=0.98,window=20000
+//
+// The -online spec is comma-separated key=value pairs: model (repeat
+// or join with +), interval, window, decay, shards, queue, min, iters.
 //
 // Endpoints (see internal/server):
 //
@@ -17,8 +28,10 @@
 //	GET  /v1/models
 //	POST /v1/score            {"model":"pbm","session":{...}} or {"lines":[...]}
 //	POST /v1/score/batch      {"requests":[...]}
+//	POST /v1/feedback         {"sessions":[...],"snippets":[...]}
 //	POST /v1/models/{name}/load      {"path":"/models/pbm-v2.bin"}
 //	POST /v1/models/{name}/rollback
+//	POST /v1/models/{name}/snapshot  {"path":"/models/pbm-online.bin"}
 //
 // The process drains in-flight requests on SIGINT/SIGTERM.
 package main
@@ -33,12 +46,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -50,6 +65,7 @@ func main() {
 	defModel := flag.String("default", engine.NameMicro, "model served when a request names none")
 	keep := flag.Int("keep", 8, "model versions kept per name (0 = unbounded)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	online := flag.String("online", "", "online learning spec, e.g. model=pbm,interval=30s (empty = serving only)")
 	var loads []string
 	flag.Func("load", "snapshot artifact to serve, as name=path or path (repeatable)", func(v string) error {
 		loads = append(loads, v)
@@ -74,9 +90,26 @@ func main() {
 		log.Printf("loaded %s from %s (%d params, source %s)", info.Ref(), path, info.Params, info.Source)
 	}
 
+	var opts []server.Option
+	var learner *stream.Learner
+	if *online != "" {
+		cfg, err := parseOnline(*online)
+		if err != nil {
+			log.Fatalf("-online %s: %v", *online, err)
+		}
+		cfg.Logger = log.Default()
+		learner, err = stream.New(eng, cfg)
+		if err != nil {
+			log.Fatalf("-online %s: %v", *online, err)
+		}
+		learner.Start()
+		opts = append(opts, server.WithLearner(learner))
+		log.Printf("online learning enabled: models %v, publish every %v", cfg.Models, cfg.Interval)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(eng, log.Default()),
+		Handler:           server.New(eng, log.Default(), opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -101,10 +134,55 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
+	if learner != nil {
+		learner.Close()
+	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	log.Print("bye")
+}
+
+// parseOnline turns the -online spec (comma-separated key=value pairs)
+// into a stream.Config. "model" may repeat or join names with '+'.
+func parseOnline(spec string) (stream.Config, error) {
+	var cfg stream.Config
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || val == "" {
+			return cfg, fmt.Errorf("bad spec entry %q (want key=value)", part)
+		}
+		var err error
+		switch key {
+		case "model", "models":
+			for _, m := range strings.Split(val, "+") {
+				cfg.Models = append(cfg.Models, strings.TrimSpace(m))
+			}
+		case "interval":
+			cfg.Interval, err = time.ParseDuration(val)
+		case "window":
+			cfg.Window, err = strconv.Atoi(val)
+		case "decay":
+			cfg.Decay, err = strconv.ParseFloat(val, 64)
+		case "shards":
+			cfg.Shards, err = strconv.Atoi(val)
+		case "queue":
+			cfg.QueueCap, err = strconv.Atoi(val)
+		case "min":
+			cfg.MinEvents, err = strconv.Atoi(val)
+		case "iters":
+			cfg.Iterations, err = strconv.Atoi(val)
+		default:
+			return cfg, fmt.Errorf("unknown spec key %q (model, interval, window, decay, shards, queue, min, iters)", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("bad %s value %q: %v", key, val, err)
+		}
+	}
+	if len(cfg.Models) == 0 {
+		return cfg, fmt.Errorf("spec needs at least one model=NAME entry")
+	}
+	return cfg, nil
 }
 
 // loadArtifact installs one snapshot file into the engine.

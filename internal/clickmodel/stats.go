@@ -1,0 +1,324 @@
+package clickmodel
+
+import "errors"
+
+// Stats is an incremental sufficient-statistics accumulator for the
+// counting-family click models (SDBN, Cascade, DCM). Where Compile
+// turns a *finished* log into dense arrays once, Stats grows the same
+// dense per-pair and per-position arrays one session at a time, so an
+// online learner can fold live click feedback into model-ready counts
+// without re-compiling history on every refit.
+//
+// The accumulated quantities are exactly the merged counting arrays of
+// the models' FitLog passes:
+//
+//   - clicks / examLast — clicks and impressions at positions up to
+//     and including the last click (the whole list when there is no
+//     click): SDBN's attractiveness ratio and DCM's alpha.
+//   - satNum            — sessions where the pair was the last click:
+//     SDBN's satisfaction numerator (its denominator is clicks).
+//   - clickFirst / examFirst — the same counts truncated at the first
+//     click: the cascade model's click/examination ratio.
+//   - clickAt / lastAt  — per-position click and last-click counts:
+//     DCM's lambda.
+//
+// Counts are float64 so Decay can age old traffic out exponentially —
+// the sliding-window semantics of the online loop. Merge folds one
+// accumulator into another (per-shard deltas into a global table), and
+// Reset zeroes the counts while keeping the interned vocabulary, so a
+// steady-state delta shard allocates nothing.
+//
+// A Stats is not safe for concurrent use; the stream layer gives each
+// ingest shard its own and serialises merges.
+type Stats struct {
+	queries *Vocab
+	pairIDs map[pairKey]int32
+	pairs   []qd
+
+	clicks     []float64 // per pair: clicks (every click is <= the last click)
+	examLast   []float64 // per pair: impressions at positions <= last click
+	satNum     []float64 // per pair: sessions where the pair was the last click
+	clickFirst []float64 // per pair: clicks at positions <= first click
+	examFirst  []float64 // per pair: impressions at positions <= first click
+
+	clickAt []float64 // per position: clicks
+	lastAt  []float64 // per position: last clicks
+
+	sessions float64 // decayed session mass
+	added    uint64  // sessions ever added (undecayed)
+}
+
+// NewStats returns an empty accumulator.
+func NewStats() *Stats {
+	return &Stats{queries: NewVocab(), pairIDs: make(map[pairKey]int32)}
+}
+
+// pairID interns a (query ID, doc) pair, growing every per-pair array
+// in step so the count slices always cover pair IDs densely.
+func (st *Stats) pairID(qid int32, doc string) int32 {
+	k := pairKey{qid, doc}
+	if id, ok := st.pairIDs[k]; ok {
+		return id
+	}
+	id := int32(len(st.pairs))
+	st.pairIDs[k] = id
+	st.pairs = append(st.pairs, qd{st.queries.String(qid), doc})
+	st.clicks = append(st.clicks, 0)
+	st.examLast = append(st.examLast, 0)
+	st.satNum = append(st.satNum, 0)
+	st.clickFirst = append(st.clickFirst, 0)
+	st.examFirst = append(st.examFirst, 0)
+	return id
+}
+
+// growPos extends the per-position arrays to cover n positions.
+func (st *Stats) growPos(n int) {
+	for len(st.clickAt) < n {
+		st.clickAt = append(st.clickAt, 0)
+		st.lastAt = append(st.lastAt, 0)
+	}
+}
+
+// Add folds one session into the accumulator. The session must be
+// well-formed (the same contract Fit enforces on whole logs).
+func (st *Stats) Add(s Session) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	qid := st.queries.ID(s.Query)
+	n := len(s.Docs)
+	st.growPos(n)
+
+	last, first := s.LastClick(), s.FirstClick()
+	stopLast, stopFirst := last, first
+	if stopLast < 0 {
+		stopLast = n - 1
+	}
+	if stopFirst < 0 {
+		stopFirst = n - 1
+	}
+	for i, d := range s.Docs {
+		if i > stopLast && i > stopFirst {
+			break
+		}
+		p := st.pairID(qid, d)
+		if i <= stopLast {
+			st.examLast[p]++
+			if s.Clicks[i] {
+				st.clicks[p]++
+				st.clickAt[i]++
+				if i == last {
+					st.satNum[p]++
+					st.lastAt[i]++
+				}
+			}
+		}
+		if i <= stopFirst {
+			st.examFirst[p]++
+			if s.Clicks[i] {
+				st.clickFirst[p]++
+			}
+		}
+	}
+	st.sessions++
+	st.added++
+	return nil
+}
+
+// AddAll folds a whole log, stopping at the first invalid session.
+func (st *Stats) AddAll(sessions []Session) error {
+	for i := range sessions {
+		if err := st.Add(sessions[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decay scales every count by f in [0, 1], exponentially aging out old
+// traffic: with per-publish decay f, a session observed k publishes ago
+// carries weight f^k. Values outside [0, 1] are ignored.
+func (st *Stats) Decay(f float64) {
+	if f < 0 || f >= 1 {
+		return
+	}
+	scale := func(xs []float64) {
+		for i := range xs {
+			xs[i] *= f
+		}
+	}
+	scale(st.clicks)
+	scale(st.examLast)
+	scale(st.satNum)
+	scale(st.clickFirst)
+	scale(st.examFirst)
+	scale(st.clickAt)
+	scale(st.lastAt)
+	st.sessions *= f
+}
+
+// Merge folds src into st. idmap caches the src-pair-ID → st-pair-ID
+// mapping across calls (src pair IDs are stable across Reset); pass nil
+// on first use and the returned slice thereafter. Steady-state merges —
+// all pairs already seen — allocate nothing.
+func (st *Stats) Merge(src *Stats, idmap []int32) []int32 {
+	if src == nil {
+		return idmap
+	}
+	for p := len(idmap); p < len(src.pairs); p++ {
+		k := src.pairs[p]
+		idmap = append(idmap, st.pairID(st.queries.ID(k.q), k.d))
+	}
+	for p := range src.pairs {
+		id := idmap[p]
+		st.clicks[id] += src.clicks[p]
+		st.examLast[id] += src.examLast[p]
+		st.satNum[id] += src.satNum[p]
+		st.clickFirst[id] += src.clickFirst[p]
+		st.examFirst[id] += src.examFirst[p]
+	}
+	st.growPos(len(src.clickAt))
+	for i := range src.clickAt {
+		st.clickAt[i] += src.clickAt[i]
+		st.lastAt[i] += src.lastAt[i]
+	}
+	st.sessions += src.sessions
+	st.added += src.added
+	return idmap
+}
+
+// Prune drops every pair whose impression mass has decayed below
+// minMass, compacting the pair table and count arrays in place, and
+// returns how many pairs were dropped. Pair IDs are renumbered, so any
+// externally cached ID mapping (Merge idmaps) must be discarded after
+// a prune that dropped pairs. Long-lived decayed accumulators call
+// this periodically — an open-ended query/doc space otherwise grows
+// the table with every pair ever seen.
+func (st *Stats) Prune(minMass float64) int {
+	kept := 0
+	for p := range st.pairs {
+		if st.examLast[p] < minMass && st.examFirst[p] < minMass {
+			delete(st.pairIDs, pairKey{st.queries.ID(st.pairs[p].q), st.pairs[p].d})
+			continue
+		}
+		if kept != p {
+			k := st.pairs[p]
+			st.pairs[kept] = k
+			st.pairIDs[pairKey{st.queries.ID(k.q), k.d}] = int32(kept)
+			st.clicks[kept] = st.clicks[p]
+			st.examLast[kept] = st.examLast[p]
+			st.satNum[kept] = st.satNum[p]
+			st.clickFirst[kept] = st.clickFirst[p]
+			st.examFirst[kept] = st.examFirst[p]
+		}
+		kept++
+	}
+	dropped := len(st.pairs) - kept
+	st.pairs = st.pairs[:kept]
+	st.clicks = st.clicks[:kept]
+	st.examLast = st.examLast[:kept]
+	st.satNum = st.satNum[:kept]
+	st.clickFirst = st.clickFirst[:kept]
+	st.examFirst = st.examFirst[:kept]
+	return dropped
+}
+
+// Reset zeroes every count but keeps the interned vocabulary and array
+// capacity, so a delta accumulator refills without allocating.
+func (st *Stats) Reset() {
+	clear(st.clicks)
+	clear(st.examLast)
+	clear(st.satNum)
+	clear(st.clickFirst)
+	clear(st.examFirst)
+	clear(st.clickAt)
+	clear(st.lastAt)
+	st.sessions = 0
+	st.added = 0
+}
+
+// NumPairs returns the number of distinct (query, doc) pairs observed.
+func (st *Stats) NumPairs() int { return len(st.pairs) }
+
+// MaxPositions returns the longest result list observed.
+func (st *Stats) MaxPositions() int { return len(st.clickAt) }
+
+// Weight returns the decayed session mass currently in the accumulator.
+func (st *Stats) Weight() float64 { return st.sessions }
+
+// Added returns the number of sessions ever folded in (undecayed).
+func (st *Stats) Added() uint64 { return st.added }
+
+// StatsFitter is implemented by the counting-family models, whose
+// closed-form estimates need only the sufficient statistics a Stats
+// accumulates — the online-learning analogue of LogFitter. FitStats
+// reuses the model's exported parameter storage like FitLog does.
+type StatsFitter interface {
+	FitStats(st *Stats) error
+}
+
+// errEmptyStats guards the FitStats entry points.
+var errEmptyStats = errors.New("clickmodel: FitStats on an empty accumulator")
+
+// FitStats implements StatsFitter: SDBN's closed-form estimates from
+// accumulated counts. Identical to FitLog on a log holding the same
+// (undecayed) sessions.
+func (m *SDBN) FitStats(st *Stats) error {
+	if st == nil || st.NumPairs() == 0 {
+		return errEmptyStats
+	}
+	m.defaults()
+	m.AttrA = reuseMap(m.AttrA, st.NumPairs())
+	m.SatS = reuseMap(m.SatS, st.NumPairs())
+	for p, k := range st.pairs {
+		if st.examLast[p] > 0 {
+			m.AttrA[k] = clampProb((st.clicks[p] + m.LaplaceA) / (st.examLast[p] + m.LaplaceB))
+		}
+		if st.clicks[p] > 0 {
+			m.SatS[k] = clampProb((st.satNum[p] + m.LaplaceA) / (st.clicks[p] + m.LaplaceB))
+		}
+	}
+	return nil
+}
+
+// FitStats implements StatsFitter: the cascade MLE from accumulated
+// first-click-truncated counts.
+func (m *Cascade) FitStats(st *Stats) error {
+	if st == nil || st.NumPairs() == 0 {
+		return errEmptyStats
+	}
+	m.defaults()
+	m.Alpha = reuseMap(m.Alpha, st.NumPairs())
+	for p, k := range st.pairs {
+		if st.examFirst[p] > 0 {
+			m.Alpha[k] = clampProb((st.clickFirst[p] + m.LaplaceA) / (st.examFirst[p] + m.LaplaceB))
+		}
+	}
+	return nil
+}
+
+// FitStats implements StatsFitter: DCM's alphas from the last-click-
+// truncated counts and its lambdas from the per-position click /
+// last-click ratios.
+func (m *DCM) FitStats(st *Stats) error {
+	if st == nil || st.NumPairs() == 0 {
+		return errEmptyStats
+	}
+	m.defaults()
+	m.Alpha = reuseMap(m.Alpha, st.NumPairs())
+	for p, k := range st.pairs {
+		if st.examLast[p] > 0 {
+			m.Alpha[k] = clampProb((st.clicks[p] + m.LaplaceA) / (st.examLast[p] + m.LaplaceB))
+		}
+	}
+	n := st.MaxPositions()
+	m.Lambda = reuseFloats(m.Lambda, n)
+	for i := 0; i < n; i++ {
+		if den := st.clickAt[i] + m.LaplaceB; den > 0 {
+			m.Lambda[i] = clampProb(1 - (st.lastAt[i]+m.LaplaceA)/den)
+		} else {
+			m.Lambda[i] = 0.5
+		}
+	}
+	return nil
+}

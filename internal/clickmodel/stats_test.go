@@ -1,0 +1,305 @@
+package clickmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// statsTestLog builds a deterministic synthetic log with multi-click
+// sessions, no-click sessions and varying lengths.
+func statsTestLog(n int, seed int64) []Session {
+	rng := rand.New(rand.NewSource(seed))
+	docs := []string{"a", "b", "c", "d", "e", "f", "g"}
+	queries := []string{"q1", "q2", "q3"}
+	out := make([]Session, 0, n)
+	for k := 0; k < n; k++ {
+		ln := 3 + rng.Intn(3)
+		s := Session{Query: queries[rng.Intn(len(queries))], Docs: make([]string, ln), Clicks: make([]bool, ln)}
+		for i := range s.Docs {
+			s.Docs[i] = docs[rng.Intn(len(docs))]
+			s.Clicks[i] = rng.Float64() < 0.35/float64(i+1)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// fitPair fits one model instance through the batch path and one
+// through the incremental path over the same sessions.
+func fitPair[M Model](t *testing.T, batch, online M, sessions []Session) {
+	t.Helper()
+	if err := batch.Fit(sessions); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStats()
+	if err := st.AddAll(sessions); err != nil {
+		t.Fatal(err)
+	}
+	sf, ok := any(online).(StatsFitter)
+	if !ok {
+		t.Fatalf("%s does not implement StatsFitter", online.Name())
+	}
+	if err := sf.FitStats(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mapsEqual(t *testing.T, what string, a, b map[qd]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d entries batch vs %d incremental", what, len(a), len(b))
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok {
+			t.Fatalf("%s: %v missing from incremental fit", what, k)
+		}
+		if math.Abs(v-w) > 1e-12 {
+			t.Fatalf("%s[%v] = %v batch vs %v incremental", what, k, v, w)
+		}
+	}
+}
+
+// TestStatsParity is the core guarantee of the online loop: folding a
+// log session-by-session into a Stats and fitting from the accumulated
+// counts gives bit-identical parameters to the batch compile-and-count
+// path, for every counting-family model.
+func TestStatsParity(t *testing.T) {
+	sessions := statsTestLog(3000, 42)
+
+	t.Run("sdbn", func(t *testing.T) {
+		batch, online := NewSDBN(), NewSDBN()
+		fitPair(t, batch, online, sessions)
+		mapsEqual(t, "AttrA", batch.AttrA, online.AttrA)
+		mapsEqual(t, "SatS", batch.SatS, online.SatS)
+	})
+	t.Run("cascade", func(t *testing.T) {
+		batch, online := NewCascade(), NewCascade()
+		fitPair(t, batch, online, sessions)
+		mapsEqual(t, "Alpha", batch.Alpha, online.Alpha)
+	})
+	t.Run("dcm", func(t *testing.T) {
+		batch, online := NewDCM(), NewDCM()
+		fitPair(t, batch, online, sessions)
+		mapsEqual(t, "Alpha", batch.Alpha, online.Alpha)
+		if len(batch.Lambda) != len(online.Lambda) {
+			t.Fatalf("lambda lengths %d vs %d", len(batch.Lambda), len(online.Lambda))
+		}
+		for i := range batch.Lambda {
+			if math.Abs(batch.Lambda[i]-online.Lambda[i]) > 1e-12 {
+				t.Fatalf("Lambda[%d] = %v vs %v", i, batch.Lambda[i], online.Lambda[i])
+			}
+		}
+	})
+}
+
+// TestStatsMergeParity: sharded accumulation (one Stats per shard,
+// merged into a global) equals single-accumulator accumulation — the
+// shape the stream layer runs.
+func TestStatsMergeParity(t *testing.T) {
+	sessions := statsTestLog(2000, 7)
+	single := NewStats()
+	if err := single.AddAll(sessions); err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 4
+	global := NewStats()
+	deltas := make([]*Stats, shards)
+	idmaps := make([][]int32, shards)
+	for i := range deltas {
+		deltas[i] = NewStats()
+	}
+	for i, s := range sessions {
+		if err := deltas[i%shards].Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Merge in two rounds with a Reset between, exercising the delta
+	// lifecycle (counts move, interning persists).
+	for round := 0; round < 2; round++ {
+		for i, d := range deltas {
+			idmaps[i] = global.Merge(d, idmaps[i])
+			d.Reset()
+		}
+		if round == 0 {
+			for i, s := range sessions[:200] {
+				if err := deltas[i%shards].Add(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for i, s := range sessions[:200] {
+		if err := single.Add(s); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+
+	a, b := NewSDBN(), NewSDBN()
+	if err := a.FitStats(single); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FitStats(global); err != nil {
+		t.Fatal(err)
+	}
+	mapsEqual(t, "AttrA", a.AttrA, b.AttrA)
+	mapsEqual(t, "SatS", a.SatS, b.SatS)
+	if single.Weight() != global.Weight() {
+		t.Fatalf("weights %v vs %v", single.Weight(), global.Weight())
+	}
+}
+
+// TestStatsDecay: decayed counts halve the session mass and pull
+// estimates toward the newer traffic.
+func TestStatsDecay(t *testing.T) {
+	st := NewStats()
+	old := Session{Query: "q", Docs: []string{"a", "b"}, Clicks: []bool{true, false}}
+	if err := st.Add(old); err != nil {
+		t.Fatal(err)
+	}
+	st.Decay(0.5)
+	if w := st.Weight(); math.Abs(w-0.5) > 1e-15 {
+		t.Fatalf("weight after decay = %v, want 0.5", w)
+	}
+	// New traffic never clicks a: the decayed old click should weigh
+	// half against each fresh skip.
+	fresh := Session{Query: "q", Docs: []string{"a", "b"}, Clicks: []bool{false, false}}
+	for i := 0; i < 4; i++ {
+		if err := st.Add(fresh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewSDBN()
+	if err := m.FitStats(st); err != nil {
+		t.Fatal(err)
+	}
+	// a: clicks 0.5, exams 4.5 -> (0.5+1)/(4.5+2)
+	want := (0.5 + 1) / (4.5 + 2)
+	if got := m.AttrA[qd{"q", "a"}]; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("decayed attractiveness = %v, want %v", got, want)
+	}
+	// Full decay to zero is allowed and FitStats still works (priors).
+	st.Decay(0)
+	if st.Weight() != 0 {
+		t.Fatalf("weight after Decay(0) = %v", st.Weight())
+	}
+	// Decay with f >= 1 or < 0 is a no-op.
+	st2 := NewStats()
+	if err := st2.Add(old); err != nil {
+		t.Fatal(err)
+	}
+	st2.Decay(1.5)
+	st2.Decay(-1)
+	if st2.Weight() != 1 {
+		t.Fatalf("out-of-range decay changed weight: %v", st2.Weight())
+	}
+}
+
+// TestStatsReset: reset keeps interning (stable pair IDs for cached
+// idmaps) but drops every count.
+func TestStatsReset(t *testing.T) {
+	st := NewStats()
+	s := Session{Query: "q", Docs: []string{"a", "b"}, Clicks: []bool{true, false}}
+	if err := st.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	pairsBefore := st.NumPairs()
+	st.Reset()
+	if st.NumPairs() != pairsBefore {
+		t.Fatalf("Reset dropped interned pairs: %d -> %d", pairsBefore, st.NumPairs())
+	}
+	if st.Weight() != 0 || st.Added() != 0 {
+		t.Fatalf("Reset left mass behind: weight %v added %d", st.Weight(), st.Added())
+	}
+	m := NewSDBN()
+	if err := m.FitStats(st); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.AttrA) != 0 {
+		t.Fatalf("zeroed stats produced parameters: %v", m.AttrA)
+	}
+}
+
+// TestStatsInvalidSession: a malformed session is rejected and leaves
+// the accumulator untouched.
+func TestStatsInvalidSession(t *testing.T) {
+	st := NewStats()
+	bad := Session{Query: "q", Docs: []string{"a"}, Clicks: []bool{true, false}}
+	if err := st.Add(bad); err == nil {
+		t.Fatal("invalid session accepted")
+	}
+	if st.Added() != 0 || st.NumPairs() != 0 {
+		t.Fatalf("invalid session mutated the accumulator: %d pairs", st.NumPairs())
+	}
+	if err := NewSDBN().FitStats(NewStats()); err == nil {
+		t.Fatal("FitStats on empty accumulator succeeded")
+	}
+	if err := NewCascade().FitStats(nil); err == nil {
+		t.Fatal("FitStats(nil) succeeded")
+	}
+	if err := NewDCM().FitStats(NewStats()); err == nil {
+		t.Fatal("DCM FitStats on empty accumulator succeeded")
+	}
+}
+
+// TestStatsPrune: decayed-out pairs are dropped and the survivors keep
+// their counts and stay addressable; cached idmaps must be rebuilt, so
+// Merge after a prune still lands deltas on the right pairs.
+func TestStatsPrune(t *testing.T) {
+	st := NewStats()
+	// hot clicks at the last position so both pairs count as examined.
+	hot := Session{Query: "q", Docs: []string{"hot1", "hot2"}, Clicks: []bool{false, true}}
+	cold := Session{Query: "q", Docs: []string{"cold1", "cold2"}, Clicks: []bool{false, true}}
+	for i := 0; i < 10; i++ {
+		if err := st.Add(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Add(cold); err != nil {
+		t.Fatal(err)
+	}
+	// Age the cold session far below the hot mass, then prune between.
+	st.Decay(1e-5)
+	for i := 0; i < 10; i++ {
+		if err := st.Add(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dropped := st.Prune(1e-3); dropped != 2 {
+		t.Fatalf("dropped %d pairs, want the 2 cold ones", dropped)
+	}
+	if st.NumPairs() != 2 {
+		t.Fatalf("pairs after prune: %d", st.NumPairs())
+	}
+	m := NewSDBN()
+	if err := m.FitStats(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.AttrA[qd{"q", "hot2"}]; !ok {
+		t.Fatalf("survivor lost its parameters: %v", m.AttrA)
+	}
+	if _, ok := m.AttrA[qd{"q", "cold1"}]; ok {
+		t.Fatalf("pruned pair still has parameters: %v", m.AttrA)
+	}
+
+	// Survivor counts are intact: attractiveness reflects the 10 fresh
+	// clicks (plus decayed dust) over as many examined impressions.
+	got := m.AttrA[qd{"q", "hot2"}]
+	want := (10.0001 + 1) / (10.0001 + 2)
+	if math.Abs(got-want) > 1e-3 {
+		t.Fatalf("survivor attractiveness %v, want ~%v", got, want)
+	}
+
+	// Fresh merges re-intern cleanly after renumbering.
+	delta := NewStats()
+	if err := delta.Add(cold); err != nil {
+		t.Fatal(err)
+	}
+	st.Merge(delta, nil)
+	if st.NumPairs() != 4 {
+		t.Fatalf("pairs after post-prune merge: %d", st.NumPairs())
+	}
+}

@@ -283,6 +283,38 @@ func (e *Engine) mustInstall(name string, s Scorer, source string) ModelInfo {
 	return info
 }
 
+// SourceOnline is the Models() provenance tag of versions published by
+// the online learning loop (internal/stream).
+const SourceOnline = "online"
+
+// InstallModel installs a fitted click model under its canonical name
+// with the given provenance tag (shown as ModelInfo.Source). It is the
+// error-returning counterpart of RegisterModel for callers that
+// install models at runtime — the online publisher above all — where a
+// bad model must not panic the serving process. An empty source is
+// recorded as "register".
+func (e *Engine) InstallModel(m clickmodel.Model, source string) (ModelInfo, error) {
+	if m == nil {
+		return ModelInfo{}, fmt.Errorf("engine: InstallModel with nil model")
+	}
+	if source == "" {
+		source = "register"
+	}
+	return e.install(m.Name(), NewClickModelScorer(m), source)
+}
+
+// InstallMicro is InstallModel for the micro-browsing model: the new
+// version is compiled on wrap and published under NameMicro.
+func (e *Engine) InstallMicro(m *core.Model, source string) (ModelInfo, error) {
+	if m == nil {
+		return ModelInfo{}, fmt.Errorf("engine: InstallMicro with nil model")
+	}
+	if source == "" {
+		source = "register"
+	}
+	return e.install(NameMicro, NewMicroScorer(m), source)
+}
+
 // Register installs a scorer as a new version under the given name.
 // Earlier versions stay addressable as name@version (subject to
 // WithKeepVersions pruning). Invalid names and nil scorers panic —

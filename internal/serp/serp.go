@@ -206,36 +206,66 @@ func (s *Simulator) Run(corpus *adcorpus.Corpus) []snippet.AdGroup {
 	return groups
 }
 
-// Sessions simulates SERP sessions for the click-model substrate: each
-// session shows adsPerPage creatives (drawn from distinct random groups)
-// as a ranked list; the macro curve gates examination per position and
-// the micro layer decides clicks. The resulting log is suitable for
-// fitting any Model in internal/clickmodel.
-func (s *Simulator) Sessions(corpus *adcorpus.Corpus, nSessions, adsPerPage int) []clickmodel.Session {
+// normAds clamps an ads-per-page request to the macro curve's depth.
+func (s *Simulator) normAds(adsPerPage int) int {
 	if adsPerPage <= 0 || adsPerPage > len(s.cfg.MacroGamma) {
-		adsPerPage = len(s.cfg.MacroGamma)
+		return len(s.cfg.MacroGamma)
 	}
+	return adsPerPage
+}
+
+// Session simulates one SERP session: adsPerPage creatives (drawn from
+// distinct random groups) shown as a ranked list, the macro curve
+// gating examination per position and the micro layer deciding clicks.
+// It is the streaming form of Sessions — a traffic generator (e.g.
+// cmd/loadgen replaying impressions against the feedback API) calls it
+// per impression without materialising a log.
+func (s *Simulator) Session(corpus *adcorpus.Corpus, adsPerPage int) clickmodel.Session {
+	adsPerPage = s.normAds(adsPerPage)
+	docs := make([]string, adsPerPage)
+	clicks := make([]bool, adsPerPage)
+	seen := make(map[int]bool, adsPerPage)
+	for i := 0; i < adsPerPage; i++ {
+		gi := s.rng.Intn(len(corpus.Groups))
+		for seen[gi] {
+			gi = s.rng.Intn(len(corpus.Groups))
+		}
+		seen[gi] = true
+		g := &corpus.Groups[gi]
+		c := &g.Creatives[s.rng.Intn(len(g.Creatives))]
+		docs[i] = c.ID
+		if s.rng.Float64() < s.cfg.MacroGamma[i] {
+			clicks[i] = s.microClick(c)
+		}
+	}
+	return clickmodel.Session{Query: "serp", Docs: docs, Clicks: clicks}
+}
+
+// Sessions simulates SERP sessions for the click-model substrate; the
+// resulting log is suitable for fitting any Model in
+// internal/clickmodel. Equivalent to nSessions calls to Session.
+func (s *Simulator) Sessions(corpus *adcorpus.Corpus, nSessions, adsPerPage int) []clickmodel.Session {
+	adsPerPage = s.normAds(adsPerPage)
 	sessions := make([]clickmodel.Session, 0, nSessions)
 	for k := 0; k < nSessions; k++ {
-		docs := make([]string, adsPerPage)
-		clicks := make([]bool, adsPerPage)
-		seen := make(map[int]bool, adsPerPage)
-		for i := 0; i < adsPerPage; i++ {
-			gi := s.rng.Intn(len(corpus.Groups))
-			for seen[gi] {
-				gi = s.rng.Intn(len(corpus.Groups))
-			}
-			seen[gi] = true
-			g := &corpus.Groups[gi]
-			c := &g.Creatives[s.rng.Intn(len(g.Creatives))]
-			docs[i] = c.ID
-			if s.rng.Float64() < s.cfg.MacroGamma[i] {
-				clicks[i] = s.microClick(c)
-			}
-		}
-		sessions = append(sessions, clickmodel.Session{Query: "serp", Docs: docs, Clicks: clicks})
+		sessions = append(sessions, s.Session(corpus, adsPerPage))
 	}
 	return sessions
+}
+
+// SnippetFeedback simulates aggregated micro feedback for one random
+// creative: impressions examined impressions of its snippet and the
+// clicks the micro layer produced. The returned lines alias the
+// creative's text; treat them as read-only.
+func (s *Simulator) SnippetFeedback(corpus *adcorpus.Corpus, impressions int) (lines []string, clicks int) {
+	g := &corpus.Groups[s.rng.Intn(len(corpus.Groups))]
+	c := &g.Creatives[s.rng.Intn(len(g.Creatives))]
+	for k := 0; k < impressions; k++ {
+		if s.microClick(c) {
+			clicks++
+		}
+	}
+	return c.Lines, clicks
 }
 
 // TrueModel exposes the planted micro-browsing model as a core.Model for

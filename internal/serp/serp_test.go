@@ -197,3 +197,40 @@ func BenchmarkMarginalClickProb(b *testing.B) {
 		sim.MarginalClickProb(c)
 	}
 }
+
+// TestSessionStreamParity: the streaming one-at-a-time generator and
+// the batch Sessions call draw identical traffic for identical seeds —
+// a load generator replaying Session against the feedback API produces
+// the same log an offline fit would see.
+func TestSessionStreamParity(t *testing.T) {
+	corpus := adcorpus.Generate(adcorpus.Config{Seed: 3, Groups: 40}, adcorpus.DefaultLexicon())
+	batch := New(Config{Seed: 9}).Sessions(corpus, 200, 4)
+	streaming := New(Config{Seed: 9})
+	for i, want := range batch {
+		got := streaming.Session(corpus, 4)
+		if got.Query != want.Query || len(got.Docs) != len(want.Docs) {
+			t.Fatalf("session %d diverged: %+v vs %+v", i, got, want)
+		}
+		for j := range want.Docs {
+			if got.Docs[j] != want.Docs[j] || got.Clicks[j] != want.Clicks[j] {
+				t.Fatalf("session %d slot %d diverged: %+v vs %+v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestSnippetFeedback: the micro feedback generator stays within its
+// impression budget and points at real creative text.
+func TestSnippetFeedback(t *testing.T) {
+	corpus := adcorpus.Generate(adcorpus.Config{Seed: 4, Groups: 20}, adcorpus.DefaultLexicon())
+	sim := New(Config{Seed: 11})
+	for i := 0; i < 50; i++ {
+		lines, clicks := sim.SnippetFeedback(corpus, 40)
+		if len(lines) == 0 {
+			t.Fatal("snippet feedback without lines")
+		}
+		if clicks < 0 || clicks > 40 {
+			t.Fatalf("clicks %d outside [0, 40]", clicks)
+		}
+	}
+}

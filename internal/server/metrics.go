@@ -1,0 +1,51 @@
+package server
+
+import "sync/atomic"
+
+// metrics is the server's expvar-style counter block: lock-free atomic
+// counters bumped on the hot paths and snapshotted into JSON on
+// /healthz. Counting is deliberately coarse — requests, batch fan-in,
+// feedback outcomes, admin actions — the numbers a load generator or a
+// dashboard needs to tell "serving and learning" from "quietly broken".
+type metrics struct {
+	requests       atomic.Uint64 // every HTTP request routed
+	scores         atomic.Uint64 // POST /v1/score calls
+	batches        atomic.Uint64 // POST /v1/score/batch calls
+	batchRequests  atomic.Uint64 // requests inside those batches
+	feedbacks      atomic.Uint64 // POST /v1/feedback calls
+	feedbackEvents atomic.Uint64 // events inside those calls (pre-ingest)
+	loads          atomic.Uint64 // snapshot hot-swaps
+	rollbacks      atomic.Uint64
+	snapshots      atomic.Uint64 // snapshot exports
+	errors         atomic.Uint64 // non-2xx responses written
+}
+
+// MetricsSnapshot is the wire form of the serving counters on
+// GET /healthz.
+type MetricsSnapshot struct {
+	Requests       uint64 `json:"requests"`
+	Scores         uint64 `json:"scores"`
+	Batches        uint64 `json:"batches"`
+	BatchRequests  uint64 `json:"batch_requests"`
+	Feedbacks      uint64 `json:"feedbacks"`
+	FeedbackEvents uint64 `json:"feedback_events"`
+	Loads          uint64 `json:"loads"`
+	Rollbacks      uint64 `json:"rollbacks"`
+	Snapshots      uint64 `json:"snapshots"`
+	Errors         uint64 `json:"errors"`
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:       m.requests.Load(),
+		Scores:         m.scores.Load(),
+		Batches:        m.batches.Load(),
+		BatchRequests:  m.batchRequests.Load(),
+		Feedbacks:      m.feedbacks.Load(),
+		FeedbackEvents: m.feedbackEvents.Load(),
+		Loads:          m.loads.Load(),
+		Rollbacks:      m.rollbacks.Load(),
+		Snapshots:      m.snapshots.Load(),
+		Errors:         m.errors.Load(),
+	}
+}

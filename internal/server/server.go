@@ -1,20 +1,27 @@
 // Package server is the HTTP/JSON serving surface over the scoring
 // engine: the serve-online half of the train-offline / serve-online
-// split. cmd/microserve wires it to a listener; the handlers are
-// exported through New so tests drive them with net/http/httptest.
+// split — and, with an attached online learner, the ingest surface
+// that closes the loop. cmd/microserve wires it to a listener; the
+// handlers are exported through New so tests drive them with
+// net/http/httptest.
 //
 // Routes:
 //
-//	GET  /healthz                  — liveness + installed model count
-//	GET  /v1/models                — metadata of every installed version
-//	POST /v1/score                 — score one engine.Request
-//	POST /v1/score/batch           — score a request slice concurrently
-//	POST /v1/models/{name}/load    — hot-swap a snapshot artifact in
-//	POST /v1/models/{name}/rollback— move the latest pointer back
+//	GET  /healthz                    — liveness, model count, serving + stream counters
+//	GET  /v1/models                  — metadata of every installed version
+//	POST /v1/score                   — score one engine.Request
+//	POST /v1/score/batch             — score a request slice concurrently
+//	POST /v1/feedback                — ingest click feedback (single + batch)
+//	POST /v1/models/{name}/load      — hot-swap a snapshot artifact in
+//	POST /v1/models/{name}/rollback  — move the latest pointer back
+//	POST /v1/models/{name}/snapshot  — export an installed version to disk
 //
 // Scoring endpoints speak engine.Request / engine.Response verbatim
 // (the engine types carry the wire tags); per-request failures travel
-// in Response.Error, never silently as "{}".
+// in Response.Error, never silently as "{}". Feedback is accepted into
+// the learner's bounded sink: the response reports accepted / dropped
+// / invalid counts, and saturation surfaces as 429 so load generators
+// can back off.
 package server
 
 import (
@@ -28,37 +35,65 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/clickmodel"
 	"repro/internal/engine"
+	"repro/internal/snapshot"
+	"repro/internal/stream"
 )
 
 // maxBodyBytes bounds request bodies; a batch of tens of thousands of
 // snippet requests fits comfortably, an accidental upload does not.
 const maxBodyBytes = 32 << 20
 
-// Server serves one Engine over HTTP.
+// maxBatchItems bounds the fan-in of one batch call (score requests in
+// /v1/score/batch, events in /v1/feedback). Larger batches get 413 and
+// should be split client-side; the bound keeps one request from
+// monopolising the worker pool or the ingest buffers.
+const maxBatchItems = 10000
+
+// Server serves one Engine (and optionally one online Learner) over
+// HTTP.
 type Server struct {
-	eng *engine.Engine
-	mux *http.ServeMux
-	log *log.Logger
+	eng     *engine.Engine
+	learner *stream.Learner
+	mux     *http.ServeMux
+	log     *log.Logger
+	met     metrics
+}
+
+// Option configures a Server at construction time.
+type Option func(*Server)
+
+// WithLearner attaches an online learning loop: POST /v1/feedback
+// ingests into it and /healthz reports its counters. Without it the
+// feedback endpoint answers 503.
+func WithLearner(l *stream.Learner) Option {
+	return func(s *Server) { s.learner = l }
 }
 
 // New returns a Server routing to eng. logger may be nil (discards).
-func New(eng *engine.Engine, logger *log.Logger) *Server {
+func New(eng *engine.Engine, logger *log.Logger, opts ...Option) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
 	s := &Server{eng: eng, mux: http.NewServeMux(), log: logger}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/score", s.handleScore)
 	s.mux.HandleFunc("POST /v1/score/batch", s.handleScoreBatch)
+	s.mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	s.mux.HandleFunc("POST /v1/models/{name}/load", s.handleLoad)
 	s.mux.HandleFunc("POST /v1/models/{name}/rollback", s.handleRollback)
+	s.mux.HandleFunc("POST /v1/models/{name}/snapshot", s.handleSnapshot)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Add(1)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -85,13 +120,17 @@ const maxPooledEncodeBuf = 1 << 20
 // no encoder or growth churn per response — and an encode failure can
 // still become a clean 500, because nothing has been written to the
 // wire yet.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	if status >= 400 {
+		s.met.errors.Add(1)
+	}
 	pe := encPool.Get().(*pooledEncoder)
 	pe.buf.Reset()
 	if err := pe.enc.Encode(v); err != nil {
 		if pe.buf.Cap() <= maxPooledEncodeBuf {
 			encPool.Put(pe)
 		}
+		s.met.errors.Add(1)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
 		io.WriteString(w, `{"error":"response encoding failed"}`+"\n")
@@ -110,37 +149,50 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
 // decodeBody unmarshals a bounded JSON request body into v.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
 }
 
+// healthzBody is the GET /healthz wire shape: liveness plus the
+// serving counters, and the stream counters when a learner is
+// attached.
+type healthzBody struct {
+	Status  string           `json:"status"`
+	Models  int              `json:"models"`
+	Serving MetricsSnapshot  `json:"serving"`
+	Stream  *stream.Counters `json:"stream,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-		Models int    `json:"models"`
-	}{"ok", s.eng.ModelCount()})
+	body := healthzBody{Status: "ok", Models: s.eng.ModelCount(), Serving: s.met.snapshot()}
+	if s.learner != nil {
+		c := s.learner.Counters()
+		body.Stream = &c
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
+	s.writeJSON(w, http.StatusOK, struct {
 		Models []engine.ModelInfo `json:"models"`
 	}{s.eng.Models()})
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	s.met.scores.Add(1)
 	var req engine.Request
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	resp, err := s.eng.ScoreCTR(r.Context(), req)
@@ -151,10 +203,10 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, engine.ErrNoModel) {
 			status = http.StatusNotFound
 		}
-		writeJSON(w, status, resp)
+		s.writeJSON(w, status, resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // batchRequest / batchResponse are the /v1/score/batch wire shapes.
@@ -167,12 +219,98 @@ type batchResponse struct {
 }
 
 func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	s.met.batches.Add(1)
 	var req batchRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	if len(req.Requests) > maxBatchItems {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d requests exceeds the %d limit; split it", len(req.Requests), maxBatchItems)
+		return
+	}
+	s.met.batchRequests.Add(uint64(len(req.Requests)))
 	resps := s.eng.ScoreBatch(r.Context(), req.Requests)
-	writeJSON(w, http.StatusOK, batchResponse{Responses: resps})
+	s.writeJSON(w, http.StatusOK, batchResponse{Responses: resps})
+}
+
+// feedbackRequest is the POST /v1/feedback wire shape: one session
+// and/or snippet, or batches of both.
+type feedbackRequest struct {
+	Session  *clickmodel.Session   `json:"session,omitempty"`
+	Sessions []clickmodel.Session  `json:"sessions,omitempty"`
+	Snippet  *stream.SnippetEvent  `json:"snippet,omitempty"`
+	Snippets []stream.SnippetEvent `json:"snippets,omitempty"`
+}
+
+// feedbackResponse reports what happened to each event: queued into
+// the learner, dropped on saturation, or rejected as malformed.
+type feedbackResponse struct {
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+	Invalid  int `json:"invalid"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	s.met.feedbacks.Add(1)
+	if s.learner == nil {
+		s.writeError(w, http.StatusServiceUnavailable,
+			"online learning is not enabled on this server (start microserve with -online)")
+		return
+	}
+	var req feedbackRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	total := len(req.Sessions) + len(req.Snippets)
+	if req.Session != nil {
+		total++
+	}
+	if req.Snippet != nil {
+		total++
+	}
+	if total == 0 {
+		s.writeError(w, http.StatusBadRequest, "feedback needs a session or a snippet")
+		return
+	}
+	if total > maxBatchItems {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			"feedback batch of %d events exceeds the %d limit; split it", total, maxBatchItems)
+		return
+	}
+	s.met.feedbackEvents.Add(uint64(total))
+
+	var out feedbackResponse
+	ingest := func(ev stream.Event) {
+		switch err := s.learner.Ingest(ev); {
+		case err == nil:
+			out.Accepted++
+		case errors.Is(err, stream.ErrDropped):
+			out.Dropped++
+		default:
+			out.Invalid++
+		}
+	}
+	if req.Session != nil {
+		ingest(stream.Event{Session: req.Session})
+	}
+	for i := range req.Sessions {
+		ingest(stream.Event{Session: &req.Sessions[i]})
+	}
+	if req.Snippet != nil {
+		ingest(stream.Event{Snippet: req.Snippet})
+	}
+	for i := range req.Snippets {
+		ingest(stream.Event{Snippet: &req.Snippets[i]})
+	}
+
+	// All-dropped is backpressure, not success: tell the producer to
+	// slow down. Partial acceptance stays 200 with the counts.
+	status := http.StatusOK
+	if out.Accepted == 0 && out.Dropped > 0 {
+		status = http.StatusTooManyRequests
+	}
+	s.writeJSON(w, status, out)
 }
 
 // loadRequest is the admin body of POST /v1/models/{name}/load: the
@@ -184,35 +322,94 @@ type loadRequest struct {
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req loadRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Path == "" {
-		writeError(w, http.StatusBadRequest, "load needs a snapshot path")
+		s.writeError(w, http.StatusBadRequest, "load needs a snapshot path")
 		return
 	}
 	f, err := os.Open(req.Path)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "open snapshot: %v", err)
+		s.writeError(w, http.StatusBadRequest, "open snapshot: %v", err)
 		return
 	}
 	defer f.Close()
 	info, err := s.eng.LoadSnapshot(name, f)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "load snapshot: %v", err)
+		s.writeError(w, http.StatusUnprocessableEntity, "load snapshot: %v", err)
 		return
 	}
+	s.met.loads.Add(1)
 	s.log.Printf("hot-swapped %s from %s (%d params)", info.Ref(), req.Path, info.Params)
-	writeJSON(w, http.StatusOK, info)
+	s.writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	info, err := s.eng.Rollback(name)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "rollback: %v", err)
+		s.writeError(w, http.StatusNotFound, "rollback: %v", err)
 		return
 	}
+	s.met.rollbacks.Add(1)
 	s.log.Printf("rolled %s back to %s", name, info.Ref())
-	writeJSON(w, http.StatusOK, info)
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// snapshotRequest / snapshotResponse are the wire shapes of
+// POST /v1/models/{name}/snapshot: export an installed version (the
+// path accepts "name" or "name@version") as an artifact on the serving
+// host — how an online-learned model is persisted back to disk.
+type snapshotRequest struct {
+	Path string `json:"path"`
+}
+
+type snapshotResponse struct {
+	Model string `json:"model"`
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req snapshotRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		s.writeError(w, http.StatusBadRequest, "snapshot needs a destination path")
+		return
+	}
+	var n int64
+	err := snapshot.WriteFileAtomic(req.Path, func(w io.Writer) error {
+		cw := &countingWriter{w: w}
+		err := s.eng.SaveSnapshot(name, cw)
+		n = cw.n
+		return err
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, engine.ErrNoModel):
+		s.writeError(w, http.StatusNotFound, "snapshot: %v", err)
+		return
+	default:
+		s.writeError(w, http.StatusUnprocessableEntity, "snapshot: %v", err)
+		return
+	}
+	s.met.snapshots.Add(1)
+	s.log.Printf("exported %s to %s (%d bytes)", name, req.Path, n)
+	s.writeJSON(w, http.StatusOK, snapshotResponse{Model: name, Path: req.Path, Bytes: n})
+}
+
+// countingWriter reports how many artifact bytes an export produced.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/clickmodel"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/stream"
 )
 
 // testSessions builds a deterministic synthetic log (mirrors the
@@ -304,5 +305,303 @@ func TestLoadAndRollbackEndpoints(t *testing.T) {
 	code = postJSON(t, ts.URL+"/v1/models/pbm@2/load", map[string]string{"path": path}, &eb)
 	if code != http.StatusUnprocessableEntity || !strings.Contains(eb.Error, "@") {
 		t.Errorf("versioned load name: %d %+v", code, eb)
+	}
+}
+
+// newOnlineServer is newTestServer plus an attached online learner.
+func newOnlineServer(t *testing.T, models ...string) (*httptest.Server, *engine.Engine, *stream.Learner, []clickmodel.Session) {
+	t.Helper()
+	sessions := testSessions(600)
+	eng := engine.New(engine.WithWorkers(2))
+	if _, err := eng.Fit("pbm", sessions[:200], engine.Iterations(5)); err != nil {
+		t.Fatal(err)
+	}
+	if len(models) == 0 {
+		models = []string{"sdbn"}
+	}
+	l, err := stream.New(eng, stream.Config{Models: models, Shards: 2, QueueCap: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	ts := httptest.NewServer(New(eng, nil, WithLearner(l)))
+	t.Cleanup(ts.Close)
+	return ts, eng, l, sessions
+}
+
+// TestFeedbackEndpoint is the serve→feedback→republish loop over the
+// wire: ingest sessions, publish, and watch the new version appear in
+// /v1/models and serve scoring traffic.
+func TestFeedbackEndpoint(t *testing.T) {
+	ts, eng, l, sessions := newOnlineServer(t)
+
+	// Single session plus a batch, and a snippet event.
+	var fb struct {
+		Accepted int `json:"accepted"`
+		Dropped  int `json:"dropped"`
+		Invalid  int `json:"invalid"`
+	}
+	code := postJSON(t, ts.URL+"/v1/feedback", map[string]any{"session": sessions[200]}, &fb)
+	if code != http.StatusOK || fb.Accepted != 1 {
+		t.Fatalf("single session: %d %+v", code, fb)
+	}
+	code = postJSON(t, ts.URL+"/v1/feedback", map[string]any{
+		"sessions": sessions[201:500],
+		"snippet":  stream.SnippetEvent{Lines: []string{"cheap flights"}, Impressions: 50, Clicks: 9},
+	}, &fb)
+	if code != http.StatusOK || fb.Accepted != 300 || fb.Dropped != 0 || fb.Invalid != 0 {
+		t.Fatalf("batch: %d %+v", code, fb)
+	}
+
+	// Publish and score through the new version.
+	infos, err := l.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "sdbn" || infos[0].Source != engine.SourceOnline {
+		t.Fatalf("published %+v", infos)
+	}
+	var got engine.Response
+	code = postJSON(t, ts.URL+"/v1/score", engine.Request{Model: "sdbn", Session: &sessions[550]}, &got)
+	if code != http.StatusOK || got.ModelVersion != 1 || got.CTR <= 0 {
+		t.Fatalf("scoring the online model: %d %+v", code, got)
+	}
+
+	// /v1/models lists the online version with its provenance.
+	var models struct {
+		Models []engine.ModelInfo `json:"models"`
+	}
+	getJSON(t, ts.URL+"/v1/models", &models)
+	found := false
+	for _, mi := range models.Models {
+		if mi.Name == "sdbn" && mi.Source == engine.SourceOnline {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("online version missing from /v1/models: %+v", models.Models)
+	}
+	_ = eng
+}
+
+// TestFeedbackErrors covers the error paths of the ingest surface:
+// disabled learner, malformed JSON, empty events, invalid payloads and
+// oversized batches.
+func TestFeedbackErrors(t *testing.T) {
+	// Feedback before any learner is configured → 503.
+	plain, _, _ := newTestServer(t)
+	var eb struct {
+		Error string `json:"error"`
+	}
+	code := postJSON(t, plain.URL+"/v1/feedback", map[string]any{"session": clickmodel.Session{Query: "q", Docs: []string{"a"}, Clicks: []bool{false}}}, &eb)
+	if code != http.StatusServiceUnavailable || !strings.Contains(eb.Error, "-online") {
+		t.Fatalf("feedback without learner: %d %+v", code, eb)
+	}
+
+	ts, _, _, _ := newOnlineServer(t)
+
+	// Malformed JSON → 400.
+	resp, err := http.Post(ts.URL+"/v1/feedback", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed feedback body: %d", resp.StatusCode)
+	}
+
+	// No events at all → 400.
+	code = postJSON(t, ts.URL+"/v1/feedback", map[string]any{}, &eb)
+	if code != http.StatusBadRequest {
+		t.Errorf("empty feedback: %d", code)
+	}
+
+	// Invalid session → counted, 200 with invalid=1.
+	var fb struct {
+		Accepted int `json:"accepted"`
+		Invalid  int `json:"invalid"`
+	}
+	code = postJSON(t, ts.URL+"/v1/feedback", map[string]any{
+		"session": clickmodel.Session{Query: "q", Docs: []string{"a"}, Clicks: []bool{true, false}},
+	}, &fb)
+	if code != http.StatusOK || fb.Invalid != 1 || fb.Accepted != 0 {
+		t.Errorf("invalid session: %d %+v", code, fb)
+	}
+
+	// Oversized batch → 413.
+	big := make([]clickmodel.Session, maxBatchItems+1)
+	for i := range big {
+		big[i] = clickmodel.Session{Query: "q", Docs: []string{"a"}, Clicks: []bool{false}}
+	}
+	code = postJSON(t, ts.URL+"/v1/feedback", map[string]any{"sessions": big}, &eb)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized feedback batch: %d", code)
+	}
+}
+
+// TestFeedbackBackpressure: a saturated sink answers 429 with the drop
+// count on the wire.
+func TestFeedbackBackpressure(t *testing.T) {
+	sessions := testSessions(10)
+	eng := engine.New()
+	l, err := stream.New(eng, stream.Config{Models: []string{"sdbn"}, Shards: 1, QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	ts := httptest.NewServer(New(eng, nil, WithLearner(l)))
+	t.Cleanup(ts.Close)
+
+	var fb struct {
+		Accepted int `json:"accepted"`
+		Dropped  int `json:"dropped"`
+	}
+	code := postJSON(t, ts.URL+"/v1/feedback", map[string]any{"sessions": sessions[:4]}, &fb)
+	if code != http.StatusOK || fb.Accepted != 1 || fb.Dropped != 3 {
+		t.Fatalf("partial saturation: %d %+v", code, fb)
+	}
+	code = postJSON(t, ts.URL+"/v1/feedback", map[string]any{"sessions": sessions[4:8]}, &fb)
+	if code != http.StatusTooManyRequests || fb.Accepted != 0 || fb.Dropped != 4 {
+		t.Fatalf("full saturation: %d %+v", code, fb)
+	}
+}
+
+// TestScoreBatchLimits: oversized score batches are rejected with 413
+// and unknown pinned versions with 404.
+func TestScoreBatchLimits(t *testing.T) {
+	ts, _, sessions := newTestServer(t)
+
+	big := struct {
+		Requests []engine.Request `json:"requests"`
+	}{Requests: make([]engine.Request, maxBatchItems+1)}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/score/batch", big, &eb); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized score batch: %d", code)
+	}
+
+	// Unknown name@version pin → 404 with the versions explained.
+	var got engine.Response
+	code := postJSON(t, ts.URL+"/v1/score", engine.Request{Model: "pbm@9", Session: &sessions[0]}, &got)
+	if code != http.StatusNotFound || !strings.Contains(got.Error, "no installed version 9") {
+		t.Errorf("unknown version pin: %d %+v", code, got)
+	}
+	code = postJSON(t, ts.URL+"/v1/score", engine.Request{Model: "pbm@bogus", Session: &sessions[0]}, &got)
+	if code != http.StatusNotFound || got.Error == "" {
+		t.Errorf("malformed version pin: %d %+v", code, got)
+	}
+}
+
+// TestSnapshotEndpoint: an online-learned model is exported to disk
+// through the admin surface and loads back bit-identically.
+func TestSnapshotEndpoint(t *testing.T) {
+	ts, eng, l, sessions := newOnlineServer(t)
+	var fb struct {
+		Accepted int `json:"accepted"`
+	}
+	postJSON(t, ts.URL+"/v1/feedback", map[string]any{"sessions": sessions[200:500]}, &fb)
+	if _, err := l.Publish(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sdbn-online.bin")
+	var snap struct {
+		Model string `json:"model"`
+		Path  string `json:"path"`
+		Bytes int64  `json:"bytes"`
+	}
+	code := postJSON(t, ts.URL+"/v1/models/sdbn/snapshot", map[string]string{"path": path}, &snap)
+	if code != http.StatusOK || snap.Bytes <= 0 || snap.Model != "sdbn" {
+		t.Fatalf("snapshot export: %d %+v", code, snap)
+	}
+
+	// Round-trip: load the artifact into a fresh engine and compare.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fresh := engine.New()
+	info, err := fresh.LoadSnapshot("", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "sdbn" {
+		t.Fatalf("artifact decoded as %+v", info)
+	}
+	want, err := eng.ScoreCTR(t.Context(), engine.Request{Model: "sdbn", Session: &sessions[550]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fresh.ScoreCTR(t.Context(), engine.Request{Model: "sdbn", Session: &sessions[550]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.CTR-want.CTR) > 1e-12 {
+		t.Fatalf("round-tripped CTR %v, want %v", got.CTR, want.CTR)
+	}
+
+	// Error paths: missing path, unknown model, unwritable destination.
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/models/sdbn/snapshot", map[string]string{}, &eb); code != http.StatusBadRequest {
+		t.Errorf("empty snapshot path: %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/models/ghost/snapshot", map[string]string{"path": path}, &eb); code != http.StatusNotFound {
+		t.Errorf("unknown model snapshot: %d %+v", code, eb)
+	}
+	bad := filepath.Join(t.TempDir(), "no", "dir", "x.bin")
+	if code := postJSON(t, ts.URL+"/v1/models/sdbn/snapshot", map[string]string{"path": bad}, &eb); code != http.StatusUnprocessableEntity {
+		t.Errorf("unwritable snapshot destination: %d %+v", code, eb)
+	}
+}
+
+// TestHealthzCounters: the counter block reflects traffic, including
+// the stream section when a learner is attached.
+func TestHealthzCounters(t *testing.T) {
+	ts, _, _, sessions := newOnlineServer(t)
+
+	var fb struct{}
+	postJSON(t, ts.URL+"/v1/feedback", map[string]any{"sessions": sessions[200:210]}, &fb)
+	var sc engine.Response
+	postJSON(t, ts.URL+"/v1/score", engine.Request{Model: "pbm", Session: &sessions[0]}, &sc)
+	var br struct{}
+	postJSON(t, ts.URL+"/v1/score/batch", map[string]any{"requests": []engine.Request{{Model: "pbm", Session: &sessions[1]}}}, &br)
+
+	var got struct {
+		Status  string           `json:"status"`
+		Models  int              `json:"models"`
+		Serving MetricsSnapshot  `json:"serving"`
+		Stream  *stream.Counters `json:"stream"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &got); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if got.Status != "ok" || got.Models != 1 {
+		t.Errorf("healthz header: %+v", got)
+	}
+	s := got.Serving
+	if s.Scores != 1 || s.Batches != 1 || s.BatchRequests != 1 || s.Feedbacks != 1 || s.FeedbackEvents != 10 || s.Requests < 4 {
+		t.Errorf("serving counters: %+v", s)
+	}
+	if got.Stream == nil || got.Stream.Accepted != 10 {
+		t.Errorf("stream counters: %+v", got.Stream)
+	}
+
+	// Without a learner the stream block is absent.
+	plain, _, _ := newTestServer(t)
+	raw, err := http.Get(plain.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	var generic map[string]any
+	if err := json.NewDecoder(raw.Body).Decode(&generic); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := generic["stream"]; ok {
+		t.Errorf("stream counters leaked without a learner: %v", generic)
 	}
 }

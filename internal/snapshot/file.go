@@ -1,0 +1,30 @@
+package snapshot
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes an artifact to path through save, atomically:
+// the bytes land in a temp file in the destination directory and are
+// renamed into place only after save returns cleanly, so a serving
+// process watching the path can never load a half-written artifact.
+// On failure the temp file is removed and the destination is left
+// untouched.
+func WriteFileAtomic(path string, save func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if err := save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,50 @@
+package snapshot
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.bin")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("read back %q", got)
+	}
+
+	// A failing save must leave the previous artifact untouched and no
+	// temp litter behind.
+	boom := errors.New("boom")
+	if err := WriteFileAtomic(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("save error lost: %v", err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("failed save clobbered the artifact: %q %v", got, err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp litter left behind: %v", entries)
+	}
+
+	// An unwritable directory fails up front.
+	if err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "m.bin"),
+		func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,553 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clickmodel"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/textproc"
+)
+
+// Config parameterises a Learner.
+type Config struct {
+	// Models names what the loop trains and publishes: click-model
+	// registry names ("pbm", "sdbn", ...) and/or "micro". Counting-
+	// family models refit from the decayed global statistics; EM-family
+	// models refit on the session window; "micro" rebuilds its
+	// relevance table from accumulated term counts.
+	Models []string
+	// Interval is the publish cadence (default 30s).
+	Interval time.Duration
+	// Shards is the ingest fan-out (default GOMAXPROCS, capped at 16).
+	Shards int
+	// QueueCap bounds each shard's ingest buffer (default 4096).
+	QueueCap int
+	// Window bounds the raw-session ring the EM-family models refit on
+	// (default 50000, split across shards).
+	Window int
+	// Decay in (0, 1) ages the counting statistics and micro term
+	// counts by that factor per publish; 0 or 1 keeps all history.
+	// With decay on, fully aged-out (query, doc) pairs and micro terms
+	// are pruned on publish, so an open-ended query/doc space cannot
+	// grow the tables with every pair ever seen.
+	Decay float64
+	// MinEvents gates scheduled publishes: fewer new feedback events
+	// (sessions + snippets) than this since the last publish skips the
+	// tick (default 1). Manual Publish calls ignore the gate.
+	MinEvents int
+	// Iterations caps EM rounds per windowed refit (default 5 — a
+	// mini-batch refit polishes the previous publish, it does not need
+	// offline-depth convergence).
+	Iterations int
+	// Attention is the attention layer stamped onto published micro
+	// models (nil = FullAttention).
+	Attention core.Attention
+	// MicroMaxN is the n-gram order for micro term extraction
+	// (default 2).
+	MicroMaxN int
+	// Logger receives publish/skip lines; nil logs nothing.
+	Logger *log.Logger
+}
+
+func (c *Config) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = 30 * time.Second
+	}
+	if c.Shards < 1 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 16 {
+			c.Shards = 16
+		}
+	}
+	if c.QueueCap < 1 {
+		c.QueueCap = 4096
+	}
+	if c.Window < 1 {
+		c.Window = 50000
+	}
+	if c.MinEvents < 1 {
+		c.MinEvents = 1
+	}
+	if c.Iterations < 1 {
+		c.Iterations = 5
+	}
+	if c.MicroMaxN < 1 {
+		c.MicroMaxN = 2
+	}
+}
+
+// termCount is one micro term's decayed impression/click mass.
+type termCount struct{ imps, clicks float64 }
+
+// sessionRing is one shard's slice of the EM mini-batch window.
+type sessionRing struct {
+	buf []clickmodel.Session
+	n   int // filled
+	at  int // next write
+}
+
+func (r *sessionRing) add(s clickmodel.Session) {
+	r.buf[r.at] = s
+	r.at = (r.at + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Counters is a snapshot of the loop's health, exposed on /healthz.
+type Counters struct {
+	// Accepted/Dropped/Invalid count ingest outcomes: queued into a
+	// shard, rejected on saturation, rejected as malformed.
+	Accepted uint64 `json:"accepted"`
+	Dropped  uint64 `json:"dropped"`
+	Invalid  uint64 `json:"invalid"`
+	// FoldedSessions/FoldedSnippets count events folded into the
+	// accumulators (always <= Accepted; the rest is still buffered).
+	FoldedSessions uint64 `json:"folded_sessions"`
+	FoldedSnippets uint64 `json:"folded_snippets"`
+	// Publishes/PublishSkips/PublishErrors count publisher ticks that
+	// installed versions, were gated by MinEvents, or failed.
+	Publishes     uint64 `json:"publishes"`
+	PublishSkips  uint64 `json:"publish_skips"`
+	PublishErrors uint64 `json:"publish_errors"`
+	// LastPublishMS is the wall time of the last publish (fold + merge
+	// + fits + installs).
+	LastPublishMS float64 `json:"last_publish_ms"`
+	// WindowSessions / Pairs / MicroTerms / Weight describe the
+	// accumulated state: EM window fill, distinct (query, doc) pairs,
+	// micro vocabulary size, decayed session mass.
+	WindowSessions int     `json:"window_sessions"`
+	Pairs          int     `json:"pairs"`
+	MicroTerms     int     `json:"micro_terms"`
+	Weight         float64 `json:"weight"`
+}
+
+// Learner owns the online loop: a Sink for ingest, per-shard
+// accumulators, and the publisher. Create with New, feed with Ingest,
+// run the background publisher with Start/Close — or drive Publish
+// directly (tests, manual retrain endpoints).
+type Learner struct {
+	cfg  Config
+	eng  *engine.Engine
+	sink *Sink
+
+	invalid        atomic.Uint64
+	foldedSessions atomic.Uint64
+	foldedSnippets atomic.Uint64
+
+	// mu serialises folding, merging and publishing; the ingest path
+	// never takes it.
+	mu         sync.Mutex
+	deltas     []*clickmodel.Stats // per shard, reset on every merge
+	idmaps     [][]int32           // per shard: delta pair ID -> global pair ID
+	rings      []sessionRing       // per shard slice of the EM window
+	termDeltas []map[string]termCount
+	global     *clickmodel.Stats
+	terms      map[string]termCount
+	winScratch []clickmodel.Session
+
+	wantMicro bool
+	emModels  int // configured models that need the session window
+
+	lastFolded    uint64 // foldedSessions at the last publish
+	publishes     uint64
+	publishSkips  uint64
+	publishErrors uint64
+	lastPublish   time.Duration
+	lastInfos     []engine.ModelInfo
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New validates the configuration and returns a ready Learner. Every
+// configured model name must be "micro" or a click-model registry
+// name.
+func New(eng *engine.Engine, cfg Config) (*Learner, error) {
+	if eng == nil {
+		return nil, errors.New("stream: New needs an engine")
+	}
+	if len(cfg.Models) == 0 {
+		return nil, errors.New("stream: no models configured (want registry names and/or \"micro\")")
+	}
+	cfg.defaults()
+	l := &Learner{
+		cfg:    cfg,
+		eng:    eng,
+		sink:   NewSink(cfg.Shards, cfg.QueueCap),
+		global: clickmodel.NewStats(),
+		terms:  make(map[string]termCount),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, name := range cfg.Models {
+		if name == engine.NameMicro {
+			l.wantMicro = true
+			continue
+		}
+		m, err := clickmodel.New(name)
+		if err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+		if _, counting := m.(clickmodel.StatsFitter); !counting {
+			l.emModels++
+		}
+	}
+	shards := l.sink.Shards()
+	perShard := cfg.Window / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	l.deltas = make([]*clickmodel.Stats, shards)
+	l.idmaps = make([][]int32, shards)
+	l.rings = make([]sessionRing, shards)
+	l.termDeltas = make([]map[string]termCount, shards)
+	for i := 0; i < shards; i++ {
+		l.deltas[i] = clickmodel.NewStats()
+		l.rings[i] = sessionRing{buf: make([]clickmodel.Session, perShard)}
+		l.termDeltas[i] = make(map[string]termCount)
+	}
+	return l, nil
+}
+
+// Ingest validates and enqueues one feedback event. Malformed events
+// return the validation error; a saturated sink returns ErrDropped.
+// Safe for any number of concurrent callers; the accept path takes one
+// shard lock and allocates nothing.
+func (l *Learner) Ingest(ev Event) error {
+	if ev.Session == nil && ev.Snippet == nil {
+		l.invalid.Add(1)
+		return errors.New("stream: feedback event carries neither session nor snippet")
+	}
+	if ev.Session != nil {
+		if err := ev.Session.Validate(); err != nil {
+			l.invalid.Add(1)
+			return err
+		}
+	}
+	if ev.Snippet != nil {
+		if err := ev.Snippet.Validate(); err != nil {
+			l.invalid.Add(1)
+			return err
+		}
+	}
+	if !l.sink.Offer(ev) {
+		return ErrDropped
+	}
+	return nil
+}
+
+// foldLocked drains every shard concurrently, folding sessions into
+// the shard's Stats delta and window ring and snippets into the
+// shard's term counts. Caller holds l.mu.
+func (l *Learner) foldLocked() {
+	var wg sync.WaitGroup
+	for i := 0; i < l.sink.Shards(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var ns, nn uint64
+			l.sink.DrainShard(i, func(ev *Event) {
+				if ev.Session != nil {
+					if l.deltas[i].Add(*ev.Session) == nil {
+						l.rings[i].add(*ev.Session)
+						ns++
+					}
+				}
+				if ev.Snippet != nil {
+					l.foldSnippet(i, ev.Snippet)
+					nn++
+				}
+			})
+			if ns > 0 {
+				l.foldedSessions.Add(ns)
+			}
+			if nn > 0 {
+				l.foldedSnippets.Add(nn)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// foldSnippet credits every distinct term of the snippet with the
+// event's impression and click mass.
+func (l *Learner) foldSnippet(shard int, ev *SnippetEvent) {
+	m := l.termDeltas[shard]
+	for term := range textproc.TermSet(ev.Lines, l.cfg.MicroMaxN) {
+		tc := m[term]
+		tc.imps += float64(ev.Impressions)
+		tc.clicks += float64(ev.Clicks)
+		m[term] = tc
+	}
+}
+
+// pruneMass is the decayed impression mass below which a pair or term
+// counts as fully aged out.
+const pruneMass = 1e-3
+
+// mergeLocked decays the global tables and folds every shard delta in.
+// Caller holds l.mu.
+func (l *Learner) mergeLocked() {
+	decaying := l.cfg.Decay > 0 && l.cfg.Decay < 1
+	if decaying {
+		l.global.Decay(l.cfg.Decay)
+		for term, tc := range l.terms {
+			tc.imps *= l.cfg.Decay
+			tc.clicks *= l.cfg.Decay
+			if tc.imps < pruneMass {
+				// Fully aged out: unbounded vocabularies are how online
+				// learners leak.
+				delete(l.terms, term)
+				continue
+			}
+			l.terms[term] = tc
+		}
+	}
+	for i, d := range l.deltas {
+		l.idmaps[i] = l.global.Merge(d, l.idmaps[i])
+		d.Reset()
+	}
+	for _, td := range l.termDeltas {
+		for term, tc := range td {
+			cur := l.terms[term]
+			cur.imps += tc.imps
+			cur.clicks += tc.clicks
+			l.terms[term] = cur
+		}
+		clear(td)
+	}
+	if decaying && l.global.Prune(pruneMass) > 0 {
+		// Pruning renumbers global pair IDs, so the cached delta→global
+		// maps are stale; fresh shard deltas also drop the pair vocab
+		// the shards accumulated for traffic that no longer exists.
+		for i := range l.deltas {
+			l.deltas[i] = clickmodel.NewStats()
+			l.idmaps[i] = nil
+		}
+	}
+}
+
+// windowLocked gathers the EM mini-batch window into a reused scratch
+// slice. Caller holds l.mu.
+func (l *Learner) windowLocked() []clickmodel.Session {
+	l.winScratch = l.winScratch[:0]
+	for i := range l.rings {
+		l.winScratch = append(l.winScratch, l.rings[i].buf[:l.rings[i].n]...)
+	}
+	return l.winScratch
+}
+
+// Publish drains, merges and refits every configured model, installing
+// each as a fresh engine version with source "online". Models that
+// cannot fit yet (no feedback of their kind) are skipped with an error
+// that is joined into the return value; models that do fit are still
+// published. Safe to call concurrently with Ingest and with the
+// background loop.
+func (l *Learner) Publish() ([]engine.ModelInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.publishLocked()
+}
+
+func (l *Learner) publishLocked() ([]engine.ModelInfo, error) {
+	start := time.Now()
+	l.foldLocked()
+	l.mergeLocked()
+	l.lastFolded = l.foldedSessions.Load() + l.foldedSnippets.Load()
+
+	var window []clickmodel.Session
+	var compiled *clickmodel.CompiledLog
+	if l.emModels > 0 {
+		window = l.windowLocked()
+		if len(window) > 0 {
+			var err error
+			if compiled, err = clickmodel.Compile(window); err != nil {
+				compiled = nil // defensive: fall back to per-model Fit
+			}
+		}
+	}
+
+	infos := make([]engine.ModelInfo, 0, len(l.cfg.Models))
+	var errs []error
+	for _, name := range l.cfg.Models {
+		info, err := l.fitOneLocked(name, window, compiled)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", name, err))
+			continue
+		}
+		infos = append(infos, info)
+	}
+
+	l.lastPublish = time.Since(start)
+	l.lastInfos = infos
+	if len(infos) > 0 {
+		l.publishes++
+	}
+	if len(errs) > 0 {
+		l.publishErrors++
+	}
+	if l.cfg.Logger != nil {
+		for _, info := range infos {
+			l.cfg.Logger.Printf("stream: published %s (%d params, %.0f sessions of weight, window %d)",
+				info.Ref(), info.Params, l.global.Weight(), len(window))
+		}
+		for _, err := range errs {
+			l.cfg.Logger.Printf("stream: publish error: %v", err)
+		}
+	}
+	return infos, errors.Join(errs...)
+}
+
+// fitOneLocked refits one configured model from the accumulated state
+// and installs it. A fresh model instance is fitted per publish so the
+// versions already serving (including pinned name@version readers) are
+// never mutated.
+func (l *Learner) fitOneLocked(name string, window []clickmodel.Session, compiled *clickmodel.CompiledLog) (engine.ModelInfo, error) {
+	if name == engine.NameMicro {
+		return l.fitMicroLocked()
+	}
+	m, err := clickmodel.New(name)
+	if err != nil {
+		return engine.ModelInfo{}, err
+	}
+	if it, ok := m.(clickmodel.IterativeModel); ok {
+		it.SetIterations(l.cfg.Iterations)
+	}
+	if sf, ok := m.(clickmodel.StatsFitter); ok {
+		err = sf.FitStats(l.global)
+	} else if compiled != nil {
+		if lf, ok := m.(clickmodel.LogFitter); ok {
+			err = lf.FitLog(compiled)
+		} else {
+			err = m.Fit(compiled.Sessions())
+		}
+	} else if len(window) > 0 {
+		err = m.Fit(window)
+	} else {
+		err = errors.New("no sessions in the window yet")
+	}
+	if err != nil {
+		return engine.ModelInfo{}, err
+	}
+	return l.eng.InstallModel(m, engine.SourceOnline)
+}
+
+// fitMicroLocked rebuilds the micro model's relevance table from the
+// accumulated term counts: each term's relevance is its Laplace-
+// smoothed click rate (clicks+1)/(imps+2) — the sigmoid of the
+// smoothed log-odds, the same CTR-as-relevance estimator
+// engine.MicroFromStats applies to the offline statistics database.
+func (l *Learner) fitMicroLocked() (engine.ModelInfo, error) {
+	if len(l.terms) == 0 {
+		return engine.ModelInfo{}, errors.New("no snippet feedback accumulated yet")
+	}
+	m := core.NewModel(l.cfg.Attention)
+	for term, tc := range l.terms {
+		if tc.imps <= 0 {
+			continue
+		}
+		m.Relevance[term] = (tc.clicks + 1) / (tc.imps + 2)
+	}
+	return l.eng.InstallMicro(m, engine.SourceOnline)
+}
+
+// Start launches the background loop: frequent folds (so ingest
+// buffers never back up waiting for a publish) and a publish per
+// Interval, gated by MinEvents. Idempotent.
+func (l *Learner) Start() {
+	if !l.started.CompareAndSwap(false, true) {
+		return
+	}
+	go l.run()
+}
+
+func (l *Learner) run() {
+	defer close(l.done)
+	foldEvery := l.cfg.Interval / 8
+	if foldEvery < 20*time.Millisecond {
+		foldEvery = 20 * time.Millisecond
+	}
+	if foldEvery > time.Second {
+		foldEvery = time.Second
+	}
+	foldT := time.NewTicker(foldEvery)
+	pubT := time.NewTicker(l.cfg.Interval)
+	defer foldT.Stop()
+	defer pubT.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-foldT.C:
+			l.mu.Lock()
+			l.foldLocked()
+			l.mu.Unlock()
+		case <-pubT.C:
+			l.mu.Lock()
+			l.foldLocked() // count buffered events toward the gate
+			fresh := l.foldedSessions.Load()+l.foldedSnippets.Load() >= l.lastFolded+uint64(l.cfg.MinEvents)
+			if fresh {
+				l.publishLocked() // logs its own errors; counters record them
+			} else {
+				l.publishSkips++
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Close stops the background loop (if running) and waits for it to
+// exit. It does not publish; call Publish first for a final flush.
+func (l *Learner) Close() error {
+	l.stopOnce.Do(func() { close(l.stop) })
+	if l.started.Load() {
+		<-l.done
+	}
+	return nil
+}
+
+// LastPublished returns the versions installed by the most recent
+// publish.
+func (l *Learner) LastPublished() []engine.ModelInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]engine.ModelInfo, len(l.lastInfos))
+	copy(out, l.lastInfos)
+	return out
+}
+
+// Counters returns a consistent-enough snapshot of the loop's health.
+func (l *Learner) Counters() Counters {
+	l.mu.Lock()
+	window := 0
+	for i := range l.rings {
+		window += l.rings[i].n
+	}
+	c := Counters{
+		Publishes:      l.publishes,
+		PublishSkips:   l.publishSkips,
+		PublishErrors:  l.publishErrors,
+		LastPublishMS:  float64(l.lastPublish) / float64(time.Millisecond),
+		WindowSessions: window,
+		Pairs:          l.global.NumPairs(),
+		MicroTerms:     len(l.terms),
+		Weight:         l.global.Weight(),
+	}
+	l.mu.Unlock()
+	c.Accepted = l.sink.Queued()
+	c.Dropped = l.sink.Dropped()
+	c.Invalid = l.invalid.Load()
+	c.FoldedSessions = l.foldedSessions.Load()
+	c.FoldedSnippets = l.foldedSnippets.Load()
+	return c
+}

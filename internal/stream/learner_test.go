@@ -1,0 +1,496 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clickmodel"
+	"repro/internal/engine"
+)
+
+// genSessions simulates a PBM-style ground truth: per-doc
+// attractiveness times a per-position examination curve. Enough
+// structure that a click model fitted on more traffic is measurably
+// better on held-out data.
+func genSessions(n int, seed int64) []clickmodel.Session {
+	rng := rand.New(rand.NewSource(seed))
+	docs := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	alpha := []float64{0.65, 0.55, 0.45, 0.4, 0.3, 0.25, 0.15, 0.1}
+	gamma := []float64{0.9, 0.6, 0.4, 0.2}
+	out := make([]clickmodel.Session, 0, n)
+	for k := 0; k < n; k++ {
+		s := clickmodel.Session{Query: "q", Docs: make([]string, 4), Clicks: make([]bool, 4)}
+		for i := range s.Docs {
+			d := rng.Intn(len(docs))
+			s.Docs[i] = docs[d]
+			s.Clicks[i] = rng.Float64() < alpha[d]*gamma[i]
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func mustLearner(t *testing.T, cfg Config) *Learner {
+	t.Helper()
+	eng := engine.New()
+	l, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := engine.New()
+	if _, err := New(nil, Config{Models: []string{"pbm"}}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := New(eng, Config{}); err == nil {
+		t.Fatal("empty model list accepted")
+	}
+	if _, err := New(eng, Config{Models: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := New(eng, Config{Models: []string{"pbm", "micro"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// perplexity scores a session slice through the engine at a pinned
+// model reference and folds the per-position marginals into overall
+// click perplexity — evaluation through the serving surface itself.
+func perplexity(t *testing.T, eng *engine.Engine, ref string, sessions []clickmodel.Session) float64 {
+	t.Helper()
+	reqs := make([]engine.Request, len(sessions))
+	for i := range sessions {
+		reqs[i] = engine.Request{Model: ref, Session: &sessions[i]}
+	}
+	resps := eng.ScoreBatch(context.Background(), reqs)
+	var sum, cnt float64
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("scoring %s: %v", ref, r.Err)
+		}
+		for j, c := range sessions[i].Clicks {
+			q := math.Min(math.Max(r.Positions[j], 1e-9), 1-1e-9)
+			if c {
+				sum += math.Log2(q)
+			} else {
+				sum += math.Log2(1 - q)
+			}
+			cnt++
+		}
+	}
+	return math.Exp2(-sum / cnt)
+}
+
+// TestOnlineLoopImprovesPerplexity is the end-to-end acceptance test:
+// seed the engine with a model fitted on a sliver of traffic, stream
+// the rest through the learner, publish, and require the auto-
+// published version to beat the seed on held-out perplexity.
+func TestOnlineLoopImprovesPerplexity(t *testing.T) {
+	all := genSessions(9000, 17)
+	seedLog, live, held := all[:120], all[120:8000], all[8000:]
+
+	eng := engine.New()
+	seed := clickmodel.NewSDBN()
+	if err := seed.Fit(seedLog); err != nil {
+		t.Fatal(err)
+	}
+	if info := eng.RegisterModel(seed); info.Version != 1 {
+		t.Fatalf("seed install: %+v", info)
+	}
+
+	l, err := New(eng, Config{Models: []string{"sdbn"}, Shards: 4, QueueCap: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live {
+		if err := l.Ingest(Event{Session: &live[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := l.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "sdbn" || infos[0].Version != 2 || infos[0].Source != engine.SourceOnline {
+		t.Fatalf("published %+v", infos)
+	}
+
+	before := perplexity(t, eng, "sdbn@1", held)
+	after := perplexity(t, eng, "sdbn@2", held)
+	if !(after < before) {
+		t.Fatalf("online refit did not improve held-out perplexity: %.4f -> %.4f", before, after)
+	}
+
+	// The counting path must agree exactly with a batch fit on the
+	// same sessions — the parity contract end to end.
+	batch := clickmodel.NewSDBN()
+	if err := batch.Fit(live); err != nil {
+		t.Fatal(err)
+	}
+	wantPerp := perplexityOf(t, batch, held)
+	if math.Abs(after-wantPerp) > 1e-9 {
+		t.Fatalf("online perplexity %.6f != batch-fit perplexity %.6f", after, wantPerp)
+	}
+
+	// Rollback still works over online-published versions.
+	info, err := eng.Rollback("sdbn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("rollback landed on %d", info.Version)
+	}
+
+	c := l.Counters()
+	if c.Accepted != uint64(len(live)) || c.FoldedSessions != uint64(len(live)) || c.Publishes != 1 || c.Pairs == 0 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func perplexityOf(t *testing.T, m clickmodel.Model, held []clickmodel.Session) float64 {
+	t.Helper()
+	p, _ := clickmodel.Perplexity(m, held)
+	return p
+}
+
+// TestPublishEMWindow: EM-family models refit from the windowed
+// mini-batch and publish like any other version.
+func TestPublishEMWindow(t *testing.T) {
+	live := genSessions(3000, 23)
+	eng := engine.New()
+	l, err := New(eng, Config{Models: []string{"pbm"}, Shards: 2, QueueCap: 1 << 12, Window: 2000, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live {
+		if err := l.Ingest(Event{Session: &live[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := l.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "pbm" || infos[0].Source != engine.SourceOnline {
+		t.Fatalf("published %+v", infos)
+	}
+	c := l.Counters()
+	if c.WindowSessions != 2000 {
+		t.Fatalf("window filled to %d, want the configured 2000", c.WindowSessions)
+	}
+	// The published model answers requests.
+	resp, err := eng.ScoreCTR(context.Background(), engine.Request{Model: "pbm", Session: &live[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CTR <= 0 || resp.ModelVersion != 1 {
+		t.Fatalf("scored %+v", resp)
+	}
+}
+
+// TestPublishMicro: snippet feedback becomes a served micro model
+// whose relevance ranks high-CTR snippets above low-CTR ones.
+func TestPublishMicro(t *testing.T) {
+	eng := engine.New()
+	l, err := New(eng, Config{Models: []string{"micro"}, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := SnippetEvent{Lines: []string{"cheap flights deals"}, Impressions: 200, Clicks: 90}
+	bad := SnippetEvent{Lines: []string{"expensive layover fees"}, Impressions: 200, Clicks: 4}
+	if err := l.Ingest(Event{Snippet: &good}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Ingest(Event{Snippet: &bad}); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := l.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != engine.NameMicro || infos[0].Source != engine.SourceOnline {
+		t.Fatalf("published %+v", infos)
+	}
+	ctx := context.Background()
+	hi, err := eng.ScoreCTR(ctx, engine.Request{Model: "micro", Lines: good.Lines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := eng.ScoreCTR(ctx, engine.Request{Model: "micro", Lines: bad.Lines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hi.CTR > lo.CTR) {
+		t.Fatalf("learned relevance did not separate snippets: %.4f vs %.4f", hi.CTR, lo.CTR)
+	}
+	if c := l.Counters(); c.FoldedSnippets != 2 || c.MicroTerms == 0 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+// TestPublishPartialFailure: a model with no evidence of its kind yet
+// reports an error without blocking the models that can fit.
+func TestPublishPartialFailure(t *testing.T) {
+	eng := engine.New()
+	l, err := New(eng, Config{Models: []string{"sdbn", "micro"}, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := genSessions(50, 3)
+	for i := range s {
+		if err := l.Ingest(Event{Session: &s[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := l.Publish() // no snippet feedback: micro must fail, sdbn must land
+	if err == nil {
+		t.Fatal("publish with an unfittable model returned no error")
+	}
+	if len(infos) != 1 || infos[0].Name != "sdbn" {
+		t.Fatalf("published %+v", infos)
+	}
+	if c := l.Counters(); c.PublishErrors != 1 || c.Publishes != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+// TestDecayAgesOutTraffic: with decay, old traffic loses weight and
+// the fitted parameters track recent behaviour.
+func TestDecayAgesOutTraffic(t *testing.T) {
+	eng := engine.New()
+	l, err := New(eng, Config{Models: []string{"sdbn"}, Shards: 1, QueueCap: 1 << 12, Decay: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clicky := clickmodel.Session{Query: "q", Docs: []string{"a", "b"}, Clicks: []bool{true, false}}
+	for i := 0; i < 100; i++ {
+		if err := l.Ingest(Event{Session: &clicky}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	w1 := l.Counters().Weight
+	skippy := clickmodel.Session{Query: "q", Docs: []string{"a", "b"}, Clicks: []bool{false, false}}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 100; i++ {
+			if err := l.Ingest(Event{Session: &skippy}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := l.Publish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w2 := l.Counters().Weight; w2 >= w1+400 {
+		t.Fatalf("decay did not age traffic out: weight %v -> %v", w1, w2)
+	}
+	// Recent all-skip traffic should have pulled a's attractiveness
+	// well below the all-click seed round.
+	resp, err := eng.ScoreCTR(context.Background(), engine.Request{Model: "sdbn", Session: &clicky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Positions[0] > 0.2 {
+		t.Fatalf("attractiveness stuck at %v despite decayed skips", resp.Positions[0])
+	}
+}
+
+// TestBackgroundLoopGates: with MinEvents unreachable the ticker
+// skips instead of publishing.
+func TestBackgroundLoopGates(t *testing.T) {
+	eng := engine.New()
+	l, err := New(eng, Config{Models: []string{"sdbn"}, Shards: 1, Interval: 25 * time.Millisecond, MinEvents: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	l.Start() // idempotent
+	s := genSessions(5, 9)
+	for i := range s {
+		if err := l.Ingest(Event{Session: &s[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(2 * time.Second)
+	for l.Counters().PublishSkips == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("background loop never ticked")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c := l.Counters(); c.Publishes != 0 {
+		t.Fatalf("gated loop still published: %+v", c)
+	}
+	// Close is idempotent and safe after the loop exited.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackgroundLoopPublishes: the full background path — Start,
+// ingest, wait for the ticker to auto-publish, score the result.
+func TestBackgroundLoopPublishes(t *testing.T) {
+	live := genSessions(2000, 29)
+	eng := engine.New()
+	l, err := New(eng, Config{Models: []string{"sdbn"}, Shards: 2, QueueCap: 1 << 12, Interval: 30 * time.Millisecond, MinEvents: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	defer l.Close()
+	for i := range live {
+		if err := l.Ingest(Event{Session: &live[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for l.Counters().Publishes == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("loop never auto-published: %+v", l.Counters())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	resp, err := eng.ScoreCTR(context.Background(), engine.Request{Model: "sdbn", Session: &live[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelVersion < 1 {
+		t.Fatalf("scored %+v", resp)
+	}
+	if got := l.LastPublished(); len(got) == 0 || got[0].Name != "sdbn" {
+		t.Fatalf("LastPublished = %+v", got)
+	}
+}
+
+// TestConcurrentIngestPublishScore is the -race acceptance test:
+// concurrent producers, a running background publisher, manual
+// publishes and batch scoring all at once.
+func TestConcurrentIngestPublishScore(t *testing.T) {
+	live := genSessions(4000, 31)
+	eng := engine.New(engine.WithKeepVersions(4))
+	seed := clickmodel.NewSDBN()
+	if err := seed.Fit(live[:100]); err != nil {
+		t.Fatal(err)
+	}
+	eng.RegisterModel(seed)
+
+	l, err := New(eng, Config{Models: []string{"sdbn", "dcm"}, Shards: 4, QueueCap: 1 << 12, Interval: 15 * time.Millisecond, MinEvents: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < len(live); i += 4 {
+				l.Ingest(Event{Session: &live[i]}) // drops under pressure are fine
+			}
+		}(p)
+	}
+	stopScore := make(chan struct{})
+	var scoreWG sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		scoreWG.Add(1)
+		go func() {
+			defer scoreWG.Done()
+			reqs := make([]engine.Request, 64)
+			for i := range reqs {
+				reqs[i] = engine.Request{Model: "sdbn", Session: &live[i]}
+			}
+			for {
+				select {
+				case <-stopScore:
+					return
+				default:
+				}
+				for _, r := range eng.ScoreBatch(context.Background(), reqs) {
+					if r.Err != nil {
+						t.Error(r.Err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		l.Publish()
+	}
+	wg.Wait()
+	if _, err := l.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	close(stopScore)
+	scoreWG.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := l.Counters()
+	if c.Publishes == 0 || c.FoldedSessions == 0 {
+		t.Fatalf("counters: %+v", c)
+	}
+	if c.Accepted+c.Dropped != uint64(len(live)) {
+		t.Fatalf("accounting: accepted %d + dropped %d != %d", c.Accepted, c.Dropped, len(live))
+	}
+}
+
+// TestDecayPrunesPairs: with decay on, pairs whose traffic stopped are
+// dropped from the global table instead of leaking forever.
+func TestDecayPrunesPairs(t *testing.T) {
+	eng := engine.New()
+	l, err := New(eng, Config{Models: []string{"sdbn"}, Shards: 2, QueueCap: 1 << 12, Decay: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One burst of unique one-off pairs, then steady repeat traffic.
+	for i := 0; i < 200; i++ {
+		s := clickmodel.Session{Query: "q", Docs: []string{fmt.Sprintf("one-off-%d", i)}, Clicks: []bool{false}}
+		if err := l.Ingest(Event{Session: &s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	peak := l.Counters().Pairs
+	steady := clickmodel.Session{Query: "q", Docs: []string{"evergreen"}, Clicks: []bool{true}}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 50; i++ {
+			if err := l.Ingest(Event{Session: &steady}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := l.Publish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Counters().Pairs; got >= peak {
+		t.Fatalf("pair table never shrank: %d -> %d", peak, got)
+	}
+	// The evergreen pair still serves.
+	resp, err := eng.ScoreCTR(context.Background(), engine.Request{Model: "sdbn", Session: &steady})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Positions[0] <= 0.5 {
+		t.Fatalf("evergreen pair lost its clicks: %+v", resp)
+	}
+}

@@ -1,0 +1,159 @@
+// Package stream is the online learning loop of the serving system: it
+// turns the serving binary into a learner by ingesting click feedback
+// while requests are being scored, folding it into incremental
+// sufficient statistics, and periodically publishing refitted model
+// versions into the engine's hot-swap table.
+//
+// The paper fits its micro- and macro-browsing models from logged
+// impressions; this package closes that loop for live traffic. Three
+// pieces, wired by a Learner:
+//
+//   - Sink: a sharded, lock-minimal ingest queue. Producers (the HTTP
+//     feedback handler) round-robin events over N shards, each owning a
+//     bounded append buffer; a full shard drops the event and counts
+//     the drop rather than blocking the serving path.
+//   - Accumulation: each shard folds its drained events into its own
+//     clickmodel.Stats delta (counting-family sufficient statistics),
+//     a ring of recent raw sessions (the mini-batch window for the
+//     EM-family models) and per-term impression/click counts (the
+//     micro model). Folding shards run concurrently — interning is the
+//     expensive part, and it parallelises.
+//   - Publisher: on every interval the deltas are merged into a global
+//     decayed table, each configured model is refitted — closed-form
+//     from the global statistics, windowed EM from the session ring,
+//     term-count ratios for micro — and installed as a fresh engine
+//     version (source "online"). Rollback and version pinning keep
+//     working: every publish is an ordinary immutable install.
+//
+// See DESIGN.md ("online learning loop") for the layering picture.
+package stream
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clickmodel"
+)
+
+// Event is one unit of click feedback: macro evidence (a SERP session
+// with its click pattern), micro evidence (aggregated impressions and
+// clicks of one snippet), or both.
+type Event struct {
+	// Session is the macro evidence: one query impression.
+	Session *clickmodel.Session `json:"session,omitempty"`
+	// Snippet is the micro evidence: one snippet's aggregated counts.
+	Snippet *SnippetEvent `json:"snippet,omitempty"`
+}
+
+// SnippetEvent aggregates observed impressions and clicks of one
+// snippet, the micro model's unit of feedback.
+type SnippetEvent struct {
+	Lines       []string `json:"lines"`
+	Impressions int      `json:"impressions"`
+	Clicks      int      `json:"clicks"`
+}
+
+// Validate reports whether the snippet feedback is well-formed.
+func (e *SnippetEvent) Validate() error {
+	if len(e.Lines) == 0 {
+		return errors.New("stream: snippet feedback has no lines")
+	}
+	if e.Impressions <= 0 {
+		return errors.New("stream: snippet feedback needs impressions > 0")
+	}
+	if e.Clicks < 0 || e.Clicks > e.Impressions {
+		return errors.New("stream: snippet clicks outside [0, impressions]")
+	}
+	return nil
+}
+
+// ErrDropped is returned by Ingest when every shard buffer the event
+// was offered to is full: the event was counted as dropped, not
+// queued. Producers treat it as backpressure, not failure.
+var ErrDropped = errors.New("stream: ingest queue saturated, event dropped")
+
+// sinkShard is one ingest lane: a mutex and two swap buffers. The pad
+// keeps neighbouring shards off one cache line so producers on
+// different shards do not false-share.
+type sinkShard struct {
+	mu    sync.Mutex
+	buf   []Event // producers append here (bounded by cap)
+	spare []Event // drained buffer, swapped in by DrainShard
+	_     [64]byte
+}
+
+// Sink is the concurrent ingest front of the online loop: events are
+// distributed round-robin over shards and buffered until a drainer
+// folds them. Offer is safe for any number of concurrent producers and
+// allocates nothing on the steady-state accept path; a saturated shard
+// drops the event rather than blocking.
+type Sink struct {
+	shards []sinkShard
+	cursor atomic.Uint64
+	queued atomic.Uint64 // accepted into a shard buffer
+	drops  atomic.Uint64 // rejected because the shard was full
+}
+
+// NewSink returns a sink with the given shard count and per-shard
+// buffer capacity (values < 1 become 1 and 1024).
+func NewSink(shards, queueCap int) *Sink {
+	if shards < 1 {
+		shards = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1024
+	}
+	s := &Sink{shards: make([]sinkShard, shards)}
+	for i := range s.shards {
+		s.shards[i].buf = make([]Event, 0, queueCap)
+		s.shards[i].spare = make([]Event, 0, queueCap)
+	}
+	return s
+}
+
+// Offer enqueues one event, returning false (and counting a drop) when
+// the selected shard's buffer is full.
+func (s *Sink) Offer(ev Event) bool {
+	sh := &s.shards[s.cursor.Add(1)%uint64(len(s.shards))]
+	sh.mu.Lock()
+	if len(sh.buf) == cap(sh.buf) {
+		sh.mu.Unlock()
+		s.drops.Add(1)
+		return false
+	}
+	sh.buf = append(sh.buf, ev)
+	sh.mu.Unlock()
+	s.queued.Add(1)
+	return true
+}
+
+// DrainShard swaps shard i's buffer out (one short critical section)
+// and runs fold over every drained event, returning how many there
+// were. At most one drainer may work a given shard at a time; the
+// Learner serialises this with its own lock.
+func (s *Sink) DrainShard(i int, fold func(*Event)) int {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	full := sh.buf
+	sh.buf = sh.spare[:0]
+	sh.mu.Unlock()
+	for j := range full {
+		fold(&full[j])
+	}
+	n := len(full)
+	// Drop the event pointers so folded sessions are collectable, then
+	// park the buffer as the next swap target.
+	clear(full)
+	sh.spare = full[:0]
+	return n
+}
+
+// Shards returns the shard count.
+func (s *Sink) Shards() int { return len(s.shards) }
+
+// Queued returns the number of events ever accepted into a buffer.
+func (s *Sink) Queued() uint64 { return s.queued.Load() }
+
+// Dropped returns the number of events rejected on saturation.
+func (s *Sink) Dropped() uint64 { return s.drops.Load() }

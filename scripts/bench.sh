@@ -13,6 +13,8 @@
 #   engine     — BenchmarkEngineScoreBatch/* (batch read path), BENCH_engine.json
 #   micro      — BenchmarkMicroScore/* + BenchmarkExtractTermsPath/*
 #                (compiled micro kernel vs map path), BENCH_engine.json
+#   stream     — BenchmarkStream* (online-loop ingest / fold / publish),
+#                BENCH_stream.json
 #
 # A trajectory file is a JSON array of run records ordered oldest to
 # newest; each record carries the environment and the parsed
@@ -44,7 +46,8 @@ case "$suite" in
   clickmodel) pattern="ClickModel"; default_out="BENCH_clickmodel.json" ;;
   engine)     pattern="EngineScoreBatch"; default_out="BENCH_engine.json" ;;
   micro)      pattern="MicroScore|ExtractTermsPath"; default_out="BENCH_engine.json" ;;
-  *) echo "bench.sh: unknown suite $suite (clickmodel, engine, micro)" >&2; exit 2 ;;
+  stream)     pattern="Stream"; default_out="BENCH_stream.json" ;;
+  *) echo "bench.sh: unknown suite $suite (clickmodel, engine, micro, stream)" >&2; exit 2 ;;
 esac
 out="${out:-$default_out}"
 
@@ -60,16 +63,18 @@ results=$(awk '
     name = $1
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
-    ns = ""; bytes = ""; allocs = ""; reqs = ""
+    ns = ""; bytes = ""; allocs = ""; reqs = ""; sess = ""
     for (i = 3; i <= NF; i++) {
       if ($i == "ns/op") ns = $(i-1)
       else if ($i == "B/op") bytes = $(i-1)
       else if ($i == "allocs/op") allocs = $(i-1)
       else if ($i == "req/s") reqs = $(i-1)
+      else if ($i == "sessions/s") sess = $(i-1)
     }
     if (ns == "") next
     extra = ""
     if (reqs != "") extra = sprintf(", \"req_per_s\": %s", reqs)
+    if (sess != "") extra = extra sprintf(", \"sessions_per_s\": %s", sess)
     printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}", sep, name, $2, ns, bytes, allocs, extra
     sep = ",\n"
   }

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# serve_smoke.sh — end-to-end smoke of the fit → snapshot → serve loop:
-# build the two binaries, fit a small PBM and snapshot it, start
-# microserve with the artifact, hit /healthz, score through both
-# browsing levels, hot-swap the artifact a second time, and shut down
-# gracefully. Exits non-zero on any failed step. CI runs this; it is
-# equally useful locally.
+# serve_smoke.sh — end-to-end smoke of the fit → snapshot → serve →
+# feedback → republish loop: build the three binaries, fit a small PBM
+# and snapshot it, start microserve with the artifact and the online
+# learner enabled, hit /healthz, score through both browsing levels,
+# hot-swap the artifact a second time, replay simulated feedback with
+# loadgen until a new model version auto-publishes, export it back to
+# disk through the admin surface, and shut down gracefully. Exits
+# non-zero on any failed step. CI runs this; it is equally useful
+# locally.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,12 +24,14 @@ trap cleanup EXIT
 echo "serve_smoke: building binaries"
 go build -o "$workdir/clickmodelfit" ./cmd/clickmodelfit
 go build -o "$workdir/microserve" ./cmd/microserve
+go build -o "$workdir/loadgen" ./cmd/loadgen
 
 echo "serve_smoke: fitting pbm and writing snapshot"
 "$workdir/clickmodelfit" -sessions 1500 -groups 60 -model pbm -iters 3 -o "$workdir/pbm.bin" >/dev/null
 
-echo "serve_smoke: starting microserve"
-"$workdir/microserve" -addr "$addr" -load "pbm=$workdir/pbm.bin" >"$workdir/serve.log" 2>&1 &
+echo "serve_smoke: starting microserve (online learning on)"
+"$workdir/microserve" -addr "$addr" -load "pbm=$workdir/pbm.bin" \
+  -online "model=sdbn+micro,interval=1s,min=100" >"$workdir/serve.log" 2>&1 &
 srv_pid=$!
 
 up=""
@@ -58,6 +63,43 @@ check batch "$(curl -fs -X POST "http://$addr/v1/score/batch" \
 check hot-swap "$(curl -fs -X POST "http://$addr/v1/models/pbm/load" \
   -d "{\"path\":\"$workdir/pbm.bin\"}")" '"version":2'
 check rollback "$(curl -fs -X POST "http://$addr/v1/models/pbm/rollback" -d '{}')" '"version":1'
+
+echo "serve_smoke: replaying feedback traffic"
+"$workdir/loadgen" -addr "http://$addr" -sessions 2000 -batch 250 -snippets 2 -score-every 2 -score-model pbm
+
+published=""
+for _ in $(seq 100); do
+  models=$(curl -fs "http://$addr/v1/models")
+  case "$models" in
+    *'"name":"sdbn"'*'"source":"online"'*) published=1; break ;;
+  esac
+  sleep 0.1
+done
+if [ -z "$published" ]; then
+  echo "serve_smoke: online model never auto-published" >&2
+  curl -fs "http://$addr/healthz" >&2 || true
+  cat "$workdir/serve.log" >&2
+  exit 1
+fi
+echo "serve_smoke: online publish ok"
+
+health=$(curl -fs "http://$addr/healthz")
+check stream-counters "$health" '"publishes":'
+accepted=$(printf '%s' "$health" | sed -n 's/.*"accepted":\([0-9]*\).*/\1/p')
+if [ -z "$accepted" ] || [ "$accepted" -lt 2000 ]; then
+  echo "serve_smoke: stream accepted only ${accepted:-0} of the ~2016 replayed events" >&2
+  echo "$health" >&2
+  exit 1
+fi
+echo "serve_smoke: stream-accepted ok ($accepted events)"
+
+check online-score "$(curl -fs -X POST "http://$addr/v1/score" \
+  -d '{"id":"o1","model":"sdbn","session":{"query":"serp","docs":["a","b"],"clicks":[false,false]}}')" '"model":"sdbn"'
+
+check snapshot-export "$(curl -fs -X POST "http://$addr/v1/models/sdbn/snapshot" \
+  -d "{\"path\":\"$workdir/sdbn-online.bin\"}")" '"bytes":'
+[ -s "$workdir/sdbn-online.bin" ] || { echo "serve_smoke: exported snapshot missing" >&2; exit 1; }
+echo "serve_smoke: snapshot export ok"
 
 echo "serve_smoke: shutting down"
 kill -TERM "$srv_pid"
