@@ -29,6 +29,7 @@ import (
 	"repro/internal/snippet"
 	"repro/internal/stream"
 	"repro/internal/textproc"
+	"repro/internal/wal"
 )
 
 // benchData lazily builds one shared small experiment corpus.
@@ -672,4 +673,140 @@ func BenchmarkStreamPublish(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- feedback WAL ---
+
+// benchWALRecord is a representative feedback record: one 4-doc
+// session, the same shape the online loop's hot path logs.
+func benchWALRecord(sessions []clickmodel.Session, i int) wal.Record {
+	return wal.Record{Session: &sessions[i%len(sessions)]}
+}
+
+// BenchmarkWALAppend prices one durable append under each fsync
+// policy. batched is the configured default (the hot path is a
+// lock-free ring publish, no syscall — it must not allocate); always
+// pays a group-committed fsync per call and is the floor for zero-loss
+// ingest; off writes on the flush cadence and never fsyncs.
+func BenchmarkWALAppend(b *testing.B) {
+	sessions := getStreamSessions(b)
+	for _, tc := range []struct {
+		name string
+		sync wal.SyncPolicy
+	}{
+		{"batched", wal.SyncBatched},
+		{"always", wal.SyncAlways},
+		{"off", wal.SyncOff},
+	} {
+		b.Run("fsync="+tc.name, func(b *testing.B) {
+			// MaxBytes keeps the log bounded like a production deploy;
+			// an unpruned log otherwise grows without limit across
+			// iterations and prices filesystem pressure, not the path.
+			w, err := wal.Open(b.TempDir(), wal.Options{Sync: tc.sync, MaxBytes: 256 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			// Warm the append buffer so steady state is measured.
+			for i := 0; i < 1000; i++ {
+				if _, err := w.Append(benchWALRecord(sessions, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Append(benchWALRecord(sessions, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+		})
+	}
+}
+
+// BenchmarkWALIngest prices the full accept path of one feedback event
+// — sink offer plus (optionally) the WAL append — the comparison
+// behind the durability tax: wal=batched must stay within 2x of nowal.
+func BenchmarkWALIngest(b *testing.B) {
+	sessions := getStreamSessions(b)
+	run := func(b *testing.B, sync wal.SyncPolicy, durable bool) {
+		sink := stream.NewSink(runtime.GOMAXPROCS(0), 1<<13)
+		discard := func(*stream.Event) {}
+		var w *wal.WAL
+		if durable {
+			var err error
+			// Bounded retention, as in production (see BenchmarkWALAppend).
+			if w, err = wal.Open(b.TempDir(), wal.Options{Sync: sync, MaxBytes: 256 << 20}); err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			// Warm the encoder buffers so steady state is measured.
+			for i := 0; i < 1000; i++ {
+				if _, err := w.Append(benchWALRecord(sessions, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := stream.Event{Session: &sessions[i%len(sessions)]}
+			for !sink.Offer(ev) {
+				for s := 0; s < sink.Shards(); s++ {
+					sink.DrainShard(s, discard)
+				}
+			}
+			if durable {
+				if _, err := w.Append(wal.Record{Session: ev.Session}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+	}
+	b.Run("nowal", func(b *testing.B) { run(b, wal.SyncBatched, false) })
+	b.Run("wal=batched", func(b *testing.B) { run(b, wal.SyncBatched, true) })
+	b.Run("wal=always", func(b *testing.B) { run(b, wal.SyncAlways, true) })
+}
+
+// BenchmarkWALReplay prices boot-time recovery: one op replays a
+// sealed multi-segment log end to end, the cost a restart pays before
+// serving resumes.
+func BenchmarkWALReplay(b *testing.B) {
+	sessions := getStreamSessions(b)
+	dir := b.TempDir()
+	w, err := wal.Open(dir, wal.Options{Sync: wal.SyncOff, SegmentBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if _, err := w.Append(benchWALRecord(sessions, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := wal.Open(dir, wal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		replayed := 0
+		if err := r.Replay(func(uint64, *wal.Record) error { replayed++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if replayed != n {
+			b.Fatalf("replayed %d of %d", replayed, n)
+		}
+		r.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "sessions/s")
 }

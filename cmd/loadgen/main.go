@@ -69,6 +69,7 @@ func main() {
 	scoreEvery := flag.Int("score-every", 0, "POST one score batch per N feedback batches (0 = feedback only)")
 	scoreModel := flag.String("score-model", "", "model reference for score traffic (empty = server default)")
 	workers := flag.Int("workers", 4, "concurrent HTTP senders")
+	clients := flag.Int("clients", 1, "distinct X-Client-ID identities to spread traffic across (0 = no header)")
 	groups := flag.Int("groups", 200, "adgroups backing the simulation")
 	ads := flag.Int("ads", 4, "ads per session")
 	seed := flag.Int64("seed", 42, "simulation seed")
@@ -78,14 +79,15 @@ func main() {
 	sim := serp.New(serp.Config{Seed: *seed + 1})
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	var accepted, dropped, invalid, scored, httpErrs atomic.Uint64
+	var accepted, dropped, invalid, limited, scored, httpErrs atomic.Uint64
 
 	// One generator feeds request bodies to the sender pool: the
 	// simulator's rng is not safe for concurrent draws, and a single
 	// producer keeps the replayed traffic deterministic per seed.
 	type job struct {
-		path string
-		body []byte
+		path   string
+		client string // X-Client-ID header ("" = none)
+		body   []byte
 	}
 	jobs := make(chan job, *workers)
 	var wg sync.WaitGroup
@@ -94,7 +96,15 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				resp, err := client.Post(*addr+j.path, "application/json", bytes.NewReader(j.body))
+				req, err := http.NewRequest(http.MethodPost, *addr+j.path, bytes.NewReader(j.body))
+				if err != nil {
+					log.Fatal(err)
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if j.client != "" {
+					req.Header.Set("X-Client-ID", j.client)
+				}
+				resp, err := client.Do(req)
 				if err != nil {
 					httpErrs.Add(1)
 					log.Printf("%s: %v", j.path, err)
@@ -102,13 +112,21 @@ func main() {
 				}
 				switch j.path {
 				case "/v1/feedback":
+					if resp.StatusCode == http.StatusTooManyRequests {
+						// Rate-limited or saturated: both are backpressure,
+						// count the batch as dropped and move on.
+						limited.Add(1)
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						continue
+					}
 					var fr feedbackReply
 					if err := json.NewDecoder(resp.Body).Decode(&fr); err == nil {
 						accepted.Add(uint64(fr.Accepted))
 						dropped.Add(uint64(fr.Dropped))
 						invalid.Add(uint64(fr.Invalid))
 					}
-					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+					if resp.StatusCode != http.StatusOK {
 						httpErrs.Add(1)
 						log.Printf("feedback status %d", resp.StatusCode)
 					}
@@ -145,7 +163,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		jobs <- job{path: "/v1/feedback", body: body}
+		id := ""
+		if *clients > 0 {
+			id = fmt.Sprintf("loadgen-%d", batches%*clients)
+		}
+		jobs <- job{path: "/v1/feedback", client: id, body: body}
 		sent += n
 		batches++
 
@@ -158,7 +180,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			jobs <- job{path: "/v1/score/batch", body: body}
+			jobs <- job{path: "/v1/score/batch", client: id, body: body}
 		}
 	}
 	close(jobs)
@@ -166,8 +188,8 @@ func main() {
 	elapsed := time.Since(start)
 
 	rate := float64(sent) / elapsed.Seconds()
-	fmt.Printf("replayed %d sessions in %v (%.0f sessions/s): accepted %d, dropped %d, invalid %d, score batches %d\n",
-		sent, elapsed.Round(time.Millisecond), rate, accepted.Load(), dropped.Load(), invalid.Load(), scored.Load())
+	fmt.Printf("replayed %d sessions in %v (%.0f sessions/s): accepted %d, dropped %d, invalid %d, rate-limited batches %d, score batches %d\n",
+		sent, elapsed.Round(time.Millisecond), rate, accepted.Load(), dropped.Load(), invalid.Load(), limited.Load(), scored.Load())
 	if httpErrs.Load() > 0 {
 		log.Printf("%d transport/status errors", httpErrs.Load())
 		os.Exit(1)

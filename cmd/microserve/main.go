@@ -18,13 +18,31 @@
 //	microserve -default pbm -workers 8
 //	microserve -online model=pbm,interval=30s
 //	microserve -online model=sdbn+micro,interval=10s,decay=0.98,window=20000
+//	microserve -online model=pbm -wal dir=/var/lib/microserve/wal
+//	microserve -online model=pbm -wal dir=./wal,fsync=always,segment=64MB,retain=1h
+//	microserve -online model=pbm -ratelimit rate=5000,burst=10000
 //
 // The -online spec is comma-separated key=value pairs: model (repeat
 // or join with +), interval, window, decay, shards, queue, min, iters.
 //
+// The -wal spec (requires -online) makes accepted feedback durable:
+// events are logged to a segmented write-ahead log before the learner
+// folds them, and replayed into the learner on the next boot. Keys:
+// dir (required), fsync (always | off | interval=DURATION, default
+// interval=100ms — the bounded-loss window of a kill -9), segment
+// (rotation size, default 64MB), age (rotation age, default 10m),
+// retain (prune sealed segments older than this; key it to the
+// learner's decay window), max (total log byte budget).
+//
+// The -ratelimit spec throttles POST /v1/feedback per client
+// (X-Client-ID header, else remote host): rate (events/s, required)
+// and burst (bucket depth, default 2x rate). Over-budget requests get
+// 429 with a Retry-After hint.
+//
 // Endpoints (see internal/server):
 //
 //	GET  /healthz
+//	GET  /metrics
 //	GET  /v1/models
 //	POST /v1/score            {"model":"pbm","session":{...}} or {"lines":[...]}
 //	POST /v1/score/batch      {"requests":[...]}
@@ -54,6 +72,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/server"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -66,6 +85,8 @@ func main() {
 	keep := flag.Int("keep", 8, "model versions kept per name (0 = unbounded)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	online := flag.String("online", "", "online learning spec, e.g. model=pbm,interval=30s (empty = serving only)")
+	walSpec := flag.String("wal", "", "feedback WAL spec, e.g. dir=./wal,fsync=interval=100ms (requires -online; empty = no durability)")
+	rateSpec := flag.String("ratelimit", "", "feedback rate-limit spec, e.g. rate=5000,burst=10000 (empty = unlimited)")
 	var loads []string
 	flag.Func("load", "snapshot artifact to serve, as name=path or path (repeatable)", func(v string) error {
 		loads = append(loads, v)
@@ -92,12 +113,29 @@ func main() {
 
 	var opts []server.Option
 	var learner *stream.Learner
+	var feedbackLog *wal.WAL
+	if *walSpec != "" && *online == "" {
+		log.Fatal("-wal requires -online: the log exists to feed the learner")
+	}
 	if *online != "" {
 		cfg, err := parseOnline(*online)
 		if err != nil {
 			log.Fatalf("-online %s: %v", *online, err)
 		}
 		cfg.Logger = log.Default()
+		if *walSpec != "" {
+			dir, walOpt, err := parseWAL(*walSpec)
+			if err != nil {
+				log.Fatalf("-wal %s: %v", *walSpec, err)
+			}
+			walOpt.Logger = log.Default()
+			feedbackLog, err = wal.Open(dir, walOpt)
+			if err != nil {
+				log.Fatalf("-wal %s: %v", *walSpec, err)
+			}
+			cfg.WAL = feedbackLog
+			opts = append(opts, server.WithWAL(feedbackLog))
+		}
 		learner, err = stream.New(eng, cfg)
 		if err != nil {
 			log.Fatalf("-online %s: %v", *online, err)
@@ -105,6 +143,19 @@ func main() {
 		learner.Start()
 		opts = append(opts, server.WithLearner(learner))
 		log.Printf("online learning enabled: models %v, publish every %v", cfg.Models, cfg.Interval)
+		if feedbackLog != nil {
+			c := feedbackLog.Counters()
+			log.Printf("feedback WAL open: fsync=%v, %d segments (%d bytes), replayed %d records (%d corrupt skipped, %d torn bytes truncated)",
+				feedbackLog.Policy(), c.Segments, c.Bytes, c.Replayed, c.CorruptSkipped, c.TruncatedBytes)
+		}
+	}
+	if *rateSpec != "" {
+		rate, burst, err := parseRateLimit(*rateSpec)
+		if err != nil {
+			log.Fatalf("-ratelimit %s: %v", *rateSpec, err)
+		}
+		opts = append(opts, server.WithFeedbackRateLimit(rate, burst))
+		log.Printf("feedback rate limit: %.0f events/s per client, burst %d", rate, burst)
 	}
 
 	srv := &http.Server{
@@ -136,6 +187,13 @@ func main() {
 	}
 	if learner != nil {
 		learner.Close()
+	}
+	// The WAL closes after the learner: its final feedback may still be
+	// appending. Close flushes, fsyncs and seals the manifest.
+	if feedbackLog != nil {
+		if err := feedbackLog.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
@@ -183,6 +241,121 @@ func parseOnline(spec string) (stream.Config, error) {
 		return cfg, fmt.Errorf("spec needs at least one model=NAME entry")
 	}
 	return cfg, nil
+}
+
+// parseWAL turns the -wal spec into a directory and wal.Options. The
+// fsync value may itself contain '=' (fsync=interval=100ms): Cut on
+// the first '=' of each comma part keeps the rest intact.
+func parseWAL(spec string) (string, wal.Options, error) {
+	var dir string
+	var opt wal.Options
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || val == "" {
+			return "", opt, fmt.Errorf("bad spec entry %q (want key=value)", part)
+		}
+		var err error
+		switch key {
+		case "dir":
+			dir = val
+		case "fsync":
+			opt.Sync, opt.SyncInterval, err = parseFsync(val)
+		case "segment":
+			opt.SegmentBytes, err = parseSize(val)
+		case "age":
+			opt.SegmentAge, err = time.ParseDuration(val)
+		case "retain":
+			opt.Retention, err = time.ParseDuration(val)
+		case "max":
+			opt.MaxBytes, err = parseSize(val)
+		default:
+			return "", opt, fmt.Errorf("unknown spec key %q (dir, fsync, segment, age, retain, max)", key)
+		}
+		if err != nil {
+			return "", opt, fmt.Errorf("bad %s value %q: %v", key, val, err)
+		}
+	}
+	if dir == "" {
+		return "", opt, fmt.Errorf("spec needs dir=PATH")
+	}
+	return dir, opt, nil
+}
+
+// parseFsync maps always | off | interval=DURATION to a sync policy.
+func parseFsync(val string) (wal.SyncPolicy, time.Duration, error) {
+	switch {
+	case val == "always":
+		return wal.SyncAlways, 0, nil
+	case val == "off":
+		return wal.SyncOff, 0, nil
+	case strings.HasPrefix(val, "interval="):
+		d, err := time.ParseDuration(strings.TrimPrefix(val, "interval="))
+		if err != nil {
+			return 0, 0, err
+		}
+		if d <= 0 {
+			return 0, 0, fmt.Errorf("interval must be positive")
+		}
+		return wal.SyncBatched, d, nil
+	default:
+		return 0, 0, fmt.Errorf("want always, off or interval=DURATION")
+	}
+}
+
+// parseSize parses a byte count with an optional KB/MB/GB suffix
+// (binary multiples).
+func parseSize(val string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(val, "GB"):
+		mult, val = 1<<30, strings.TrimSuffix(val, "GB")
+	case strings.HasSuffix(val, "MB"):
+		mult, val = 1<<20, strings.TrimSuffix(val, "MB")
+	case strings.HasSuffix(val, "KB"):
+		mult, val = 1<<10, strings.TrimSuffix(val, "KB")
+	case strings.HasSuffix(val, "B"):
+		val = strings.TrimSuffix(val, "B")
+	}
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("size must be positive")
+	}
+	return n * mult, nil
+}
+
+// parseRateLimit turns the -ratelimit spec into (events/s, burst).
+// Burst defaults to 2x the rate: one batch of catch-up headroom.
+func parseRateLimit(spec string) (float64, int, error) {
+	var rate float64
+	var burst int
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || val == "" {
+			return 0, 0, fmt.Errorf("bad spec entry %q (want key=value)", part)
+		}
+		var err error
+		switch key {
+		case "rate":
+			rate, err = strconv.ParseFloat(val, 64)
+		case "burst":
+			burst, err = strconv.Atoi(val)
+		default:
+			return 0, 0, fmt.Errorf("unknown spec key %q (rate, burst)", key)
+		}
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad %s value %q: %v", key, val, err)
+		}
+	}
+	if rate <= 0 {
+		return 0, 0, fmt.Errorf("spec needs rate=EVENTS_PER_SEC > 0")
+	}
+	if burst <= 0 {
+		burst = int(2 * rate)
+	}
+	return rate, burst, nil
 }
 
 // loadArtifact installs one snapshot file into the engine.

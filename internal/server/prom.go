@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// GET /metrics — Prometheus text exposition (format 0.0.4) of the same
+// counters /healthz reports as JSON, hand-rolled like the rest of the
+// metrics block: no client library, just HELP/TYPE/value triplets, so
+// a scraper can watch serving, learning and durability without any new
+// dependency. Counters are monotonic since process start; gauges are
+// instantaneous.
+
+// promWriter accumulates one exposition document.
+type promWriter struct{ b bytes.Buffer }
+
+func (p *promWriter) counter(name, help string, v uint64) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func (p *promWriter) gauge(name, help string, v float64) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var p promWriter
+
+	m := s.met.snapshot()
+	p.counter("microserve_http_requests_total", "HTTP requests routed.", m.Requests)
+	p.counter("microserve_http_errors_total", "Non-2xx responses written.", m.Errors)
+	p.counter("microserve_scores_total", "POST /v1/score calls.", m.Scores)
+	p.counter("microserve_score_batches_total", "POST /v1/score/batch calls.", m.Batches)
+	p.counter("microserve_score_batch_requests_total", "Requests inside score batches.", m.BatchRequests)
+	p.counter("microserve_feedbacks_total", "POST /v1/feedback calls.", m.Feedbacks)
+	p.counter("microserve_feedback_events_total", "Events inside feedback calls (pre-ingest).", m.FeedbackEvents)
+	p.counter("microserve_model_loads_total", "Snapshot hot-swaps.", m.Loads)
+	p.counter("microserve_model_rollbacks_total", "Version rollbacks.", m.Rollbacks)
+	p.counter("microserve_model_snapshots_total", "Snapshot exports.", m.Snapshots)
+	p.gauge("microserve_models", "Installed model versions.", float64(s.eng.ModelCount()))
+
+	if s.limiter != nil {
+		rl := s.limiter.snapshot()
+		p.counter("microserve_feedback_ratelimited_total", "Feedback requests rejected by the per-client limiter.", rl.Limited)
+		p.gauge("microserve_ratelimit_clients", "Clients currently tracked by the limiter.", float64(rl.Clients))
+	}
+
+	if s.learner != nil {
+		c := s.learner.Counters()
+		p.counter("microserve_stream_accepted_total", "Feedback events queued into the sink.", c.Accepted)
+		p.counter("microserve_stream_dropped_total", "Feedback events dropped on sink saturation.", c.Dropped)
+		p.counter("microserve_stream_invalid_total", "Feedback events rejected as malformed.", c.Invalid)
+		p.counter("microserve_stream_folded_sessions_total", "Sessions folded into the statistics.", c.FoldedSessions)
+		p.counter("microserve_stream_folded_snippets_total", "Snippet events folded into the term counts.", c.FoldedSnippets)
+		p.counter("microserve_stream_replayed_total", "Events recovered from the WAL at boot.", c.Replayed)
+		p.counter("microserve_stream_publishes_total", "Publisher ticks that installed versions.", c.Publishes)
+		p.counter("microserve_stream_publish_skips_total", "Publisher ticks gated by MinEvents.", c.PublishSkips)
+		p.counter("microserve_stream_publish_errors_total", "Publisher ticks with fit/install failures.", c.PublishErrors)
+		p.gauge("microserve_stream_last_publish_seconds", "Wall time of the last publish.", c.LastPublishMS/1000)
+		p.gauge("microserve_stream_window_sessions", "EM mini-batch window fill.", float64(c.WindowSessions))
+		p.gauge("microserve_stream_pairs", "Distinct (query, doc) pairs accumulated.", float64(c.Pairs))
+		p.gauge("microserve_stream_micro_terms", "Micro vocabulary size.", float64(c.MicroTerms))
+		p.gauge("microserve_stream_weight", "Decayed session mass.", c.Weight)
+	}
+
+	if s.wal != nil {
+		c := s.wal.Counters()
+		p.counter("microserve_wal_appended_total", "Records appended to the feedback WAL.", c.Appended)
+		p.counter("microserve_wal_append_errors_total", "WAL appends that failed.", c.AppendErrors)
+		p.counter("microserve_wal_flushes_total", "Append-buffer flushes to the OS.", c.Flushes)
+		p.counter("microserve_wal_syncs_total", "fsync calls.", c.Syncs)
+		p.counter("microserve_wal_replayed_total", "Records replayed at boot.", c.Replayed)
+		p.counter("microserve_wal_corrupt_skipped_total", "Corrupt records skipped during replay.", c.CorruptSkipped)
+		p.counter("microserve_wal_truncated_bytes_total", "Torn-tail bytes truncated during recovery.", c.TruncatedBytes)
+		p.counter("microserve_wal_pruned_segments_total", "Sealed segments pruned.", c.PrunedSegments)
+		p.gauge("microserve_wal_segments", "Live segment files.", float64(c.Segments))
+		p.gauge("microserve_wal_bytes", "Total log bytes (including buffered).", float64(c.Bytes))
+		p.gauge("microserve_wal_durable_seq", "Highest fsynced sequence number.", float64(c.DurableSeq))
+		p.gauge("microserve_wal_next_seq", "Next sequence number to be appended.", float64(c.NextSeq))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(p.b.Bytes())
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket over the feedback ingest
+// path: each client (X-Client-ID header when present, remote host
+// otherwise) accrues rate tokens per second up to burst, and every
+// feedback event spends one. A client that outruns its bucket gets 429
+// with a Retry-After hint instead of competing with everyone else for
+// the learner's bounded sink — backpressure lands on the noisy client,
+// not the fleet.
+//
+// Hand-rolled on purpose (no golang.org/x/time dependency): one mutex,
+// one map, lazy refill on access, and a periodic sweep that drops
+// full-and-idle buckets so an open-ended client population cannot grow
+// the map without bound.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu        sync.Mutex
+	clients   map[string]*bucket
+	lastSweep time.Time
+	now       func() time.Time // test hook
+
+	limited atomic.Uint64 // requests rejected
+}
+
+// bucket is one client's token balance at its last refill instant.
+type bucket struct {
+	tokens float64
+	at     time.Time
+}
+
+// maxClients bounds the tracked-client map; past it, unknown clients
+// are rejected until the sweep frees room — a full table under an
+// identifier-spinning flood must fail closed, not eat the heap.
+const maxClients = 1 << 16
+
+// sweepEvery is how often allowN scans for reclaimable buckets.
+const sweepEvery = time.Minute
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		clients: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allowN spends n tokens from key's bucket. When the balance is short
+// it reports how long the client should wait before retrying (at least
+// a second, so the header is meaningful after rounding).
+func (rl *rateLimiter) allowN(key string, n int) (ok bool, retryAfter time.Duration) {
+	now := rl.now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	if now.Sub(rl.lastSweep) >= sweepEvery {
+		rl.sweepLocked(now)
+	}
+	b := rl.clients[key]
+	if b == nil {
+		if len(rl.clients) >= maxClients {
+			rl.sweepLocked(now)
+		}
+		if len(rl.clients) >= maxClients {
+			rl.limited.Add(1)
+			return false, sweepEvery
+		}
+		b = &bucket{tokens: rl.burst, at: now}
+		rl.clients[key] = b
+	} else {
+		b.tokens = math.Min(rl.burst, b.tokens+now.Sub(b.at).Seconds()*rl.rate)
+		b.at = now
+	}
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	rl.limited.Add(1)
+	short := math.Min(need, rl.burst) - b.tokens
+	wait := time.Duration(short / rl.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// sweepLocked drops buckets that are full again (idle long enough to
+// have fully refilled): forgetting them is free, their next request
+// recreates an identical bucket. Caller holds rl.mu.
+func (rl *rateLimiter) sweepLocked(now time.Time) {
+	for key, b := range rl.clients {
+		if math.Min(rl.burst, b.tokens+now.Sub(b.at).Seconds()*rl.rate) >= rl.burst {
+			delete(rl.clients, key)
+		}
+	}
+	rl.lastSweep = now
+}
+
+// size returns the tracked-client count.
+func (rl *rateLimiter) size() int {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return len(rl.clients)
+}
+
+// RateLimitSnapshot is the limiter's health block on /healthz.
+type RateLimitSnapshot struct {
+	// Rate and Burst echo the configured policy.
+	Rate  float64 `json:"rate"`
+	Burst int     `json:"burst"`
+	// Limited counts rejected feedback requests; Clients is the
+	// currently tracked client population.
+	Limited uint64 `json:"limited"`
+	Clients int    `json:"clients"`
+}
+
+func (rl *rateLimiter) snapshot() RateLimitSnapshot {
+	return RateLimitSnapshot{
+		Rate:    rl.rate,
+		Burst:   int(rl.burst),
+		Limited: rl.limited.Load(),
+		Clients: rl.size(),
+	}
+}
+
+// clientKey identifies the feedback producer: the self-reported
+// X-Client-ID when present (load balancers hide source addresses;
+// cooperating producers get per-producer budgets), the remote host
+// otherwise.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

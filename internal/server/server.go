@@ -7,7 +7,8 @@
 //
 // Routes:
 //
-//	GET  /healthz                    — liveness, model count, serving + stream counters
+//	GET  /healthz                    — liveness, model count, serving + stream + wal counters
+//	GET  /metrics                    — the same counters as Prometheus text exposition
 //	GET  /v1/models                  — metadata of every installed version
 //	POST /v1/score                   — score one engine.Request
 //	POST /v1/score/batch             — score a request slice concurrently
@@ -33,12 +34,15 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/clickmodel"
 	"repro/internal/engine"
 	"repro/internal/snapshot"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // maxBodyBytes bounds request bodies; a batch of tens of thousands of
@@ -56,6 +60,8 @@ const maxBatchItems = 10000
 type Server struct {
 	eng     *engine.Engine
 	learner *stream.Learner
+	wal     *wal.WAL
+	limiter *rateLimiter
 	mux     *http.ServeMux
 	log     *log.Logger
 	met     metrics
@@ -71,6 +77,24 @@ func WithLearner(l *stream.Learner) Option {
 	return func(s *Server) { s.learner = l }
 }
 
+// WithWAL surfaces the feedback log's durability counters on /healthz
+// and /metrics. The server only observes the WAL — appends happen
+// inside the learner's ingest path, and the caller owns Close.
+func WithWAL(w *wal.WAL) Option {
+	return func(s *Server) { s.wal = w }
+}
+
+// WithFeedbackRateLimit throttles POST /v1/feedback per client to
+// eventsPerSec sustained with the given burst. Over-budget requests
+// get 429 with a Retry-After hint before any event reaches the sink.
+func WithFeedbackRateLimit(eventsPerSec float64, burst int) Option {
+	return func(s *Server) {
+		if eventsPerSec > 0 {
+			s.limiter = newRateLimiter(eventsPerSec, burst)
+		}
+	}
+}
+
 // New returns a Server routing to eng. logger may be nil (discards).
 func New(eng *engine.Engine, logger *log.Logger, opts ...Option) *Server {
 	if logger == nil {
@@ -81,6 +105,7 @@ func New(eng *engine.Engine, logger *log.Logger, opts ...Option) *Server {
 		opt(s)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/score", s.handleScore)
 	s.mux.HandleFunc("POST /v1/score/batch", s.handleScoreBatch)
@@ -165,13 +190,15 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 }
 
 // healthzBody is the GET /healthz wire shape: liveness plus the
-// serving counters, and the stream counters when a learner is
-// attached.
+// serving counters, and the stream / WAL / rate-limit blocks when
+// those subsystems are attached.
 type healthzBody struct {
-	Status  string           `json:"status"`
-	Models  int              `json:"models"`
-	Serving MetricsSnapshot  `json:"serving"`
-	Stream  *stream.Counters `json:"stream,omitempty"`
+	Status    string             `json:"status"`
+	Models    int                `json:"models"`
+	Serving   MetricsSnapshot    `json:"serving"`
+	Stream    *stream.Counters   `json:"stream,omitempty"`
+	WAL       *wal.Counters      `json:"wal,omitempty"`
+	RateLimit *RateLimitSnapshot `json:"ratelimit,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -179,6 +206,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.learner != nil {
 		c := s.learner.Counters()
 		body.Stream = &c
+	}
+	if s.wal != nil {
+		c := s.wal.Counters()
+		body.WAL = &c
+	}
+	if s.limiter != nil {
+		rl := s.limiter.snapshot()
+		body.RateLimit = &rl
 	}
 	s.writeJSON(w, http.StatusOK, body)
 }
@@ -277,6 +312,15 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusRequestEntityTooLarge,
 			"feedback batch of %d events exceeds the %d limit; split it", total, maxBatchItems)
 		return
+	}
+	if s.limiter != nil {
+		if ok, retryAfter := s.limiter.allowN(clientKey(r), total); !ok {
+			secs := int64((retryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			s.writeError(w, http.StatusTooManyRequests,
+				"feedback rate limit exceeded; retry after %ds", secs)
+			return
+		}
 	}
 	s.met.feedbackEvents.Add(uint64(total))
 

@@ -1,0 +1,85 @@
+package snapshot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAppendCursorRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUint(b, 0)
+	b = AppendUint(b, 1<<40)
+	b = AppendString(b, "")
+	b = AppendString(b, "cheap flights")
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+
+	c := NewCursor(b)
+	if got := c.Uint(); got != 0 {
+		t.Fatalf("Uint = %d", got)
+	}
+	if got := c.Uint(); got != 1<<40 {
+		t.Fatalf("Uint = %d", got)
+	}
+	if got := c.String(); got != "" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := c.String(); got != "cheap flights" {
+		t.Fatalf("String = %q", got)
+	}
+	if !c.Bool() || c.Bool() {
+		t.Fatal("Bool round trip broke")
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if c.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", c.Remaining())
+	}
+}
+
+func TestCursorSticksOnCorruption(t *testing.T) {
+	// A string header claiming far more bytes than the buffer holds.
+	b := AppendUint(nil, 1<<30)
+	c := NewCursor(b)
+	if got := c.String(); got != "" {
+		t.Fatalf("truncated string decoded to %q", got)
+	}
+	if c.Err() == nil {
+		t.Fatal("oversized length accepted")
+	}
+	// Every later read observes the sticky error and returns zero values.
+	if c.Uint() != 0 || c.Byte() != 0 || c.Bool() || c.String() != "" {
+		t.Fatal("reads after corruption returned non-zero values")
+	}
+
+	// Reading past the end of an empty buffer is also corruption.
+	c2 := NewCursor(nil)
+	c2.Uint()
+	if c2.Err() == nil {
+		t.Fatal("read past end accepted")
+	}
+}
+
+func TestCursorIntBound(t *testing.T) {
+	// Int refuses counts that could not describe real data (> maxLen),
+	// so decoders can size slices from it without an OOM guard each.
+	c := NewCursor(AppendUint(nil, uint64(maxLen)+1))
+	if got := c.Int(); got != 0 || c.Err() == nil {
+		t.Fatalf("Int = %d, err %v — absurd count accepted", got, c.Err())
+	}
+	c2 := NewCursor(AppendUint(nil, 42))
+	if got := c2.Int(); got != 42 || c2.Err() != nil {
+		t.Fatalf("Int = %d, err %v", got, c2.Err())
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	if err := SyncDir("/does/not/exist"); err == nil ||
+		!strings.Contains(err.Error(), "no such file") {
+		t.Fatalf("SyncDir on a missing directory: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/textproc"
+	"repro/internal/wal"
 )
 
 // Config parameterises a Learner.
@@ -52,6 +53,14 @@ type Config struct {
 	// MicroMaxN is the n-gram order for micro term extraction
 	// (default 2).
 	MicroMaxN int
+	// WAL, when set, makes the loop crash-safe: every event the sink
+	// accepts is appended to the log, and New replays the log's
+	// retained records into the accumulators before returning — so a
+	// restarted process resumes with the feedback a crash would
+	// otherwise forget (bounded by the WAL's fsync policy and
+	// retention). The caller owns the WAL's lifecycle (Close it after
+	// the learner).
+	WAL *wal.WAL
 	// Logger receives publish/skip lines; nil logs nothing.
 	Logger *log.Logger
 }
@@ -109,9 +118,13 @@ type Counters struct {
 	Dropped  uint64 `json:"dropped"`
 	Invalid  uint64 `json:"invalid"`
 	// FoldedSessions/FoldedSnippets count events folded into the
-	// accumulators (always <= Accepted; the rest is still buffered).
+	// accumulators (always <= Accepted + Replayed; the rest is still
+	// buffered).
 	FoldedSessions uint64 `json:"folded_sessions"`
 	FoldedSnippets uint64 `json:"folded_snippets"`
+	// Replayed counts events recovered from the WAL at construction
+	// (already folded; they also count toward FoldedSessions/Snippets).
+	Replayed uint64 `json:"replayed"`
 	// Publishes/PublishSkips/PublishErrors count publisher ticks that
 	// installed versions, were gated by MinEvents, or failed.
 	Publishes     uint64 `json:"publishes"`
@@ -137,10 +150,13 @@ type Learner struct {
 	cfg  Config
 	eng  *engine.Engine
 	sink *Sink
+	wal  *wal.WAL
 
 	invalid        atomic.Uint64
 	foldedSessions atomic.Uint64
 	foldedSnippets atomic.Uint64
+	replayed       uint64      // set once in New, read-only after
+	walDown        atomic.Bool // last WAL append failed (log edge-triggered)
 
 	// mu serialises folding, merging and publishing; the ingest path
 	// never takes it.
@@ -216,7 +232,47 @@ func New(eng *engine.Engine, cfg Config) (*Learner, error) {
 		l.rings[i] = sessionRing{buf: make([]clickmodel.Session, perShard)}
 		l.termDeltas[i] = make(map[string]termCount)
 	}
+	if cfg.WAL != nil {
+		l.wal = cfg.WAL
+		if err := l.replayWAL(); err != nil {
+			return nil, fmt.Errorf("stream: wal replay: %w", err)
+		}
+	}
 	return l, nil
+}
+
+// replayWAL streams the log's retained records back into the shard
+// accumulators, round-robin, before the learner is shared — the crash
+// half of crash-safe learning. Replayed events count as folded, so the
+// first publish tick sees them and re-installs a recovered model
+// without waiting for fresh traffic.
+func (l *Learner) replayWAL() error {
+	shard := 0
+	return l.wal.Replay(func(_ uint64, rec *wal.Record) error {
+		ev := Event{Session: rec.Session}
+		var snip SnippetEvent
+		if len(rec.SnippetLines) > 0 {
+			snip = SnippetEvent{Lines: rec.SnippetLines, Impressions: rec.Impressions, Clicks: rec.Clicks}
+			ev.Snippet = &snip
+		}
+		// Only validated events were logged; re-validate anyway so a
+		// frame the CRC happened to pass cannot poison the statistics.
+		if ev.Session != nil && ev.Session.Validate() != nil {
+			ev.Session = nil
+		}
+		if ev.Snippet != nil && ev.Snippet.Validate() != nil {
+			ev.Snippet = nil
+		}
+		if ev.Session == nil && ev.Snippet == nil {
+			return nil
+		}
+		ns, nn := l.absorb(shard, &ev)
+		l.foldedSessions.Add(ns)
+		l.foldedSnippets.Add(nn)
+		l.replayed += ns + nn
+		shard = (shard + 1) % l.sink.Shards()
+		return nil
+	})
 }
 
 // Ingest validates and enqueues one feedback event. Malformed events
@@ -243,6 +299,24 @@ func (l *Learner) Ingest(ev Event) error {
 	if !l.sink.Offer(ev) {
 		return ErrDropped
 	}
+	if l.wal != nil {
+		rec := wal.Record{Session: ev.Session}
+		if ev.Snippet != nil {
+			rec.SnippetLines = ev.Snippet.Lines
+			rec.Impressions = ev.Snippet.Impressions
+			rec.Clicks = ev.Snippet.Clicks
+		}
+		if _, err := l.wal.Append(rec); err != nil {
+			// Durability degraded but the event is in RAM and serving
+			// continues; the WAL counters record every failure, the log
+			// line fires only on the edge so a dead disk cannot spam.
+			if l.walDown.CompareAndSwap(false, true) && l.cfg.Logger != nil {
+				l.cfg.Logger.Printf("stream: wal append failed, learning is no longer crash-safe: %v", err)
+			}
+		} else if l.walDown.CompareAndSwap(true, false) && l.cfg.Logger != nil {
+			l.cfg.Logger.Printf("stream: wal append recovered")
+		}
+	}
 	return nil
 }
 
@@ -257,16 +331,9 @@ func (l *Learner) foldLocked() {
 			defer wg.Done()
 			var ns, nn uint64
 			l.sink.DrainShard(i, func(ev *Event) {
-				if ev.Session != nil {
-					if l.deltas[i].Add(*ev.Session) == nil {
-						l.rings[i].add(*ev.Session)
-						ns++
-					}
-				}
-				if ev.Snippet != nil {
-					l.foldSnippet(i, ev.Snippet)
-					nn++
-				}
+				s, n := l.absorb(i, ev)
+				ns += s
+				nn += n
 			})
 			if ns > 0 {
 				l.foldedSessions.Add(ns)
@@ -277,6 +344,24 @@ func (l *Learner) foldLocked() {
 		}(i)
 	}
 	wg.Wait()
+}
+
+// absorb folds one event into shard i's accumulators (statistics
+// delta, session ring, term counts), returning how many sessions and
+// snippets it credited. Callers must own shard i: the drain fan-out
+// does, and replay runs before the learner is shared.
+func (l *Learner) absorb(i int, ev *Event) (sessions, snippets uint64) {
+	if ev.Session != nil {
+		if l.deltas[i].Add(*ev.Session) == nil {
+			l.rings[i].add(*ev.Session)
+			sessions++
+		}
+	}
+	if ev.Snippet != nil {
+		l.foldSnippet(i, ev.Snippet)
+		snippets++
+	}
+	return sessions, snippets
 }
 
 // foldSnippet credits every distinct term of the snippet with the
@@ -549,5 +634,6 @@ func (l *Learner) Counters() Counters {
 	c.Invalid = l.invalid.Load()
 	c.FoldedSessions = l.foldedSessions.Load()
 	c.FoldedSnippets = l.foldedSnippets.Load()
+	c.Replayed = l.replayed
 	return c
 }

@@ -1,0 +1,233 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+// errBadSegment marks a segment whose header (or whole body) is
+// unreadable: recovery and replay skip it with a counter instead of
+// refusing the log. Real I/O errors propagate unwrapped.
+var errBadSegment = errors.New("wal: unreadable segment")
+
+// segScan is what one pass over a segment file learns.
+type segScan struct {
+	firstSeq    uint64
+	createdUnix int64
+	lastSeq     uint64 // highest valid seq seen (0 when none)
+	records     int
+	corrupt     int   // frames skipped on CRC/decode/sequence failure
+	goodEnd     int64 // offset just past the last valid frame
+	size        int64
+	tailLost    bool // bytes after goodEnd could not be framed
+}
+
+// walkSegment reads one segment file and streams every valid frame
+// through emit (which may be nil for a metadata-only scan). lastSeq is
+// the highest sequence already accepted from earlier segments; frames
+// that do not advance it are counted corrupt and skipped.
+//
+// Failure policy per frame:
+//   - partial header or partial payload at end of file — torn write:
+//     stop, leaving goodEnd at the last whole frame;
+//   - implausible length field — framing lost: stop likewise;
+//   - CRC mismatch, undecodable payload, or non-monotonic sequence —
+//     corrupt record: skip it by its claimed length and continue.
+func walkSegment(path string, lastSeq uint64, emit func(seq uint64, rec *Record) error) (segScan, error) {
+	var scan segScan
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return scan, err
+	}
+	scan.size = int64(len(b))
+	firstSeq, createdUnix, hdrLen, err := parseSegmentHeader(b)
+	if err != nil {
+		scan.tailLost = scan.size > 0
+		return scan, fmt.Errorf("%w: %s: %v", errBadSegment, filepath.Base(path), err)
+	}
+	scan.firstSeq = firstSeq
+	scan.createdUnix = createdUnix
+	scan.goodEnd = int64(hdrLen)
+	last := lastSeq
+
+	off := hdrLen
+	for off < len(b) {
+		if len(b)-off < frameHeaderLen {
+			scan.tailLost = true // torn header
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		sum := binary.LittleEndian.Uint32(b[off+4:])
+		if n == 0 || n > maxRecordLen {
+			scan.tailLost = true // length field is garbage; framing is gone
+			break
+		}
+		if off+frameHeaderLen+n > len(b) {
+			scan.tailLost = true // torn payload
+			break
+		}
+		payload := b[off+frameHeaderLen : off+frameHeaderLen+n]
+		off += frameHeaderLen + n
+		if crc32.Checksum(payload, castagnoli) != sum {
+			scan.corrupt++
+			continue
+		}
+		seq, rec, err := decodePayload(payload)
+		if err != nil || seq <= last {
+			scan.corrupt++
+			continue
+		}
+		last = seq
+		scan.lastSeq = seq
+		scan.records++
+		scan.goodEnd = int64(off)
+		if emit != nil {
+			if err := emit(seq, &rec); err != nil {
+				return scan, err
+			}
+		}
+	}
+	return scan, nil
+}
+
+// recover scans the log directory, truncates the newest segment's torn
+// tail, discards empty or unreadable boot litter, seals the survivors
+// and positions nextSeq. Called once from Open, before the WAL is
+// shared.
+func (w *WAL) recover() error {
+	paths, err := filepath.Glob(filepath.Join(w.dir, "wal-*.log"))
+	if err != nil {
+		return err
+	}
+	// Segment file names embed the first sequence in fixed-width hex,
+	// so lexical order is sequence order.
+	sort.Strings(paths)
+	man := readManifest(filepath.Join(w.dir, manifestName))
+	sealedAt := map[string]int64{}
+	if man != nil {
+		for _, s := range man.Segments {
+			sealedAt[s.File] = s.SealedUnix
+		}
+	}
+
+	var last uint64
+	for i, path := range paths {
+		name := filepath.Base(path)
+		scan, err := walkSegment(path, last, nil)
+		if err != nil {
+			if !errors.Is(err, errBadSegment) {
+				return err
+			}
+			w.opt.Logger.Printf("wal: recover: %v", err)
+		}
+		isNewest := i == len(paths)-1
+		if scan.records == 0 {
+			// Nothing recoverable in it — an empty segment from a previous
+			// boot, or a file corrupted beyond framing.
+			if rmErr := os.Remove(path); rmErr != nil {
+				w.opt.Logger.Printf("wal: recover: drop %s: %v", name, rmErr)
+				continue
+			}
+			if scan.size > scan.goodEnd {
+				w.truncatedBytes.Add(uint64(scan.size - scan.goodEnd))
+			}
+			continue
+		}
+		if isNewest && scan.goodEnd < scan.size {
+			// Torn tail: cut the file back to its last whole frame so the
+			// next scan (and any external reader) sees only valid bytes.
+			if trErr := os.Truncate(path, scan.goodEnd); trErr != nil {
+				return fmt.Errorf("wal: truncate torn tail of %s: %w", name, trErr)
+			}
+			w.truncatedBytes.Add(uint64(scan.size - scan.goodEnd))
+			w.opt.Logger.Printf("wal: truncated %d torn bytes from %s", scan.size-scan.goodEnd, name)
+			scan.size = scan.goodEnd
+		}
+		sealed, ok := sealedAt[name]
+		if !ok {
+			sealed = fileModUnix(path)
+		}
+		w.sealed = append(w.sealed, segmentInfo{
+			File:       name,
+			FirstSeq:   scan.firstSeq,
+			LastSeq:    scan.lastSeq,
+			Records:    scan.records,
+			Bytes:      scan.size,
+			SealedUnix: sealed,
+		})
+		if scan.lastSeq > last {
+			last = scan.lastSeq
+		}
+	}
+	sortSegments(w.sealed)
+	w.nextSeq = last + 1
+	if man != nil && man.NextSeq > w.nextSeq {
+		// Pruned or lost segments held higher sequences once; never
+		// reuse them.
+		w.nextSeq = man.NextSeq
+	}
+	if man != nil && len(man.Segments) != len(w.sealed) {
+		w.opt.Logger.Printf("wal: manifest lists %d segments, directory has %d recoverable — trusting the scan",
+			len(man.Segments), len(w.sealed))
+	}
+	return nil
+}
+
+// Replay streams every retained record oldest-first through fn,
+// counting replays and corrupt skips. fn errors abort the replay and
+// propagate; unreadable segments are skipped with the corrupt counter.
+// Call it once, right after Open, before Append traffic begins.
+func (w *WAL) Replay(fn func(seq uint64, rec *Record) error) error {
+	w.mu.Lock()
+	segs := append([]segmentInfo(nil), w.sealed...)
+	w.mu.Unlock()
+	var last uint64
+	for _, s := range segs {
+		scan, err := walkSegment(filepath.Join(w.dir, s.File), last, func(seq uint64, rec *Record) error {
+			w.replayed.Add(1)
+			return fn(seq, rec)
+		})
+		w.corrupt.Add(uint64(scan.corrupt))
+		if scan.tailLost {
+			w.corrupt.Add(1)
+		}
+		if err != nil {
+			if !errors.Is(err, errBadSegment) {
+				return err
+			}
+			w.opt.Logger.Printf("wal: replay: %v", err)
+		}
+		if scan.lastSeq > last {
+			last = scan.lastSeq
+		}
+	}
+	return nil
+}
+
+// writeManifest persists the inventory atomically and durably.
+func writeManifest(path string, m *manifest) error {
+	return snapshot.WriteFileAtomic(path, func(wr io.Writer) error {
+		enc := json.NewEncoder(wr)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// fileModUnix returns a file's mtime as unix seconds (0 on error) —
+// the sealed-time fallback for segments recovered without a manifest.
+func fileModUnix(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.ModTime().Unix()
+}

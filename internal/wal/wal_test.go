@@ -1,0 +1,569 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clickmodel"
+)
+
+// sessRec builds a session record with a recognisable query.
+func sessRec(i int) Record {
+	return Record{Session: &clickmodel.Session{
+		Query:  fmt.Sprintf("q%d", i),
+		Docs:   []string{"a", "b"},
+		Clicks: []bool{true, false},
+	}}
+}
+
+// snipRec builds a snippet-feedback record.
+func snipRec(i int) Record {
+	return Record{
+		SnippetLines: []string{fmt.Sprintf("cheap flights %d", i), "book now"},
+		Impressions:  50,
+		Clicks:       i % 7,
+	}
+}
+
+// bothRec carries a session and a snippet in one frame.
+func bothRec(i int) Record {
+	r := sessRec(i)
+	s := snipRec(i)
+	r.SnippetLines, r.Impressions, r.Clicks = s.SnippetLines, s.Impressions, s.Clicks
+	return r
+}
+
+func mustOpen(t *testing.T, dir string, opt Options) *WAL {
+	t.Helper()
+	w, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// replayAll collects every retained record.
+func replayAll(t *testing.T, w *WAL) []Record {
+	t.Helper()
+	var out []Record
+	err := w.Replay(func(seq uint64, rec *Record) error {
+		if want := uint64(len(out) + 1); seq < want {
+			t.Fatalf("replay seq %d went backwards (have %d records)", seq, len(out))
+		}
+		cp := *rec
+		if rec.Session != nil {
+			s := *rec.Session
+			cp.Session = &s
+		}
+		cp.SnippetLines = append([]string(nil), rec.SnippetLines...)
+		out = append(out, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Sync: SyncAlways})
+	want := []Record{sessRec(0), snipRec(1), bothRec(2), sessRec(3)}
+	for i, r := range want {
+		seq, err := w.Append(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq = %d", i, seq)
+		}
+	}
+	if got := w.DurableSeq(); got != 4 {
+		t.Fatalf("DurableSeq = %d after SyncAlways appends, want 4", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := mustOpen(t, dir, Options{})
+	got := replayAll(t, w2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if (want[i].Session == nil) != (got[i].Session == nil) {
+			t.Fatalf("record %d session presence mismatch", i)
+		}
+		if want[i].Session != nil && got[i].Session.Query != want[i].Session.Query {
+			t.Fatalf("record %d query = %q, want %q", i, got[i].Session.Query, want[i].Session.Query)
+		}
+		if want[i].Session != nil && !got[i].Session.Clicks[0] {
+			t.Fatalf("record %d lost its click bits", i)
+		}
+		if len(want[i].SnippetLines) > 0 {
+			if got[i].SnippetLines[0] != want[i].SnippetLines[0] ||
+				got[i].Impressions != want[i].Impressions || got[i].Clicks != want[i].Clicks {
+				t.Fatalf("record %d snippet mismatch: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	}
+	c := w2.Counters()
+	if c.Replayed != 4 || c.CorruptSkipped != 0 || c.TruncatedBytes != 0 {
+		t.Fatalf("counters after clean replay: %+v", c)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	w := mustOpen(t, t.TempDir(), Options{})
+	if _, err := w.Append(Record{}); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if _, err := w.Append(sessRec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(sessRec(2)); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(sessRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := mustOpen(t, dir, Options{})
+	seq, err := w2.Append(sessRec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Fatalf("first seq after reopen = %d, want 6", seq)
+	}
+	if got := replayAll(t, w2); len(got) != 5 {
+		t.Fatalf("replay after reopen = %d records, want the 5 from the first run", len(got))
+	}
+}
+
+func TestRotationAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force several rotations under a handful of appends.
+	w := mustOpen(t, dir, Options{SegmentBytes: 256, Sync: SyncOff})
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := w.Append(sessRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, got %v", segs)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatalf("manifest is not JSON: %v", err)
+	}
+	if len(man.Segments) != len(segs) {
+		t.Fatalf("manifest lists %d segments, directory has %d", len(man.Segments), len(segs))
+	}
+	if man.NextSeq != n+1 {
+		t.Fatalf("manifest next_seq = %d, want %d", man.NextSeq, n+1)
+	}
+
+	w2 := mustOpen(t, dir, Options{})
+	if got := replayAll(t, w2); len(got) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), n)
+	}
+}
+
+func TestPruneMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{SegmentBytes: 256, MaxBytes: 1024, Sync: SyncOff})
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := w.Append(sessRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := w.Counters()
+	if c.PrunedSegments == 0 {
+		t.Fatalf("no segments pruned under a 1KiB budget: %+v", c)
+	}
+	if c.Bytes > 1024+256 {
+		t.Fatalf("log holds %d bytes, budget 1024 (+1 segment slack)", c.Bytes)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pruned history is gone, the tail survives, and the sequence
+	// space never rewinds past what the manifest recorded.
+	w2 := mustOpen(t, dir, Options{})
+	got := replayAll(t, w2)
+	if len(got) == 0 || len(got) >= n {
+		t.Fatalf("replayed %d records, want a proper pruned suffix of %d", len(got), n)
+	}
+	if c2 := w2.Counters(); c2.NextSeq != n+1 {
+		t.Fatalf("NextSeq after prune+reopen = %d, want %d", c2.NextSeq, n+1)
+	}
+}
+
+func TestPruneRetention(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Sync: SyncOff, Retention: time.Hour})
+	if _, err := w.Append(sessRec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(sessRec(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Backdate the sealed segment far past the retention window, then
+	// rotate again: pruning keys off the manifest's sealed time.
+	w.mu.Lock()
+	w.sealed[0].SealedUnix = time.Now().Add(-2 * time.Hour).Unix()
+	w.mu.Unlock()
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if c := w.Counters(); c.PrunedSegments != 1 {
+		t.Fatalf("PrunedSegments = %d, want 1: %+v", c.PrunedSegments, c)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := mustOpen(t, dir, Options{})
+	got := replayAll(t, w2)
+	if len(got) != 1 || got[0].Session.Query != "q1" {
+		t.Fatalf("retained records = %+v, want only q1", got)
+	}
+}
+
+func TestSeqFloorSurvivesLostSegments(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	for i := 0; i < 9; i++ {
+		if _, err := w.Append(sessRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// All data files vanish (disk swap, manual cleanup) but the
+	// manifest survives: sequence numbers must not be reissued.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	for _, s := range segs {
+		if err := os.Remove(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w2 := mustOpen(t, dir, Options{})
+	seq, err := w2.Append(sessRec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 10 {
+		t.Fatalf("seq after losing segments = %d, want the manifest floor 10", seq)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(sessRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("segments: %v", segs)
+	}
+	// Simulate a crash mid-write: a frame header promising more payload
+	// than the file holds.
+	f, err := os.OpenFile(segs[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(segs[0])
+
+	w2 := mustOpen(t, dir, Options{})
+	if got := replayAll(t, w2); len(got) != 10 {
+		t.Fatalf("replayed %d records, want the 10 whole ones", len(got))
+	}
+	c := w2.Counters()
+	if c.TruncatedBytes != uint64(len(torn)) {
+		t.Fatalf("TruncatedBytes = %d, want %d", c.TruncatedBytes, len(torn))
+	}
+	after, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size()-int64(len(torn)) {
+		t.Fatalf("torn tail not cut: %d -> %d", before.Size(), after.Size())
+	}
+}
+
+// TestCorruptEveryByte is the exhaustive recovery property: flip every
+// single byte of a multi-segment log, one at a time, and require that
+// recovery plus replay never fails and never invents records — what
+// survives is always a subset of what was written.
+func TestCorruptEveryByte(t *testing.T) {
+	master := t.TempDir()
+	w := mustOpen(t, master, Options{SegmentBytes: 512, Sync: SyncOff})
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := w.Append(sessRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(master, "wal-*.log"))
+	if len(segs) < 2 {
+		t.Fatalf("want a multi-segment log, got %v", segs)
+	}
+
+	valid := map[string]bool{}
+	for i := 0; i < n; i++ {
+		valid[fmt.Sprintf("q%d", i)] = true
+	}
+
+	for _, seg := range segs {
+		orig, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(orig); off++ {
+			dir := t.TempDir()
+			for _, s := range segs {
+				b, _ := os.ReadFile(s)
+				if s == seg {
+					b = append([]byte(nil), b...)
+					b[off] ^= 0xff
+				}
+				if err := os.WriteFile(filepath.Join(dir, filepath.Base(s)), b, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			w2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("%s byte %d: open: %v", filepath.Base(seg), off, err)
+			}
+			replayed := 0
+			err = w2.Replay(func(_ uint64, rec *Record) error {
+				replayed++
+				if rec.Session == nil || !valid[rec.Session.Query] {
+					t.Fatalf("%s byte %d: replay invented %+v", filepath.Base(seg), off, rec)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s byte %d: replay: %v", filepath.Base(seg), off, err)
+			}
+			if replayed > n {
+				t.Fatalf("%s byte %d: replayed %d > written %d", filepath.Base(seg), off, replayed, n)
+			}
+			c := w2.Counters()
+			if replayed < n && c.CorruptSkipped == 0 && c.TruncatedBytes == 0 {
+				t.Fatalf("%s byte %d: lost %d records without a counter: %+v",
+					filepath.Base(seg), off, n-replayed, c)
+			}
+			w2.Close()
+			os.RemoveAll(dir)
+		}
+	}
+}
+
+func TestConcurrentSyncAlwaysGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Sync: SyncAlways})
+	const (
+		writers = 8
+		each    = 50
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				seq, err := w.Append(sessRec(g*each + i))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if w.DurableSeq() < seq {
+					t.Errorf("append returned before seq %d was durable (durable %d)", seq, w.DurableSeq())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c := w.Counters()
+	if c.Appended != writers*each {
+		t.Fatalf("Appended = %d, want %d", c.Appended, writers*each)
+	}
+	if c.Syncs >= c.Appended {
+		t.Logf("no group commit observed (%d syncs for %d appends) — legal but slow", c.Syncs, c.Appended)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := mustOpen(t, dir, Options{})
+	if got := replayAll(t, w2); len(got) != writers*each {
+		t.Fatalf("replayed %d, want %d", len(got), writers*each)
+	}
+}
+
+func TestSyncBarrier(t *testing.T) {
+	w := mustOpen(t, t.TempDir(), Options{SyncInterval: time.Hour}) // flusher effectively off
+	for i := 0; i < 7; i++ {
+		if _, err := w.Append(sessRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.DurableSeq(); got != 0 {
+		t.Fatalf("DurableSeq before barrier = %d, want 0", got)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.DurableSeq(); got != 7 {
+		t.Fatalf("DurableSeq after barrier = %d, want 7", got)
+	}
+}
+
+func TestCodecRejectsTampering(t *testing.T) {
+	rec := bothRec(3)
+	frame := appendFrame(nil, 9, &rec)
+	payload := frame[frameHeaderLen:]
+	seq, got, err := decodePayload(payload)
+	if err != nil || seq != 9 {
+		t.Fatalf("decode: seq %d, err %v", seq, err)
+	}
+	if got.Session.Query != "q3" || got.Impressions != 50 {
+		t.Fatalf("decoded %+v", got)
+	}
+	// Truncated payloads and trailing garbage must both fail loudly.
+	if _, _, err := decodePayload(payload[:len(payload)-1]); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+	if _, _, err := decodePayload(append(append([]byte(nil), payload...), 0)); err == nil {
+		t.Fatal("trailing garbage decoded")
+	}
+	if _, _, err := decodePayload([]byte{0}); err == nil {
+		t.Fatal("payload with no flags decoded")
+	}
+}
+
+func TestSegmentHeaderVersionGate(t *testing.T) {
+	hdr := appendSegmentHeader(nil, 42, 1700000000)
+	first, created, n, err := parseSegmentHeader(hdr)
+	if err != nil || first != 42 || created != 1700000000 || n != len(hdr) {
+		t.Fatalf("parse: %d %d %d %v", first, created, n, err)
+	}
+	bad := append([]byte(nil), hdr...)
+	bad[len(segMagic)] = 99 // future format version
+	if _, _, _, err := parseSegmentHeader(bad); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, _, _, err := parseSegmentHeader([]byte("nope")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[SyncPolicy]string{SyncBatched: "batched", SyncAlways: "always", SyncOff: "off"} {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+// TestBatchedAppendAllocates pins the hot-path guarantee: steady-state
+// batched appends do not allocate.
+func TestBatchedAppendAllocates(t *testing.T) {
+	w := mustOpen(t, t.TempDir(), Options{SyncInterval: time.Hour})
+	rec := sessRec(1)
+	// Warm the append buffer and the encoder scratch.
+	for i := 0; i < 2000; i++ {
+		if _, err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batched Append allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestManifestHumanReadable(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{})
+	if _, err := w.Append(sessRec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("\n")) || !strings.Contains(string(raw), "next_seq") {
+		t.Fatalf("manifest should be indented JSON with next_seq, got %q", raw)
+	}
+}

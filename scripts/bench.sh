@@ -15,6 +15,8 @@
 #                (compiled micro kernel vs map path), BENCH_engine.json
 #   stream     — BenchmarkStream* (online-loop ingest / fold / publish),
 #                BENCH_stream.json
+#   wal        — BenchmarkWAL* (feedback-log append per fsync policy,
+#                ingest durability tax, boot replay), BENCH_wal.json
 #
 # A trajectory file is a JSON array of run records ordered oldest to
 # newest; each record carries the environment and the parsed
@@ -47,9 +49,17 @@ case "$suite" in
   engine)     pattern="EngineScoreBatch"; default_out="BENCH_engine.json" ;;
   micro)      pattern="MicroScore|ExtractTermsPath"; default_out="BENCH_engine.json" ;;
   stream)     pattern="Stream"; default_out="BENCH_stream.json" ;;
-  *) echo "bench.sh: unknown suite $suite (clickmodel, engine, micro, stream)" >&2; exit 2 ;;
+  wal)        pattern="WAL"; default_out="BENCH_wal.json" ;;
+  *) echo "bench.sh: unknown suite $suite (clickmodel, engine, micro, stream, wal)" >&2; exit 2 ;;
 esac
 out="${out:-$default_out}"
+
+# The wal suite prices an I/O path: pin its scratch space to tmpfs
+# when available, so the trajectory tracks the code and not the
+# backing device's day-to-day variance.
+if [ "$suite" = "wal" ] && [ -d /dev/shm ] && [ -w /dev/shm ]; then
+  export TMPDIR=/dev/shm
+fi
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT

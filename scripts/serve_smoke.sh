@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — end-to-end smoke of the fit → snapshot → serve →
 # feedback → republish loop: build the three binaries, fit a small PBM
-# and snapshot it, start microserve with the artifact and the online
-# learner enabled, hit /healthz, score through both browsing levels,
-# hot-swap the artifact a second time, replay simulated feedback with
-# loadgen until a new model version auto-publishes, export it back to
-# disk through the admin surface, and shut down gracefully. Exits
+# and snapshot it, start microserve with the artifact, the online
+# learner and the feedback WAL enabled, hit /healthz and /metrics,
+# score through both browsing levels, hot-swap the artifact a second
+# time, replay simulated feedback with loadgen until a new model
+# version auto-publishes, export it back to disk through the admin
+# surface — then kill -9 the server, restart it on the same WAL
+# directory, and require the replayed log to republish the online
+# model with no fresh traffic before shutting down gracefully. Exits
 # non-zero on any failed step. CI runs this; it is equally useful
 # locally.
 set -euo pipefail
@@ -29,9 +32,11 @@ go build -o "$workdir/loadgen" ./cmd/loadgen
 echo "serve_smoke: fitting pbm and writing snapshot"
 "$workdir/clickmodelfit" -sessions 1500 -groups 60 -model pbm -iters 3 -o "$workdir/pbm.bin" >/dev/null
 
-echo "serve_smoke: starting microserve (online learning on)"
+echo "serve_smoke: starting microserve (online learning + WAL on)"
 "$workdir/microserve" -addr "$addr" -load "pbm=$workdir/pbm.bin" \
-  -online "model=sdbn+micro,interval=1s,min=100" >"$workdir/serve.log" 2>&1 &
+  -online "model=sdbn+micro,interval=1s,min=100" \
+  -wal "dir=$workdir/wal,fsync=interval=50ms" \
+  -ratelimit "rate=100000,burst=200000" >"$workdir/serve.log" 2>&1 &
 srv_pid=$!
 
 up=""
@@ -65,7 +70,8 @@ check hot-swap "$(curl -fs -X POST "http://$addr/v1/models/pbm/load" \
 check rollback "$(curl -fs -X POST "http://$addr/v1/models/pbm/rollback" -d '{}')" '"version":1'
 
 echo "serve_smoke: replaying feedback traffic"
-"$workdir/loadgen" -addr "http://$addr" -sessions 2000 -batch 250 -snippets 2 -score-every 2 -score-model pbm
+"$workdir/loadgen" -addr "http://$addr" -sessions 2000 -batch 250 -snippets 2 \
+  -clients 4 -score-every 2 -score-model pbm
 
 published=""
 for _ in $(seq 100); do
@@ -101,6 +107,66 @@ check snapshot-export "$(curl -fs -X POST "http://$addr/v1/models/sdbn/snapshot"
 [ -s "$workdir/sdbn-online.bin" ] || { echo "serve_smoke: exported snapshot missing" >&2; exit 1; }
 echo "serve_smoke: snapshot export ok"
 
+check wal-counters "$health" '"wal":'
+check ratelimit-counters "$health" '"ratelimit":'
+check metrics "$(curl -fs "http://$addr/metrics")" 'microserve_wal_appended_total'
+
+# --- crash recovery: kill -9, restart on the same log, republish ---
+# A last healthz read pins how much the WAL holds; the 50ms flush
+# interval has long since passed, so every appended record is durable.
+appended=$(curl -fs "http://$addr/healthz" | sed -n 's/.*"appended":\([0-9]*\).*/\1/p')
+if [ -z "$appended" ] || [ "$appended" -lt 2000 ]; then
+  echo "serve_smoke: WAL appended only ${appended:-0} records before the crash" >&2
+  exit 1
+fi
+echo "serve_smoke: killing server with SIGKILL (wal holds $appended records)"
+kill -9 "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+srv_pid=""
+
+echo "serve_smoke: restarting on the surviving WAL"
+"$workdir/microserve" -addr "$addr" -load "pbm=$workdir/pbm.bin" \
+  -online "model=sdbn+micro,interval=1s,min=100" \
+  -wal "dir=$workdir/wal,fsync=interval=50ms" >"$workdir/serve2.log" 2>&1 &
+srv_pid=$!
+up=""
+for _ in $(seq 100); do
+  if curl -fs "http://$addr/healthz" >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.1
+done
+if [ -z "$up" ]; then
+  echo "serve_smoke: server never came back after kill -9" >&2
+  cat "$workdir/serve2.log" >&2
+  exit 1
+fi
+
+replayed=$(curl -fs "http://$addr/healthz" | sed -n 's/.*"wal":{[^}]*"replayed":\([0-9]*\).*/\1/p')
+if [ -z "$replayed" ] || [ "$replayed" -lt "$appended" ]; then
+  echo "serve_smoke: replayed only ${replayed:-0} of $appended logged records" >&2
+  curl -fs "http://$addr/healthz" >&2 || true
+  cat "$workdir/serve2.log" >&2
+  exit 1
+fi
+echo "serve_smoke: crash recovery ok ($replayed records replayed)"
+
+# The replayed feedback alone — no fresh traffic — must republish the
+# online model in the restarted process.
+published=""
+for _ in $(seq 100); do
+  models=$(curl -fs "http://$addr/v1/models")
+  case "$models" in
+    *'"name":"sdbn"'*'"source":"online"'*) published=1; break ;;
+  esac
+  sleep 0.1
+done
+if [ -z "$published" ]; then
+  echo "serve_smoke: replayed log never republished the online model" >&2
+  curl -fs "http://$addr/healthz" >&2 || true
+  cat "$workdir/serve2.log" >&2
+  exit 1
+fi
+echo "serve_smoke: post-crash republish ok"
+
 echo "serve_smoke: shutting down"
 kill -TERM "$srv_pid"
 for _ in $(seq 100); do
@@ -111,5 +177,5 @@ if [ -n "$srv_pid" ]; then
   echo "serve_smoke: server did not shut down gracefully" >&2
   exit 1
 fi
-grep -q "bye" "$workdir/serve.log" || { echo "serve_smoke: graceful shutdown log missing" >&2; exit 1; }
+grep -q "bye" "$workdir/serve2.log" || { echo "serve_smoke: graceful shutdown log missing" >&2; exit 1; }
 echo "serve_smoke: PASS"
