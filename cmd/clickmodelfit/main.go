@@ -11,21 +11,31 @@
 // With -o the fitted model is also written as a versioned snapshot
 // artifact — the train-offline half of the serving split; point
 // cmd/microserve -load at the file (or POST it to /v1/models/{name}/load)
-// to serve it.
+// to serve it. -format picks the artifact encoding: v1 is the portable
+// varint stream every model supports; v2 is the sectioned zero-parse
+// layout (PBM and DBN) that microserve maps read-only instead of
+// decoding. -conv upgrades an existing v1 artifact to v2 in place
+// (atomic temp-file + rename, so a serving process watching the path
+// never sees a half-written file) without refitting anything.
 //
 // Usage:
 //
 //	clickmodelfit -sessions 20000 -ads 4
 //	clickmodelfit -model pbm -workers 8 -iters 10
-//	clickmodelfit -model pbm -o pbm.bin   # fit → snapshot → serve
+//	clickmodelfit -model pbm -o pbm.bin              # fit → snapshot → serve
+//	clickmodelfit -model pbm -o pbm.bin -format v2   # zero-parse artifact
+//	clickmodelfit -conv pbm.bin                      # v1 → v2, in place
 //	clickmodelfit -list
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -49,11 +59,23 @@ func main() {
 	iters := flag.Int("iters", 0, "EM iterations for iterative models (0 = model default)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scoring engine worker-pool size")
 	out := flag.String("o", "", "write the fitted model (-model; default pbm when fitting all) as a snapshot artifact")
+	format := flag.String("format", "v1", "artifact format for -o: v1 (portable varint) or v2 (zero-parse mapped)")
+	conv := flag.String("conv", "", "upgrade the named v1 artifact to v2 in place (atomic) and exit; no fitting")
 	list := flag.Bool("list", false, "list registered click models and exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(clickmodel.Names(), "\n"))
+		return
+	}
+	if *format != "v1" && *format != "v2" {
+		log.Fatalf("-format %q: want v1 or v2", *format)
+	}
+	if *conv != "" {
+		if err := convertToV2(*conv); err != nil {
+			log.Fatalf("-conv %s: %v", *conv, err)
+		}
+		log.Printf("upgraded %s to the v2 (zero-parse) format", *conv)
 		return
 	}
 
@@ -121,11 +143,11 @@ func main() {
 			time.Since(start).Round(time.Millisecond))
 
 		if *out != "" && strings.EqualFold(name, snapTarget) {
-			if err := writeSnapshot(*out, m); err != nil {
+			if err := writeSnapshot(*out, m, *format); err != nil {
 				log.Fatalf("-o %s: %v", *out, err)
 			}
-			log.Printf("wrote %s snapshot to %s (serve with: microserve -load %s=%s)",
-				m.Name(), *out, snapTarget, *out)
+			log.Printf("wrote %s %s snapshot to %s (serve with: microserve -load %s=%s)",
+				m.Name(), *format, *out, snapTarget, *out)
 		}
 	}
 
@@ -146,10 +168,42 @@ func main() {
 // writeSnapshot saves a fitted model as a binary artifact, atomically
 // (write to a temp file, then rename) so a serving process never loads
 // a half-written file.
-func writeSnapshot(path string, m clickmodel.Model) error {
+func writeSnapshot(path string, m clickmodel.Model, format string) error {
+	if format == "v2" {
+		return snapshot.WriteFileAtomic(path, func(w io.Writer) error {
+			return clickmodel.SaveV2Model(w, m)
+		})
+	}
 	sn, ok := m.(clickmodel.Snapshotter)
 	if !ok {
 		return fmt.Errorf("model %s does not support snapshots", m.Name())
 	}
 	return snapshot.WriteFileAtomic(path, sn.Save)
+}
+
+// convertToV2 rewrites an existing artifact in the v2 zero-parse
+// layout, in place. It decodes any v1 artifact (macro or micro) and
+// re-encodes through the model's v2 codec; an already-v2 input is
+// rejected rather than rewritten, so the flag is safe to run twice.
+func convertToV2(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if snapshot.IsV2(data) {
+		return fmt.Errorf("already a v2 artifact")
+	}
+	s, name, err := engine.DecodeScorer(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteFileAtomic(path, func(w io.Writer) error {
+		switch t := s.(type) {
+		case *engine.MicroScorer:
+			return t.M.SaveV2(w)
+		case *engine.ClickModelScorer:
+			return clickmodel.SaveV2Model(w, t.M)
+		}
+		return fmt.Errorf("artifact model %q has no v2 codec", name)
+	})
 }

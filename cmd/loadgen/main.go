@@ -11,6 +11,14 @@
 //	loadgen -addr http://127.0.0.1:8377 -sessions 20000
 //	loadgen -sessions 50000 -batch 500 -workers 8 -snippets 2
 //	loadgen -sessions 10000 -score-every 4   # 1 score batch per 4 feedback batches
+//	loadgen -sessions 10000 -score-every 1 -proto binary   # score over MBSP frames
+//
+// With -proto binary the score batches skip HTTP and JSON entirely:
+// each worker holds one TCP connection to the same port speaking the
+// length-prefixed MBSP framing (internal/server/binproto), which the
+// server sniffs apart from HTTP by the first bytes. Feedback ingest
+// stays on JSON either way — the binary protocol covers the hot
+// scoring path only.
 //
 // The exit status is non-zero when the server rejects traffic for any
 // reason other than saturation (429 counts as drops, not failure).
@@ -25,6 +33,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +42,7 @@ import (
 	"repro/internal/clickmodel"
 	"repro/internal/engine"
 	"repro/internal/serp"
+	"repro/internal/server/binproto"
 )
 
 // feedbackBody mirrors the server's /v1/feedback wire shape.
@@ -68,12 +78,26 @@ func main() {
 	impressions := flag.Int("impressions", 50, "impressions aggregated into each snippet event")
 	scoreEvery := flag.Int("score-every", 0, "POST one score batch per N feedback batches (0 = feedback only)")
 	scoreModel := flag.String("score-model", "", "model reference for score traffic (empty = server default)")
+	proto := flag.String("proto", "json", "score traffic protocol: json (HTTP) or binary (MBSP frames on the same port)")
 	workers := flag.Int("workers", 4, "concurrent HTTP senders")
 	clients := flag.Int("clients", 1, "distinct X-Client-ID identities to spread traffic across (0 = no header)")
 	groups := flag.Int("groups", 200, "adgroups backing the simulation")
 	ads := flag.Int("ads", 4, "ads per session")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	flag.Parse()
+
+	binary := false
+	switch *proto {
+	case "json":
+	case "binary":
+		binary = true
+	default:
+		log.Fatalf("-proto %q: want json or binary", *proto)
+	}
+	// The binary protocol shares microserve's port; its dial target is
+	// the base URL's host:port with the scheme stripped.
+	binAddr := strings.TrimPrefix(strings.TrimPrefix(*addr, "http://"), "https://")
+	binAddr = strings.TrimSuffix(binAddr, "/")
 
 	corpus := adcorpus.Generate(adcorpus.Config{Seed: *seed, Groups: *groups}, adcorpus.DefaultLexicon())
 	sim := serp.New(serp.Config{Seed: *seed + 1})
@@ -88,6 +112,7 @@ func main() {
 		path   string
 		client string // X-Client-ID header ("" = none)
 		body   []byte
+		reqs   []engine.Request // binary score batch (path/body unused)
 	}
 	jobs := make(chan job, *workers)
 	var wg sync.WaitGroup
@@ -95,7 +120,47 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker keeps one MBSP connection open for the run; the
+			// client is synchronous, so per-worker ownership is the natural
+			// concurrency unit.
+			var bin *binproto.Client
+			defer func() {
+				if bin != nil {
+					bin.Close()
+				}
+			}()
 			for j := range jobs {
+				if j.reqs != nil {
+					if bin == nil {
+						var err error
+						if bin, err = binproto.Dial(binAddr); err != nil {
+							httpErrs.Add(1)
+							log.Printf("binary dial %s: %v", binAddr, err)
+							continue
+						}
+					}
+					resps, err := bin.ScoreBatch(j.reqs)
+					if err != nil {
+						httpErrs.Add(1)
+						log.Printf("binary score: %v", err)
+						bin.Close()
+						bin = nil
+						continue
+					}
+					ok := true
+					for i := range resps {
+						if resps[i].Error != "" {
+							ok = false
+							httpErrs.Add(1)
+							log.Printf("binary score response: %s", resps[i].Error)
+							break
+						}
+					}
+					if ok {
+						scored.Add(1)
+					}
+					continue
+				}
 				req, err := http.NewRequest(http.MethodPost, *addr+j.path, bytes.NewReader(j.body))
 				if err != nil {
 					log.Fatal(err)
@@ -172,15 +237,19 @@ func main() {
 		batches++
 
 		if *scoreEvery > 0 && batches%*scoreEvery == 0 {
-			sb := scoreBody{Requests: make([]engine.Request, 0, n)}
+			reqs := make([]engine.Request, 0, n)
 			for i := range fb.Sessions {
-				sb.Requests = append(sb.Requests, engine.Request{Model: *scoreModel, Session: &fb.Sessions[i]})
+				reqs = append(reqs, engine.Request{Model: *scoreModel, Session: &fb.Sessions[i]})
 			}
-			body, err := json.Marshal(sb)
-			if err != nil {
-				log.Fatal(err)
+			if binary {
+				jobs <- job{reqs: reqs}
+			} else {
+				body, err := json.Marshal(scoreBody{Requests: reqs})
+				if err != nil {
+					log.Fatal(err)
+				}
+				jobs <- job{path: "/v1/score/batch", client: id, body: body}
 			}
-			jobs <- job{path: "/v1/score/batch", client: id, body: body}
 		}
 	}
 	close(jobs)

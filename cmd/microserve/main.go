@@ -1,9 +1,13 @@
-// Command microserve is the HTTP serving binary of the scoring engine:
-// the serve-online half of the train-offline / serve-online split. It
+// Command microserve is the serving binary of the scoring engine: the
+// serve-online half of the train-offline / serve-online split. It
 // loads snapshot artifacts produced offline (cmd/clickmodelfit -o, or
-// any model's Save) and answers CTR-scoring requests over JSON, with
-// admin endpoints to hot-swap new artifacts in and roll bad ones back
-// without a restart.
+// any model's Save) and answers CTR-scoring requests over JSON — and,
+// on the same port, over the length-prefixed binary protocol
+// (internal/server/binproto; connections are sniffed by their first
+// bytes) — with admin endpoints to hot-swap new artifacts in and roll
+// bad ones back without a restart. v2 artifacts (cmd/clickmodelfit
+// -format v2) are mapped read-only instead of decoded: loads are O(1)
+// in artifact size and replicas share the page cache.
 //
 // With -online the process also becomes a learner: click feedback
 // POSTed to /v1/feedback streams into internal/stream's sharded sink,
@@ -35,9 +39,10 @@
 // learner's decay window), max (total log byte budget).
 //
 // The -ratelimit spec throttles POST /v1/feedback per client
-// (X-Client-ID header, else remote host): rate (events/s, required)
-// and burst (bucket depth, default 2x rate). Over-budget requests get
-// 429 with a Retry-After hint.
+// (X-Client-ID header, else remote host): rate (events/s, required),
+// burst (bucket depth, default 2x rate) and ttl (how long an idle
+// client's bucket is remembered, default 10m). Over-budget requests
+// get 429 with a Retry-After hint.
 //
 // Endpoints (see internal/server):
 //
@@ -50,6 +55,7 @@
 //	POST /v1/models/{name}/load      {"path":"/models/pbm-v2.bin"}
 //	POST /v1/models/{name}/rollback
 //	POST /v1/models/{name}/snapshot  {"path":"/models/pbm-online.bin"}
+//	GET  /v1/models/{name}/snapshot  (ETag/If-None-Match replica sync)
 //
 // The process drains in-flight requests on SIGINT/SIGTERM.
 package main
@@ -60,6 +66,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -71,6 +78,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/server/binproto"
 	"repro/internal/stream"
 	"repro/internal/wal"
 )
@@ -150,16 +158,18 @@ func main() {
 		}
 	}
 	if *rateSpec != "" {
-		rate, burst, err := parseRateLimit(*rateSpec)
+		rate, burst, ttl, err := parseRateLimit(*rateSpec)
 		if err != nil {
 			log.Fatalf("-ratelimit %s: %v", *rateSpec, err)
 		}
 		opts = append(opts, server.WithFeedbackRateLimit(rate, burst))
+		if ttl != 0 {
+			opts = append(opts, server.WithFeedbackClientTTL(ttl))
+		}
 		log.Printf("feedback rate limit: %.0f events/s per client, burst %d", rate, burst)
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           server.New(eng, log.Default(), opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -167,10 +177,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// One listener, two protocols: the mux sniffs each connection's
+	// first bytes and routes MBSP frames to the binary scorer,
+	// everything else to HTTP.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	binSrv := binproto.NewServer(eng, log.Default())
+	mux := binproto.NewMux(ln, binSrv)
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s (default model %q, %d workers)", *addr, *defModel, *workers)
-		errc <- srv.ListenAndServe()
+		log.Printf("serving on %s (default model %q, %d workers, JSON + binary protocol)", *addr, *defModel, *workers)
+		errc <- srv.Serve(mux)
 	}()
 
 	select {
@@ -326,15 +346,18 @@ func parseSize(val string) (int64, error) {
 	return n * mult, nil
 }
 
-// parseRateLimit turns the -ratelimit spec into (events/s, burst).
-// Burst defaults to 2x the rate: one batch of catch-up headroom.
-func parseRateLimit(spec string) (float64, int, error) {
+// parseRateLimit turns the -ratelimit spec into (events/s, burst,
+// idle-client TTL). Burst defaults to 2x the rate: one batch of
+// catch-up headroom. ttl=0 in the return means "use the server
+// default".
+func parseRateLimit(spec string) (float64, int, time.Duration, error) {
 	var rate float64
 	var burst int
+	var ttl time.Duration
 	for _, part := range strings.Split(spec, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if !ok || val == "" {
-			return 0, 0, fmt.Errorf("bad spec entry %q (want key=value)", part)
+			return 0, 0, 0, fmt.Errorf("bad spec entry %q (want key=value)", part)
 		}
 		var err error
 		switch key {
@@ -342,32 +365,31 @@ func parseRateLimit(spec string) (float64, int, error) {
 			rate, err = strconv.ParseFloat(val, 64)
 		case "burst":
 			burst, err = strconv.Atoi(val)
+		case "ttl":
+			ttl, err = time.ParseDuration(val)
 		default:
-			return 0, 0, fmt.Errorf("unknown spec key %q (rate, burst)", key)
+			return 0, 0, 0, fmt.Errorf("unknown spec key %q (rate, burst, ttl)", key)
 		}
 		if err != nil {
-			return 0, 0, fmt.Errorf("bad %s value %q: %v", key, val, err)
+			return 0, 0, 0, fmt.Errorf("bad %s value %q: %v", key, val, err)
 		}
 	}
 	if rate <= 0 {
-		return 0, 0, fmt.Errorf("spec needs rate=EVENTS_PER_SEC > 0")
+		return 0, 0, 0, fmt.Errorf("spec needs rate=EVENTS_PER_SEC > 0")
 	}
 	if burst <= 0 {
 		burst = int(2 * rate)
 	}
-	return rate, burst, nil
+	return rate, burst, ttl, nil
 }
 
-// loadArtifact installs one snapshot file into the engine.
+// loadArtifact installs one snapshot file into the engine: v2
+// artifacts are mapped read-only (O(1) load, page-cache shared across
+// processes), v1 artifacts decode through the varint codec.
 func loadArtifact(eng *engine.Engine, name, path string) (engine.ModelInfo, error) {
-	f, err := os.Open(path)
+	info, err := eng.LoadSnapshotFile(name, path)
 	if err != nil {
-		return engine.ModelInfo{}, err
-	}
-	defer f.Close()
-	info, err := eng.LoadSnapshot(name, f)
-	if err != nil {
-		return engine.ModelInfo{}, fmt.Errorf("decoding %s: %w", path, err)
+		return engine.ModelInfo{}, fmt.Errorf("loading %s: %w", path, err)
 	}
 	return info, nil
 }

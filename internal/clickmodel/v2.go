@@ -1,0 +1,656 @@
+package clickmodel
+
+// v2 (zero-parse) snapshot support for the macro click models that
+// serve traffic: PBM and DBN. A v1 artifact stores per-pair parameters
+// as a varint stream decoded into map[qd]float64 on every load — O(log)
+// work and a private heap copy per process. A v2 artifact stores the
+// *serving* form: two frozen vocabularies (queries, docs), a flat
+// (query ID, doc ID) pair table with an open-addressed probe index, and
+// one dense value array per parameter set, all as raw little-endian
+// sections. MappedPBM/MappedDBN wrap zero-copy views over those bytes
+// (typically a read-only file mapping owned by internal/mmap) and score
+// identically to their map-backed twins; they do not refit.
+//
+// Section layout (v2 directory tags):
+//
+//	meta    bytes    raw-encoded scalars (priors; DBN's gamma)
+//	gamma   float64  PBM per-position examination probabilities
+//	q.blob  bytes    query vocabulary term bytes
+//	q.offs  uint32   query vocabulary offsets
+//	q.tabl  int32    query vocabulary probe table
+//	d.blob  bytes    doc vocabulary term bytes
+//	d.offs  uint32   doc vocabulary offsets
+//	d.tabl  int32    doc vocabulary probe table
+//	p.q     int32    pair -> query ID
+//	p.d     int32    pair -> doc ID
+//	p.tabl  int32    open-addressed (qid, did) probe table
+//	a.vals  float64  attractiveness per pair (PBM alpha, DBN a)
+//	s.vals  float64  DBN satisfaction per pair
+//
+// A probe-table miss — including one caused by a corrupted table that
+// slipped past the CRCs — degrades to the model's prior, exactly the
+// behaviour of a map miss; it can never alias two pairs, because every
+// hit is confirmed against the pair arrays.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/snapshot"
+	"repro/internal/textproc"
+)
+
+// ErrMappedImmutable is returned by the Fit and Load methods of mapped
+// models: an artifact-backed model is a read-only serving view. Refit
+// the map-backed model and export a new artifact instead.
+var ErrMappedImmutable = fmt.Errorf("clickmodel: mapped models are immutable serving views")
+
+// minPairTable mirrors the vocabulary's minimum probe-table size.
+const minPairTable = 16
+
+// pairHash mixes a (query ID, doc ID) pair into the probe-table hash.
+// It must be identical on the freeze and lookup sides; nothing else
+// depends on it.
+func pairHash(qid, did int32) uint64 {
+	h := uint64(uint32(qid))*0x9E3779B97F4A7C15 ^ uint64(uint32(did))*0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+// frozenPairs is the immutable flat form of one or more map[qd]float64
+// parameter sets sharing a key universe: interned query/doc
+// vocabularies, pair ID arrays, and a probe table. Values live in
+// separate dense arrays (one per parameter set) indexed by pair ID.
+type frozenPairs struct {
+	qv, dv *textproc.FrozenVocab
+	pairQ  []int32
+	pairD  []int32
+	tab    []int32
+	mask   uint64
+}
+
+// NumPairs returns the number of interned (query, doc) pairs.
+func (p *frozenPairs) NumPairs() int { return len(p.pairQ) }
+
+// find resolves a (query, doc) pair to its dense ID; a miss anywhere
+// along the way (unknown query, unknown doc, absent pair) returns
+// false and the caller falls back to the prior.
+func (p *frozenPairs) find(q, d string) (int32, bool) {
+	qid, ok := p.qv.Lookup(q)
+	if !ok {
+		return 0, false
+	}
+	did, ok := p.dv.Lookup(d)
+	if !ok {
+		return 0, false
+	}
+	for i := pairHash(qid, did) & p.mask; ; i = (i + 1) & p.mask {
+		id := p.tab[i]
+		if id < 0 {
+			return 0, false
+		}
+		// Bounds-check the probe: unvalidated mappings (trusted local
+		// loads skip the O(n) scan) degrade to misses, never panics.
+		if uint(id) >= uint(len(p.pairQ)) {
+			return 0, false
+		}
+		if p.pairQ[id] == qid && p.pairD[id] == did {
+			return id, true
+		}
+	}
+}
+
+// validate runs the O(n) per-element checks pairsFromArtifact skips:
+// every pair references in-range vocabulary IDs and every probe bucket
+// is empty or a valid pair ID, plus the underlying vocabularies' own
+// deep checks. Verified load paths call this before install.
+func (p *frozenPairs) validate() error {
+	if err := p.qv.Validate(); err != nil {
+		return fmt.Errorf("%w: query vocab: %v", snapshot.ErrCorrupt, err)
+	}
+	if err := p.dv.Validate(); err != nil {
+		return fmt.Errorf("%w: doc vocab: %v", snapshot.ErrCorrupt, err)
+	}
+	n := len(p.pairQ)
+	for i := 0; i < n; i++ {
+		if int(p.pairQ[i]) >= p.qv.Len() || p.pairQ[i] < 0 || int(p.pairD[i]) >= p.dv.Len() || p.pairD[i] < 0 {
+			return fmt.Errorf("%w: pair %d references out-of-range vocabulary IDs", snapshot.ErrCorrupt, i)
+		}
+	}
+	for i, id := range p.tab {
+		if id < -1 || int(id) >= n {
+			return fmt.Errorf("%w: pair bucket %d holds id %d of %d pairs", snapshot.ErrCorrupt, i, id, n)
+		}
+	}
+	return nil
+}
+
+// freezePairs interns the union of the sets' keys (sorted, so identical
+// parameters produce identical artifacts) and materialises one dense
+// value array per set, filling absent keys with that set's default —
+// which preserves scoring semantics exactly, since a map miss returns
+// the same default.
+func freezePairs(sets []map[qd]float64, defaults []float64) (*frozenPairs, [][]float64) {
+	seen := make(map[qd]struct{})
+	var keys []qd
+	for _, m := range sets {
+		for k := range m {
+			if _, ok := seen[k]; !ok {
+				seen[k] = struct{}{}
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].q != keys[j].q {
+			return keys[i].q < keys[j].q
+		}
+		return keys[i].d < keys[j].d
+	})
+
+	n := len(keys)
+	qv := textproc.NewTermVocab(n)
+	dv := textproc.NewTermVocab(n)
+	p := &frozenPairs{pairQ: make([]int32, n), pairD: make([]int32, n)}
+	for i, k := range keys {
+		p.pairQ[i] = qv.Add(k.q)
+		p.pairD[i] = dv.Add(k.d)
+	}
+	p.qv = textproc.FreezeVocab(qv)
+	p.dv = textproc.FreezeVocab(dv)
+
+	size := minPairTable
+	for size < 2*n {
+		size <<= 1
+	}
+	p.tab = make([]int32, size)
+	for i := range p.tab {
+		p.tab[i] = -1
+	}
+	p.mask = uint64(size - 1)
+	for i := 0; i < n; i++ {
+		h := pairHash(p.pairQ[i], p.pairD[i])
+		for j := h & p.mask; ; j = (j + 1) & p.mask {
+			if p.tab[j] < 0 {
+				p.tab[j] = int32(i)
+				break
+			}
+		}
+	}
+
+	vals := make([][]float64, len(sets))
+	for si, m := range sets {
+		v := make([]float64, n)
+		for i, k := range keys {
+			if x, ok := m[k]; ok {
+				v[i] = x
+			} else {
+				v[i] = defaults[si]
+			}
+		}
+		vals[si] = v
+	}
+	return p, vals
+}
+
+// writePairs adds the shared pair sections to a v2 writer.
+func writePairs(w *snapshot.V2Writer, p *frozenPairs) {
+	w.Bytes("q.blob", p.qv.Blob())
+	w.Uint32s("q.offs", p.qv.Offsets())
+	w.Int32s("q.tabl", p.qv.Table())
+	w.Bytes("d.blob", p.dv.Blob())
+	w.Uint32s("d.offs", p.dv.Offsets())
+	w.Int32s("d.tabl", p.dv.Table())
+	w.Int32s("p.q", p.pairQ)
+	w.Int32s("p.d", p.pairD)
+	w.Int32s("p.tabl", p.tab)
+}
+
+// readVocab reconstitutes one frozen vocabulary from its three
+// prefixed sections.
+func readVocab(a *snapshot.V2Artifact, prefix string) (*textproc.FrozenVocab, error) {
+	blob, err := a.BytesView(prefix + ".blob")
+	if err != nil {
+		return nil, err
+	}
+	offs, err := a.Uint32sView(prefix + ".offs")
+	if err != nil {
+		return nil, err
+	}
+	tab, err := a.Int32sView(prefix + ".tabl")
+	if err != nil {
+		return nil, err
+	}
+	v, err := textproc.NewFrozenVocab(blob, offs, tab)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	return v, nil
+}
+
+// pairsFromArtifact validates and wraps the pair sections.
+func pairsFromArtifact(a *snapshot.V2Artifact) (*frozenPairs, error) {
+	p := &frozenPairs{}
+	var err error
+	if p.qv, err = readVocab(a, "q"); err != nil {
+		return nil, err
+	}
+	if p.dv, err = readVocab(a, "d"); err != nil {
+		return nil, err
+	}
+	if p.pairQ, err = a.Int32sView("p.q"); err != nil {
+		return nil, err
+	}
+	if p.pairD, err = a.Int32sView("p.d"); err != nil {
+		return nil, err
+	}
+	if p.tab, err = a.Int32sView("p.tabl"); err != nil {
+		return nil, err
+	}
+	n := len(p.pairQ)
+	if len(p.pairD) != n {
+		return nil, fmt.Errorf("%w: %d pair queries but %d pair docs", snapshot.ErrCorrupt, n, len(p.pairD))
+	}
+	if len(p.tab) < minPairTable || bits.OnesCount(uint(len(p.tab))) != 1 || len(p.tab) < 2*n {
+		return nil, fmt.Errorf("%w: pair probe table size %d cannot hold %d pairs", snapshot.ErrCorrupt, len(p.tab), n)
+	}
+	// Per-element invariants (in-range pair and bucket IDs) are NOT
+	// scanned here — mapped loads must stay O(1) in artifact size; see
+	// frozenPairs.validate for the deep pass verified loads run.
+	p.mask = uint64(len(p.tab) - 1)
+	return p, nil
+}
+
+// pairVals returns a dense value section and checks it covers every pair.
+func pairVals(a *snapshot.V2Artifact, tag string, n int) ([]float64, error) {
+	v, err := a.FloatsView(tag)
+	if err != nil {
+		return nil, err
+	}
+	if len(v) != n {
+		return nil, fmt.Errorf("%w: section %q holds %d values for %d pairs", snapshot.ErrCorrupt, tag, len(v), n)
+	}
+	return v, nil
+}
+
+// --- PBM ---
+
+// SaveV2 writes the fitted PBM as a zero-parse v2 artifact.
+func (m *PBM) SaveV2(w io.Writer) error {
+	m.defaults()
+	p, vals := freezePairs([]map[qd]float64{m.Alpha}, []float64{m.PriorAlpha})
+	var meta bytes.Buffer
+	e := snapshot.NewRawEncoder(&meta)
+	e.Float(m.PriorAlpha)
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	vw := snapshot.NewV2Writer(m.Name())
+	vw.Bytes("meta", meta.Bytes())
+	vw.Floats("gamma", m.Gamma)
+	writePairs(vw, p)
+	vw.Floats("a.vals", vals[0])
+	_, err := vw.WriteTo(w)
+	return err
+}
+
+// MappedPBM is a PBM serving view over v2 artifact bytes: same scoring
+// surface (Model, InplaceScorer, Examiner), zero-copy tables, no
+// fitting. The artifact bytes must outlive the model.
+type MappedPBM struct {
+	gamma []float64
+	pairs *frozenPairs
+	alpha []float64
+	prior float64
+}
+
+// PBMFromArtifact wraps a parsed v2 PBM artifact.
+func PBMFromArtifact(a *snapshot.V2Artifact) (*MappedPBM, error) {
+	if !strings.EqualFold(a.ModelName, "PBM") {
+		return nil, fmt.Errorf("clickmodel: artifact holds a %q model, not PBM", a.ModelName)
+	}
+	meta, err := a.BytesView("meta")
+	if err != nil {
+		return nil, err
+	}
+	m := &MappedPBM{}
+	d := snapshot.NewRawDecoder(bytes.NewReader(meta))
+	m.prior = d.Float()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if m.gamma, err = a.FloatsView("gamma"); err != nil {
+		return nil, err
+	}
+	if m.pairs, err = pairsFromArtifact(a); err != nil {
+		return nil, err
+	}
+	if m.alpha, err = pairVals(a, "a.vals", m.pairs.NumPairs()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Name implements Model; a mapped PBM serves under the same name as
+// its fitting twin.
+func (m *MappedPBM) Name() string { return "PBM" }
+
+// Fit implements Model by refusing: mapped models are immutable.
+func (m *MappedPBM) Fit([]Session) error { return ErrMappedImmutable }
+
+func (m *MappedPBM) alphaOf(q, d string) float64 {
+	if id, ok := m.pairs.find(q, d); ok {
+		return m.alpha[id]
+	}
+	return m.prior
+}
+
+// ClickProbs implements Model.
+func (m *MappedPBM) ClickProbs(s Session) []float64 { return m.ClickProbsInto(s, nil) }
+
+// ClickProbsInto implements InplaceScorer, mirroring PBM exactly.
+func (m *MappedPBM) ClickProbsInto(s Session, buf []float64) []float64 {
+	out := resizeProbs(buf, len(s.Docs))
+	for i, d := range s.Docs {
+		g := 0.0
+		if i < len(m.gamma) {
+			g = m.gamma[i]
+		}
+		out[i] = m.alphaOf(s.Query, d) * g
+	}
+	return out
+}
+
+// ExaminationProbs implements Examiner.
+func (m *MappedPBM) ExaminationProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	for i := range out {
+		if i < len(m.gamma) {
+			out[i] = m.gamma[i]
+		}
+	}
+	return out
+}
+
+// SessionLogLikelihood implements Model.
+func (m *MappedPBM) SessionLogLikelihood(s Session) float64 {
+	ll := 0.0
+	for i, d := range s.Docs {
+		g := 0.0
+		if i < len(m.gamma) {
+			g = m.gamma[i]
+		}
+		ll += bernoulliLL(m.alphaOf(s.Query, d)*g, s.Clicks[i])
+	}
+	return ll
+}
+
+// NumParams feeds ParamCount's generic arm.
+func (m *MappedPBM) NumParams() int { return len(m.gamma) + len(m.alpha) }
+
+// Save implements Snapshotter by re-emitting the v2 sections, so a
+// mapped model exports byte-compatible artifacts (replica sync reads
+// the same format it serves).
+func (m *MappedPBM) Save(w io.Writer) error {
+	var meta bytes.Buffer
+	e := snapshot.NewRawEncoder(&meta)
+	e.Float(m.prior)
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	vw := snapshot.NewV2Writer(m.Name())
+	vw.Bytes("meta", meta.Bytes())
+	vw.Floats("gamma", m.gamma)
+	writePairs(vw, m.pairs)
+	vw.Floats("a.vals", m.alpha)
+	_, err := vw.WriteTo(w)
+	return err
+}
+
+// Load implements Snapshotter by refusing: mapped models are immutable.
+func (m *MappedPBM) Load(io.Reader) error { return ErrMappedImmutable }
+
+// --- DBN ---
+
+// SaveV2 writes the fitted DBN as a zero-parse v2 artifact.
+func (m *DBN) SaveV2(w io.Writer) error {
+	m.defaults()
+	p, vals := freezePairs([]map[qd]float64{m.AttrA, m.SatS}, []float64{m.PriorA, m.PriorS})
+	var meta bytes.Buffer
+	e := snapshot.NewRawEncoder(&meta)
+	e.Float(m.Gamma)
+	e.Float(m.PriorA)
+	e.Float(m.PriorS)
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	vw := snapshot.NewV2Writer(m.Name())
+	vw.Bytes("meta", meta.Bytes())
+	writePairs(vw, p)
+	vw.Floats("a.vals", vals[0])
+	vw.Floats("s.vals", vals[1])
+	_, err := vw.WriteTo(w)
+	return err
+}
+
+// MappedDBN is a DBN serving view over v2 artifact bytes.
+type MappedDBN struct {
+	pairs          *frozenPairs
+	attr, sat      []float64
+	gamma          float64
+	priorA, priorS float64
+}
+
+// ValidateTables runs the deep O(n) structural checks the mapped
+// constructor defers; verified load paths call it before install.
+func (m *MappedPBM) ValidateTables() error { return m.pairs.validate() }
+
+// DBNFromArtifact wraps a parsed v2 DBN artifact.
+func DBNFromArtifact(a *snapshot.V2Artifact) (*MappedDBN, error) {
+	if !strings.EqualFold(a.ModelName, "DBN") {
+		return nil, fmt.Errorf("clickmodel: artifact holds a %q model, not DBN", a.ModelName)
+	}
+	meta, err := a.BytesView("meta")
+	if err != nil {
+		return nil, err
+	}
+	m := &MappedDBN{}
+	d := snapshot.NewRawDecoder(bytes.NewReader(meta))
+	m.gamma = d.Float()
+	m.priorA = d.Float()
+	m.priorS = d.Float()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if m.pairs, err = pairsFromArtifact(a); err != nil {
+		return nil, err
+	}
+	n := m.pairs.NumPairs()
+	if m.attr, err = pairVals(a, "a.vals", n); err != nil {
+		return nil, err
+	}
+	if m.sat, err = pairVals(a, "s.vals", n); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *MappedDBN) Name() string { return "DBN" }
+
+// ValidateTables runs the deep O(n) structural checks the mapped
+// constructor defers; verified load paths call it before install.
+func (m *MappedDBN) ValidateTables() error { return m.pairs.validate() }
+
+// Fit implements Model by refusing: mapped models are immutable.
+func (m *MappedDBN) Fit([]Session) error { return ErrMappedImmutable }
+
+func (m *MappedDBN) aOf(q, d string) float64 {
+	if id, ok := m.pairs.find(q, d); ok {
+		return m.attr[id]
+	}
+	return m.priorA
+}
+
+func (m *MappedDBN) sOf(q, d string) float64 {
+	if id, ok := m.pairs.find(q, d); ok {
+		return m.sat[id]
+	}
+	return m.priorS
+}
+
+// ClickProbs implements Model.
+func (m *MappedDBN) ClickProbs(s Session) []float64 { return m.ClickProbsInto(s, nil) }
+
+// ClickProbsInto implements InplaceScorer via the same forward
+// examination recursion as DBN.ClickProbsInto, term for term.
+func (m *MappedDBN) ClickProbsInto(s Session, buf []float64) []float64 {
+	out := resizeProbs(buf, len(s.Docs))
+	exam := 1.0
+	for i, d := range s.Docs {
+		a := m.aOf(s.Query, d)
+		sat := m.sOf(s.Query, d)
+		out[i] = exam * a
+		exam *= m.gamma * (a*(1-sat) + (1 - a))
+	}
+	return out
+}
+
+// ExaminationProbs implements Examiner.
+func (m *MappedDBN) ExaminationProbs(s Session) []float64 {
+	out := make([]float64, len(s.Docs))
+	exam := 1.0
+	for i, d := range s.Docs {
+		out[i] = exam
+		a := m.aOf(s.Query, d)
+		sat := m.sOf(s.Query, d)
+		exam *= m.gamma * (a*(1-sat) + (1 - a))
+	}
+	return out
+}
+
+// tailZ is the likelihood of the observed all-skip tail past the last
+// click, marginalising the stop position and (when there is a click)
+// the satisfaction outcome — the z of DBN.tailPosterior with the same
+// accumulation order, so likelihoods agree bit for bit.
+func (m *MappedDBN) tailZ(s Session, last int) float64 {
+	n := len(s.Docs)
+	g := m.gamma
+	var wSat, sum float64
+	if last >= 0 {
+		sat := m.sOf(s.Query, s.Docs[last])
+		wSat = sat
+		cur := 1 - sat
+		for t := last; t < n; t++ {
+			if t > last {
+				cur *= g * (1 - m.aOf(s.Query, s.Docs[t]))
+			}
+			w := cur
+			if t < n-1 {
+				w *= 1 - g
+			}
+			sum += w
+		}
+	} else {
+		cur := 1.0
+		for t := 0; t < n; t++ {
+			if t > 0 {
+				cur *= g
+			}
+			cur *= 1 - m.aOf(s.Query, s.Docs[t])
+			w := cur
+			if t < n-1 {
+				w *= 1 - g
+			}
+			sum += w
+		}
+	}
+	z := wSat + sum
+	if z <= 0 {
+		z = probEps
+	}
+	return z
+}
+
+// SessionLogLikelihood implements Model, mirroring DBN's exact
+// likelihood: certainly-examined prefix plus marginalised tail.
+func (m *MappedDBN) SessionLogLikelihood(s Session) float64 {
+	last := s.LastClick()
+	ll := 0.0
+	for j := 0; j <= last; j++ {
+		a := m.aOf(s.Query, s.Docs[j])
+		if s.Clicks[j] {
+			ll += log(a)
+			if j < last {
+				ll += log((1 - m.sOf(s.Query, s.Docs[j])) * m.gamma)
+			}
+		} else {
+			ll += log(1-a) + log(m.gamma)
+		}
+	}
+	ll += log(m.tailZ(s, last))
+	return ll
+}
+
+// NumParams feeds ParamCount's generic arm (mirrors DBN: pairs twice
+// plus the continuation scalar).
+func (m *MappedDBN) NumParams() int { return len(m.attr) + len(m.sat) + 1 }
+
+// Save implements Snapshotter by re-emitting the v2 sections.
+func (m *MappedDBN) Save(w io.Writer) error {
+	var meta bytes.Buffer
+	e := snapshot.NewRawEncoder(&meta)
+	e.Float(m.gamma)
+	e.Float(m.priorA)
+	e.Float(m.priorS)
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	vw := snapshot.NewV2Writer(m.Name())
+	vw.Bytes("meta", meta.Bytes())
+	writePairs(vw, m.pairs)
+	vw.Floats("a.vals", m.attr)
+	vw.Floats("s.vals", m.sat)
+	_, err := vw.WriteTo(w)
+	return err
+}
+
+// Load implements Snapshotter by refusing: mapped models are immutable.
+func (m *MappedDBN) Load(io.Reader) error { return ErrMappedImmutable }
+
+// --- dispatch ---
+
+// SaveV2Model writes a v2 artifact for any model with zero-parse
+// support (PBM, DBN, and their mapped forms); other models return an
+// error naming the v1 fallback.
+func SaveV2Model(w io.Writer, m Model) error {
+	switch t := m.(type) {
+	case *PBM:
+		return t.SaveV2(w)
+	case *DBN:
+		return t.SaveV2(w)
+	case *MappedPBM:
+		return t.Save(w)
+	case *MappedDBN:
+		return t.Save(w)
+	}
+	return fmt.Errorf("clickmodel: model %q has no v2 (zero-parse) codec; use the v1 snapshot format", m.Name())
+}
+
+// MappedFromArtifact constructs the serving view for the model named in
+// a parsed v2 artifact.
+func MappedFromArtifact(a *snapshot.V2Artifact) (Model, error) {
+	switch strings.ToUpper(a.ModelName) {
+	case "PBM":
+		return PBMFromArtifact(a)
+	case "DBN":
+		return DBNFromArtifact(a)
+	}
+	return nil, fmt.Errorf("clickmodel: artifact model %q has no v2 (zero-parse) support", a.ModelName)
+}

@@ -1,0 +1,259 @@
+package clickmodel
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// v2Mapped round-trips a fitted model through a v2 artifact into its
+// mapped serving view.
+func v2Mapped(t *testing.T, m Model) Model {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveV2Model(&buf, m); err != nil {
+		t.Fatalf("SaveV2Model: %v", err)
+	}
+	a, err := snapshot.ParseV2(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseV2: %v", err)
+	}
+	if err := a.VerifySections(); err != nil {
+		t.Fatalf("VerifySections: %v", err)
+	}
+	mapped, err := MappedFromArtifact(a)
+	if err != nil {
+		t.Fatalf("MappedFromArtifact: %v", err)
+	}
+	return mapped
+}
+
+// TestV2MappedParity fits PBM and DBN, round-trips each through a v2
+// artifact, and pins mapped-vs-map predictions (ClickProbs,
+// SessionLogLikelihood, ExaminationProbs) to 1e-12 on held-out
+// sessions including unseen queries and documents (the prior paths).
+func TestV2MappedParity(t *testing.T) {
+	train := snapSessions(303, 800, 6)
+	eval := snapSessions(404, 80, 6)
+	eval = append(eval,
+		Session{Query: "novel query", Docs: []string{"zz", "yy", "xx"}, Clicks: []bool{true, false, false}},
+		Session{Query: "flights", Docs: []string{"qq", "a", "rr"}, Clicks: []bool{false, true, false}},
+		Session{Query: "hotels", Docs: []string{"solo"}, Clicks: []bool{false}},
+	)
+
+	for _, name := range []string{"PBM", "DBN"} {
+		t.Run(name, func(t *testing.T) {
+			fitted := fitFresh(t, name, train)
+			mapped := v2Mapped(t, fitted)
+			if mapped.Name() != fitted.Name() {
+				t.Fatalf("mapped Name = %q, want %q", mapped.Name(), fitted.Name())
+			}
+			if got, want := ParamCount(mapped), ParamCount(fitted); got != want {
+				t.Fatalf("ParamCount = %d, want %d", got, want)
+			}
+			var buf []float64
+			for i, s := range eval {
+				want := fitted.ClickProbs(s)
+				buf = mapped.(InplaceScorer).ClickProbsInto(s, buf)
+				if len(buf) != len(want) {
+					t.Fatalf("session %d: %d probs, want %d", i, len(buf), len(want))
+				}
+				for j := range want {
+					if math.Abs(buf[j]-want[j]) > 1e-12 {
+						t.Fatalf("session %d pos %d: mapped %v, map %v", i, j, buf[j], want[j])
+					}
+				}
+				if a, b := fitted.SessionLogLikelihood(s), mapped.SessionLogLikelihood(s); math.Abs(a-b) > 1e-12 {
+					t.Fatalf("session %d: LL map %v, mapped %v", i, a, b)
+				}
+				we := fitted.(Examiner).ExaminationProbs(s)
+				ge := mapped.(Examiner).ExaminationProbs(s)
+				for j := range we {
+					if math.Abs(we[j]-ge[j]) > 1e-12 {
+						t.Fatalf("session %d pos %d: exam map %v, mapped %v", j, i, we[j], ge[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestV2MappedReExport round-trips mapped → Save → mapped again and
+// checks predictions are preserved (the replica-sync path re-exports
+// from a mapping).
+func TestV2MappedReExport(t *testing.T) {
+	train := snapSessions(505, 400, 5)
+	eval := snapSessions(606, 30, 5)
+	for _, name := range []string{"PBM", "DBN"} {
+		fitted := fitFresh(t, name, train)
+		mapped := v2Mapped(t, fitted)
+		again := v2Mapped(t, mapped)
+		for _, s := range eval {
+			a := mapped.ClickProbs(s)
+			b := again.ClickProbs(s)
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("%s: re-exported artifact diverges at pos %d: %v vs %v", name, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+func TestV2MappedImmutable(t *testing.T) {
+	fitted := fitFresh(t, "PBM", snapSessions(1, 100, 4))
+	mapped := v2Mapped(t, fitted)
+	if err := mapped.Fit(nil); !errors.Is(err, ErrMappedImmutable) {
+		t.Fatalf("Fit err = %v, want ErrMappedImmutable", err)
+	}
+	if err := mapped.(Snapshotter).Load(bytes.NewReader(nil)); !errors.Is(err, ErrMappedImmutable) {
+		t.Fatalf("Load err = %v, want ErrMappedImmutable", err)
+	}
+}
+
+func TestV2MappedZeroAllocScore(t *testing.T) {
+	fitted := fitFresh(t, "PBM", snapSessions(2, 300, 5))
+	mapped := v2Mapped(t, fitted).(*MappedPBM)
+	s := Session{Query: "flights", Docs: []string{"d1", "d2", "d3", "d4"}, Clicks: make([]bool, 4)}
+	buf := make([]float64, 4)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = mapped.ClickProbsInto(s, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("mapped ClickProbsInto allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestSaveV2ModelUnsupported(t *testing.T) {
+	fitted := fitFresh(t, "UBM", snapSessions(3, 100, 4))
+	var buf bytes.Buffer
+	if err := SaveV2Model(&buf, fitted); err == nil {
+		t.Fatal("SaveV2Model accepted a model with no v2 codec")
+	}
+}
+
+func TestV2MappedRejectsCorruptPairs(t *testing.T) {
+	fitted := fitFresh(t, "DBN", snapSessions(4, 200, 5))
+	var buf bytes.Buffer
+	if err := SaveV2Model(&buf, fitted); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := snapshot.ParseV2(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the artifact with one section dropped or mangled; the
+	// loader must fail closed.
+	rebuild := func(mangle func(tag string, w *snapshot.V2Writer, a *snapshot.V2Artifact) bool) ([]byte, error) {
+		w := snapshot.NewV2Writer("DBN")
+		for _, s := range orig.Sections {
+			if mangle(s.Tag, w, orig) {
+				continue
+			}
+			switch s.Kind {
+			case snapshot.V2Float64:
+				f, _ := orig.FloatsView(s.Tag)
+				w.Floats(s.Tag, f)
+			case snapshot.V2Int32:
+				v, _ := orig.Int32sView(s.Tag)
+				w.Int32s(s.Tag, v)
+			case snapshot.V2Uint32:
+				u, _ := orig.Uint32sView(s.Tag)
+				w.Uint32s(s.Tag, u)
+			default:
+				b, _ := orig.BytesView(s.Tag)
+				w.Bytes(s.Tag, b)
+			}
+		}
+		var out bytes.Buffer
+		if _, err := w.WriteTo(&out); err != nil {
+			return nil, err
+		}
+		return out.Bytes(), nil
+	}
+
+	for _, drop := range []string{"meta", "q.blob", "p.q", "p.tabl", "a.vals", "s.vals"} {
+		b, err := rebuild(func(tag string, w *snapshot.V2Writer, a *snapshot.V2Artifact) bool { return tag == drop })
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := snapshot.ParseV2(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MappedFromArtifact(a); err == nil {
+			t.Errorf("accepted an artifact missing %q", drop)
+		}
+	}
+
+	// Truncated value array (fewer values than pairs).
+	b, err := rebuild(func(tag string, w *snapshot.V2Writer, a *snapshot.V2Artifact) bool {
+		if tag == "a.vals" {
+			f, _ := a.FloatsView(tag)
+			w.Floats(tag, f[:len(f)/2])
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := snapshot.ParseV2(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MappedFromArtifact(a); err == nil {
+		t.Error("accepted a value array shorter than the pair table")
+	}
+
+	// Pair IDs out of vocabulary range: the constructor stays O(1) in
+	// artifact size, so this corruption is NOT caught at wrap time — it
+	// must build, score without panicking (the probe loop degrades to
+	// misses), and fail the deep scan verified loads run before install.
+	b, err = rebuild(func(tag string, w *snapshot.V2Writer, a *snapshot.V2Artifact) bool {
+		if tag == "p.q" {
+			v, _ := a.Int32sView(tag)
+			bad := append([]int32(nil), v...)
+			bad[0] = 1 << 30
+			w.Int32s(tag, bad)
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = snapshot.ParseV2(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MappedFromArtifact(a)
+	if err != nil {
+		t.Fatalf("O(1) constructor rejected deferred-validation corruption: %v", err)
+	}
+	if probs := m.ClickProbs(Session{Query: "q0", Docs: []string{"d0", "d1"}}); len(probs) != 2 {
+		t.Fatalf("corrupt-table scoring returned %d probs, want 2", len(probs))
+	}
+	dv, ok := m.(interface{ ValidateTables() error })
+	if !ok {
+		t.Fatalf("mapped model %T lacks ValidateTables", m)
+	}
+	if err := dv.ValidateTables(); err == nil {
+		t.Error("deep validation accepted out-of-range pair IDs")
+	}
+}
+
+var (
+	_ Model         = (*MappedPBM)(nil)
+	_ InplaceScorer = (*MappedPBM)(nil)
+	_ Examiner      = (*MappedPBM)(nil)
+	_ Snapshotter   = (*MappedPBM)(nil)
+	_ Model         = (*MappedDBN)(nil)
+	_ InplaceScorer = (*MappedDBN)(nil)
+	_ Examiner      = (*MappedDBN)(nil)
+	_ Snapshotter   = (*MappedDBN)(nil)
+)

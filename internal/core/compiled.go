@@ -37,7 +37,11 @@ const (
 type CompiledModel struct {
 	src *Model
 
-	vocab  *textproc.TermVocab
+	// vocab is frozen — flat blob/offsets/table slices with no interior
+	// pointers — so a compiled model is the SAME shape whether Compile
+	// built it on the heap or CompiledFromArtifact wrapped a read-only
+	// file mapping (v2 snapshots). The scoring loop cannot tell.
+	vocab  *textproc.FrozenVocab
 	rel    []float64 // id -> clamped relevance
 	logRel []float64 // id -> log(clamped relevance), precomputed
 
@@ -67,10 +71,9 @@ func clampRel(r float64) float64 {
 func (m *Model) Compile() *CompiledModel {
 	att := m.attention()
 	c := &CompiledModel{
-		src:   m,
-		vocab: textproc.NewTermVocab(len(m.Relevance)),
-		rel:   make([]float64, len(m.Relevance)),
-		att:   att,
+		src: m,
+		rel: make([]float64, len(m.Relevance)),
+		att: att,
 	}
 	if _, ok := att.(FullAttention); ok {
 		c.attFull = true
@@ -83,10 +86,12 @@ func (m *Model) Compile() *CompiledModel {
 	c.defRel = clampRel(def)
 	c.defLogRel = math.Log(c.defRel)
 
+	tv := textproc.NewTermVocab(len(m.Relevance))
 	for t, r := range m.Relevance {
-		id := c.vocab.Add(t)
+		id := tv.Add(t)
 		c.rel[id] = clampRel(r)
 	}
+	c.vocab = textproc.FreezeVocab(tv)
 	c.logRel = make([]float64, len(c.rel))
 	for id, r := range c.rel {
 		c.logRel[id] = math.Log(r)

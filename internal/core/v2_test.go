@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/snapshot"
+	"repro/internal/textproc"
+)
+
+func v2RoundTrip(t *testing.T, c *CompiledModel) *CompiledModel {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.SaveV2(&buf); err != nil {
+		t.Fatalf("SaveV2: %v", err)
+	}
+	a, err := snapshot.ParseV2(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseV2: %v", err)
+	}
+	if err := a.VerifySections(); err != nil {
+		t.Fatalf("VerifySections: %v", err)
+	}
+	mapped, err := CompiledFromArtifact(a)
+	if err != nil {
+		t.Fatalf("CompiledFromArtifact: %v", err)
+	}
+	return mapped
+}
+
+// TestV2CompiledParity is the zero-parse parity property test: across
+// randomised models, snippets and every shipped attention family, a
+// compiled model round-tripped through a v2 artifact scores identically
+// (1e-12, in practice bit-exact — the artifact stores the compiled
+// float memory verbatim).
+func TestV2CompiledParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sc, sc2 textproc.Scratch
+	for trial := 0; trial < 60; trial++ {
+		for _, att := range parityAttentions(rng) {
+			m := randomModel(rng, att)
+			cm := m.Compile()
+			mapped := v2RoundTrip(t, cm)
+			if mapped.Source() != nil {
+				t.Fatal("mapped model claims a fitting source")
+			}
+			if mapped.NumParams() != cm.NumParams() {
+				t.Fatalf("NumParams = %d, want %d", mapped.NumParams(), cm.NumParams())
+			}
+			for i := 0; i < 4; i++ {
+				lines := randomLines(rng, 4, 8)
+				maxN := 1 + rng.Intn(3)
+				wantCTR, wantScore := cm.ScoreSnippet(lines, maxN, &sc)
+				gotCTR, gotScore := mapped.ScoreSnippet(lines, maxN, &sc2)
+				if math.Abs(gotCTR-wantCTR) > 1e-12 || math.Abs(gotScore-wantScore) > 1e-12 {
+					t.Fatalf("trial %d att %T: mapped (%v, %v) vs compiled (%v, %v)\nlines: %q",
+						trial, att, gotCTR, gotScore, wantCTR, wantScore, lines)
+				}
+			}
+		}
+	}
+}
+
+// TestV2ParityVsV1Path pins the mapped scorer against the v1
+// save → load → recompile path end to end, the exact comparison the
+// serving smoke test automates.
+func TestV2ParityVsV1Path(t *testing.T) {
+	m := NewModel(GeometricAttention{LineWeights: []float64{0.9, 0.6, 0.3}, Decay: 0.8})
+	m.Relevance["find cheap"] = 0.85
+	m.Relevance["flights"] = 0.6
+	m.Relevance["cheap flights"] = 0.9
+	m.Relevance["book"] = 0.4
+	m.DefaultRelevance = 0.3
+
+	var v1 bytes.Buffer
+	if err := m.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := LoadModel(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := m1.Compile()
+	mapped := v2RoundTrip(t, m.Compile())
+
+	var sc1, sc2 textproc.Scratch
+	lines := []string{"Find CHEAP flights now!", "book early, save 20%"}
+	for maxN := 1; maxN <= 3; maxN++ {
+		aCTR, aScore := c1.ScoreSnippet(lines, maxN, &sc1)
+		bCTR, bScore := mapped.ScoreSnippet(lines, maxN, &sc2)
+		if math.Abs(aCTR-bCTR) > 1e-12 || math.Abs(aScore-bScore) > 1e-12 {
+			t.Fatalf("maxN %d: v1 path (%v, %v) vs v2 path (%v, %v)", maxN, aCTR, aScore, bCTR, bScore)
+		}
+	}
+}
+
+func TestV2ZeroAllocMapped(t *testing.T) {
+	m := NewModel(GeometricAttention{LineWeights: []float64{0.9, 0.6, 0.3}, Decay: 0.8})
+	m.Relevance["cheap flights"] = 0.9
+	m.Relevance["flights"] = 0.6
+	mapped := v2RoundTrip(t, m.Compile())
+	var sc textproc.Scratch
+	lines := []string{"find cheap flights today", "compare and save"}
+	mapped.ScoreSnippet(lines, 3, &sc) // warm the scratch
+	allocs := testing.AllocsPerRun(200, func() {
+		mapped.ScoreSnippet(lines, 3, &sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("mapped ScoreSnippet allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestCompiledFromArtifactRejects(t *testing.T) {
+	m := NewModel(FullAttention{})
+	m.Relevance["a"] = 0.5
+	var buf bytes.Buffer
+	if err := m.SaveV2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Wrong model name.
+	w := snapshot.NewV2Writer("pbm")
+	w.Bytes("meta", []byte{})
+	var other bytes.Buffer
+	if _, err := w.WriteTo(&other); err != nil {
+		t.Fatal(err)
+	}
+	if a, err := snapshot.ParseV2(other.Bytes()); err != nil {
+		t.Fatal(err)
+	} else if _, err := CompiledFromArtifact(a); err == nil {
+		t.Error("accepted an artifact for a different model")
+	}
+
+	// Drop each section in turn: the loader must fail closed, not
+	// serve partial tables.
+	orig, err := snapshot.ParseV2(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, drop := range []string{"meta", "v.blob", "v.offs", "v.tabl", "rel", "logrel"} {
+		w := snapshot.NewV2Writer(SnapshotName)
+		for _, s := range orig.Sections {
+			if s.Tag == drop {
+				continue
+			}
+			switch s.Tag {
+			case "v.offs":
+				u, _ := orig.Uint32sView(s.Tag)
+				w.Uint32s(s.Tag, u)
+			case "v.tabl":
+				v, _ := orig.Int32sView(s.Tag)
+				w.Int32s(s.Tag, v)
+			case "rel", "logrel", "attw":
+				f, _ := orig.FloatsView(s.Tag)
+				w.Floats(s.Tag, f)
+			default:
+				b, _ := orig.BytesView(s.Tag)
+				w.Bytes(s.Tag, b)
+			}
+		}
+		var out bytes.Buffer
+		if _, err := w.WriteTo(&out); err != nil {
+			t.Fatal(err)
+		}
+		a, err := snapshot.ParseV2(out.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CompiledFromArtifact(a); err == nil {
+			t.Errorf("accepted an artifact missing section %q", drop)
+		}
+	}
+}

@@ -33,9 +33,11 @@
 package engine
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
@@ -46,6 +48,7 @@ import (
 
 	"repro/internal/clickmodel"
 	"repro/internal/core"
+	"repro/internal/mmap"
 	"repro/internal/snapshot"
 )
 
@@ -86,10 +89,16 @@ type modelEntry struct {
 	versions map[int]modelVersion
 }
 
-// modelVersion is one installed scorer plus its metadata.
+// modelVersion is one installed scorer plus its metadata. art is
+// non-nil for scorers whose tables view a mapped v2 artifact: the
+// version table holds the artifact's owner reference, score paths pin
+// it (Retain/Release) around use, and the prune in installLocked drops
+// the owner reference — the mapping is unmapped only when the last
+// pinned reader drains.
 type modelVersion struct {
 	scorer Scorer
 	info   ModelInfo
+	art    *mmap.Artifact
 }
 
 // ModelInfo describes one installed model version — the engine's
@@ -211,8 +220,9 @@ func (e *Engine) requestModel(ref string) string {
 }
 
 // installLocked publishes a new version of name serving s. Caller
-// holds e.mu.
-func (e *Engine) installLocked(name string, s Scorer, source string) ModelInfo {
+// holds e.mu. art, when non-nil, is the mapped artifact backing the
+// scorer; the table takes over its owner reference.
+func (e *Engine) installLocked(name string, s Scorer, source string, art *mmap.Artifact) ModelInfo {
 	cur := e.tab.Load()
 	next := &scorerTable{entries: make(map[string]*modelEntry, len(cur.entries)+1)}
 	for k, v := range cur.entries {
@@ -235,7 +245,7 @@ func (e *Engine) installLocked(name string, s Scorer, source string) ModelInfo {
 		Source:   source,
 		FittedAt: time.Now().UTC(),
 	}
-	ent.versions[ent.maxVer] = modelVersion{scorer: s, info: info}
+	ent.versions[ent.maxVer] = modelVersion{scorer: s, info: info, art: art}
 
 	if e.keep > 0 && len(ent.versions) > e.keep {
 		vers := make([]int, 0, len(ent.versions))
@@ -245,6 +255,16 @@ func (e *Engine) installLocked(name string, s Scorer, source string) ModelInfo {
 		sort.Ints(vers)
 		for _, v := range vers[:len(vers)-e.keep] {
 			if v != ent.latest {
+				// Dropping a mapped version surrenders the table's owner
+				// reference. In-flight requests that pinned the artifact
+				// keep the mapping alive until they Release; requests that
+				// resolved it from an older table generation but have not
+				// pinned yet will fail Retain and re-resolve. Pruning runs
+				// once per version: entry clones share modelVersion values,
+				// but only this canonical (mu-serialised) history deletes.
+				if mv := ent.versions[v]; mv.art != nil {
+					mv.art.Release()
+				}
 				delete(ent.versions, v)
 			}
 		}
@@ -260,16 +280,29 @@ func (e *Engine) installLocked(name string, s Scorer, source string) ModelInfo {
 // validation returns an error (not a panic) because names arrive from
 // the wire via LoadSnapshot.
 func (e *Engine) install(name string, s Scorer, source string) (ModelInfo, error) {
+	return e.installArtifact(name, s, source, nil)
+}
+
+// installArtifact is install carrying a mapped artifact's owner
+// reference; on a rejected install the reference is released so the
+// mapping does not leak.
+func (e *Engine) installArtifact(name string, s Scorer, source string, art *mmap.Artifact) (ModelInfo, error) {
 	key := canonical(name)
 	if key == "" || s == nil {
+		if art != nil {
+			art.Release()
+		}
 		return ModelInfo{}, fmt.Errorf("engine: install needs a name and a scorer")
 	}
 	if strings.ContainsRune(key, '@') {
+		if art != nil {
+			art.Release()
+		}
 		return ModelInfo{}, fmt.Errorf("engine: model name %q must not contain '@' (reserved for version references)", name)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.installLocked(key, s, source), nil
+	return e.installLocked(key, s, source, art), nil
 }
 
 // mustInstall is install for compile-time-known names, where a bad
@@ -484,8 +517,26 @@ func (e *Engine) Rollback(name string) (ModelInfo, error) {
 // version under name; an empty name installs under the model name
 // recorded in the artifact. The swap is atomic: requests in flight
 // keep the version they resolved, later requests see the new one.
+//
+// Both artifact generations are accepted, sniffed by magic: v1
+// ("MBSN") decodes through the varint codec, v2 ("MBS2") is read into
+// anonymous memory, CRC-verified (stream provenance is untrusted) and
+// served zero-parse. For v2 files on disk prefer LoadSnapshotFile,
+// which maps the file instead of copying it.
 func (e *Engine) LoadSnapshot(name string, r io.Reader) (ModelInfo, error) {
-	s, artifactName, err := DecodeScorer(r)
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(4); err == nil && snapshot.IsV2(magic) {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return ModelInfo{}, err
+		}
+		art, err := mmap.FromBytes(data)
+		if err != nil {
+			return ModelInfo{}, err
+		}
+		return e.loadArtifact(name, art, true)
+	}
+	s, artifactName, err := DecodeScorer(br)
 	if err != nil {
 		return ModelInfo{}, err
 	}
@@ -496,23 +547,148 @@ func (e *Engine) LoadSnapshot(name string, r io.Reader) (ModelInfo, error) {
 	return e.install(key, s, "snapshot")
 }
 
+// LoadSnapshotFile installs a model artifact from disk. A v2 artifact
+// is mapped read-only (O(1) in artifact size — the tables are served
+// straight off the page cache) without a checksum pass: local files
+// are trusted the way any loaded code is, and the per-section CRCs
+// remain available via LoadSnapshotFileVerified for artifacts of
+// doubtful provenance. A v1 artifact takes the decode path.
+func (e *Engine) LoadSnapshotFile(name, path string) (ModelInfo, error) {
+	return e.loadSnapshotFile(name, path, false)
+}
+
+// LoadSnapshotFileVerified is LoadSnapshotFile with a full CRC-32C
+// pass over every v2 section before install — one sequential read of
+// the file, the admin-endpoint default for uploaded artifacts.
+func (e *Engine) LoadSnapshotFileVerified(name, path string) (ModelInfo, error) {
+	return e.loadSnapshotFile(name, path, true)
+}
+
+func (e *Engine) loadSnapshotFile(name, path string, verify bool) (ModelInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		f.Close()
+		return ModelInfo{}, fmt.Errorf("engine: %s: %w", path, err)
+	}
+	if !snapshot.IsV2(magic[:]) {
+		// v1: rewind and decode through the varint codec.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return ModelInfo{}, err
+		}
+		info, err := e.LoadSnapshot(name, f)
+		f.Close()
+		return info, err
+	}
+	f.Close()
+	art, err := mmap.Open(path)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return e.loadArtifact(name, art, verify)
+}
+
+// loadArtifact verifies (optionally), wraps and installs a parsed v2
+// artifact. Ownership of art's initial reference transfers to this
+// call: on any failure the artifact is released (unmapped).
+func (e *Engine) loadArtifact(name string, art *mmap.Artifact, verify bool) (ModelInfo, error) {
+	if verify {
+		if err := art.Verify(); err != nil {
+			art.Release()
+			return ModelInfo{}, err
+		}
+	}
+	s, artifactName, err := scorerFromArtifact(art.V2Artifact)
+	if err != nil {
+		art.Release()
+		return ModelInfo{}, err
+	}
+	if verify {
+		// The deep O(n) table scan the trusted path skips: verified
+		// loads fail closed on structurally corrupt probe tables before
+		// anything is installed.
+		if err := validateScorerTables(s); err != nil {
+			art.Release()
+			return ModelInfo{}, err
+		}
+	}
+	key := canonical(name)
+	if key == "" {
+		key = artifactName
+	}
+	return e.installArtifact(key, s, "snapshot", art)
+}
+
+// validateScorerTables runs the mapped tables' deep O(n) structural
+// checks when the scorer exposes them. Constructors keep loads O(1) in
+// artifact size by deferring these scans; the verified path pays for
+// them explicitly.
+func validateScorerTables(s Scorer) error {
+	type deepValidator interface{ ValidateTables() error }
+	switch t := s.(type) {
+	case *MicroScorer:
+		if t.c != nil {
+			return t.c.ValidateTables()
+		}
+	case *ClickModelScorer:
+		if dv, ok := t.M.(deepValidator); ok {
+			return dv.ValidateTables()
+		}
+	}
+	return nil
+}
+
+// scorerFromArtifact builds the serving view over a v2 artifact: the
+// micro model maps to a compiled scorer, click-model artifacts map to
+// their immutable mapped forms. All tables are zero-copy views into
+// the artifact bytes.
+func scorerFromArtifact(a *snapshot.V2Artifact) (Scorer, string, error) {
+	name := canonical(a.ModelName)
+	if name == NameMicro {
+		c, err := core.CompiledFromArtifact(a)
+		if err != nil {
+			return nil, "", err
+		}
+		return NewCompiledMicroScorer(c), name, nil
+	}
+	m, err := clickmodel.MappedFromArtifact(a)
+	if err != nil {
+		return nil, "", err
+	}
+	return NewClickModelScorer(m), name, nil
+}
+
 // SaveSnapshot writes the model a reference resolves to ("pbm",
 // "pbm@2", "micro", empty = engine default) as a binary artifact.
+// Fitted models emit the v1 varint format; mapped (v2-loaded) models
+// re-emit a v2 artifact, since the fitting form no longer exists.
 func (e *Engine) SaveSnapshot(ref string, w io.Writer) error {
-	_, _, s, err := e.resolve(ref)
+	_, _, mv, err := e.resolvePinned(ref)
 	if err != nil {
 		return err
 	}
-	switch t := s.(type) {
+	if mv.art != nil {
+		defer mv.art.Release()
+	}
+	switch t := mv.scorer.(type) {
 	case *ClickModelScorer:
 		if sn, ok := t.M.(clickmodel.Snapshotter); ok {
 			return sn.Save(w)
 		}
 		return fmt.Errorf("engine: click model %q does not implement clickmodel.Snapshotter", t.M.Name())
 	case *MicroScorer:
-		return t.M.Save(w)
+		if t.M != nil {
+			return t.M.Save(w)
+		}
+		if t.c != nil {
+			return t.c.SaveV2(w)
+		}
 	}
-	if sn, ok := s.(interface{ Save(io.Writer) error }); ok {
+	if sn, ok := mv.scorer.(interface{ Save(io.Writer) error }); ok {
 		return sn.Save(w)
 	}
 	return fmt.Errorf("engine: scorer %q is not snapshot-serializable", ref)
@@ -553,29 +729,51 @@ func scorerParams(s Scorer) int {
 	case *ClickModelScorer:
 		return clickmodel.ParamCount(t.M)
 	case *MicroScorer:
-		return t.M.NumParams()
+		if t.M != nil {
+			return t.M.NumParams()
+		}
+		if t.c != nil {
+			return t.c.NumParams()
+		}
+		return 0
 	case interface{ NumParams() int }:
 		return t.NumParams()
 	}
 	return 0
 }
 
-// resolve maps a request's model reference to an installed scorer from
+// Stat resolves a model reference ("pbm", "pbm@2", empty = engine
+// default) and returns the metadata of the version it would score
+// with — the cheap existence-and-version probe behind conditional
+// snapshot exports (ETag / If-None-Match).
+func (e *Engine) Stat(ref string) (ModelInfo, error) {
+	name, version, mv, err := e.resolve(ref)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	info := mv.info
+	if t := e.tab.Load(); t.entries[name] != nil {
+		info.Latest = t.entries[name].latest == version
+	}
+	return info, nil
+}
+
+// resolve maps a request's model reference to an installed version from
 // one atomic load of the table — no locks on the read path. The micro
 // scorer is built (and installed) on demand from the engine's
 // attention option; registry click-model names that were never fitted
 // are rejected with a hint rather than silently scored from priors.
-func (e *Engine) resolve(ref string) (name string, version int, s Scorer, err error) {
+func (e *Engine) resolve(ref string) (name string, version int, mv modelVersion, err error) {
 	name, version, err = parseRef(ref)
 	if err != nil {
-		return "", 0, nil, err
+		return "", 0, modelVersion{}, err
 	}
 	if name == "" {
 		// The default may itself be a versioned reference
 		// (WithDefaultModel("pbm@2")); honour the pin.
 		name, version, err = parseRef(e.defaultModel)
 		if err != nil {
-			return "", 0, nil, fmt.Errorf("engine: bad default model: %w", err)
+			return "", 0, modelVersion{}, fmt.Errorf("engine: bad default model: %w", err)
 		}
 	}
 	t := e.tab.Load()
@@ -585,9 +783,9 @@ func (e *Engine) resolve(ref string) (name string, version int, s Scorer, err er
 			v = ent.latest
 		}
 		if mv, ok := ent.versions[v]; ok {
-			return name, v, mv.scorer, nil
+			return name, v, mv, nil
 		}
-		return name, 0, nil, fmt.Errorf("%w: %q has no installed version %d (latest is %d)", ErrNoModel, name, version, ent.latest)
+		return name, 0, modelVersion{}, fmt.Errorf("%w: %q has no installed version %d (latest is %d)", ErrNoModel, name, version, ent.latest)
 	}
 	if name == NameMicro && version == 0 {
 		// Materialise the default micro scorer on first use.
@@ -596,18 +794,35 @@ func (e *Engine) resolve(ref string) (name string, version int, s Scorer, err er
 		if ent := t.entries[name]; ent != nil {
 			mv := ent.versions[ent.latest]
 			e.mu.Unlock()
-			return name, ent.latest, mv.scorer, nil
+			return name, ent.latest, mv, nil
 		}
-		s = NewMicroScorer(core.NewModel(e.attention))
-		info := e.installLocked(name, s, "register")
+		s := NewMicroScorer(core.NewModel(e.attention))
+		info := e.installLocked(name, s, "register", nil)
 		e.mu.Unlock()
-		return name, info.Version, s, nil
+		return name, info.Version, modelVersion{scorer: s, info: info}, nil
 	}
 	if _, lookupErr := clickmodel.Lookup(name); lookupErr == nil {
-		return name, 0, nil, fmt.Errorf("%w: click model %q is known but not fitted; call Fit(%q, sessions) or LoadSnapshot first", ErrNoModel, name, name)
+		return name, 0, modelVersion{}, fmt.Errorf("%w: click model %q is known but not fitted; call Fit(%q, sessions) or LoadSnapshot first", ErrNoModel, name, name)
 	}
-	return name, 0, nil, fmt.Errorf("%w: unknown model %q (installed: %s; registry: %s)",
+	return name, 0, modelVersion{}, fmt.Errorf("%w: unknown model %q (installed: %s; registry: %s)",
 		ErrNoModel, ref, strings.Join(e.ModelNames(), ", "), strings.Join(clickmodel.Names(), ", "))
+}
+
+// resolvePinned resolves a reference and pins its mapped artifact (when
+// it has one) for the caller, who must Release it after scoring. A
+// failed pin means a hot swap pruned the version between the table load
+// and the Retain — the fresh table is re-resolved; the retry is bounded
+// because each attempt reads a strictly newer table generation.
+func (e *Engine) resolvePinned(ref string) (name string, version int, mv modelVersion, err error) {
+	for attempt := 0; ; attempt++ {
+		name, version, mv, err = e.resolve(ref)
+		if err != nil || mv.art == nil || mv.art.Retain() {
+			return
+		}
+		if attempt == 3 {
+			return name, 0, modelVersion{}, fmt.Errorf("%w: %q version %d was unloaded mid-request", ErrNoModel, name, version)
+		}
+	}
 }
 
 // ScoreCTR scores one request through the scorer its Model field
@@ -623,15 +838,18 @@ func (e *Engine) ScoreCTR(ctx context.Context, req Request) (Response, error) {
 		resp.setErr(err)
 		return resp, err
 	}
-	name, version, s, err := e.resolve(req.Model)
+	name, version, mv, err := e.resolvePinned(req.Model)
 	if err != nil {
 		resp := Response{ID: req.ID, Model: name}
 		resp.setErr(err)
 		return resp, err
 	}
+	if mv.art != nil {
+		defer mv.art.Release()
+	}
 	sc := getScratch()
 	defer putScratch(sc)
-	return e.scoreResolved(ctx, req, name, version, s, sc)
+	return e.scoreResolved(ctx, req, name, version, mv.scorer, sc)
 }
 
 // scoreResolved is the post-resolution half of ScoreCTR. Scorers that
@@ -653,6 +871,56 @@ func (e *Engine) scoreResolved(ctx context.Context, req Request, name string, ve
 	return resp, err
 }
 
+// minParallelBatch is the batch size below which ScoreBatchInto scores
+// inline instead of fanning out.
+const minParallelBatch = 32
+
+// batchState is one scoring strand's memoised model resolution.
+// Batches overwhelmingly score one or two models, so each strand
+// (worker goroutine, or the serial path) memoises its last successful
+// resolution: repeated references skip the ref parse and table lookup,
+// keeping the hot dispatch loop at a string compare per request. The
+// cache lives for one batch only — a hot-swap lands no later than the
+// next ScoreBatch call. Mapped versions are pinned once per cache
+// fill, not per request, so the artifact refcount is off the
+// per-request path; the pin is released when the cache rolls over or
+// the strand drains (release()).
+type batchState struct {
+	ref  string
+	name string
+	ver  int
+	mv   modelVersion
+}
+
+// release drops the strand's artifact pin, if any.
+func (bs *batchState) release() {
+	if bs.mv.art != nil {
+		bs.mv.art.Release()
+		bs.mv.art = nil
+	}
+}
+
+// scoreOne scores one batch element into *out through the strand's
+// memoised resolution.
+func (e *Engine) scoreOne(ctx context.Context, req Request, out *Response, bs *batchState, sc *scratch) {
+	if err := ctx.Err(); err != nil {
+		*out = Response{ID: req.ID, Model: e.requestModel(req.Model)}
+		out.setErr(err)
+		return
+	}
+	if bs.mv.scorer == nil || req.Model != bs.ref {
+		name, version, mv, err := e.resolvePinned(req.Model)
+		if err != nil {
+			*out = Response{ID: req.ID, Model: name}
+			out.setErr(err)
+			return
+		}
+		bs.release() // after the new pin: never drains a shared artifact
+		bs.ref, bs.name, bs.ver, bs.mv = req.Model, name, version, mv
+	}
+	*out, _ = e.scoreResolved(ctx, req, bs.name, bs.ver, bs.mv.scorer, sc)
+}
+
 // ScoreBatch scores every request concurrently over the engine's
 // worker pool and returns responses aligned with the input slice. A
 // request that fails records its error in Response.Err without
@@ -664,10 +932,23 @@ func (e *Engine) scoreResolved(ctx context.Context, req Request, name string, ve
 // serve part of a batch from the old version and part from the new —
 // each response's ModelVersion records which.
 func (e *Engine) ScoreBatch(ctx context.Context, reqs []Request) []Response {
+	return e.ScoreBatchInto(ctx, reqs, nil)
+}
+
+// ScoreBatchInto is ScoreBatch writing into a caller-provided response
+// slice (reused when it has the capacity) — the allocation-free path of
+// the binary protocol, whose per-connection loop recycles one response
+// buffer across frames. Every element of the returned slice is
+// overwritten; stale state in a recycled buffer is never observed.
+func (e *Engine) ScoreBatchInto(ctx context.Context, reqs []Request, out []Response) []Response {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out := make([]Response, len(reqs))
+	if cap(out) >= len(reqs) {
+		out = out[:len(reqs)]
+	} else {
+		out = make([]Response, len(reqs))
+	}
 	if len(reqs) == 0 {
 		return out
 	}
@@ -678,7 +959,27 @@ func (e *Engine) ScoreBatch(ctx context.Context, reqs []Request) []Response {
 	if workers < 1 {
 		workers = 1
 	}
+	if workers == 1 || len(reqs) <= minParallelBatch {
+		// Small batches score inline: below this size the channel and
+		// goroutine fan-out costs more than it buys, and the serial
+		// path allocates nothing — which is what keeps the binary
+		// protocol's per-frame cycle at zero steady-state allocations.
+		sc := getScratch()
+		defer putScratch(sc)
+		var bs batchState
+		defer bs.release()
+		for i := range reqs {
+			e.scoreOne(ctx, reqs[i], &out[i], &bs, sc)
+		}
+		return out
+	}
+	return e.scoreBatchParallel(ctx, reqs, out, workers)
+}
 
+// scoreBatchParallel is ScoreBatchInto's fan-out path. It lives in its
+// own frame so the worker closure's captured variables are not
+// heap-allocated when the serial path runs.
+func (e *Engine) scoreBatchParallel(ctx context.Context, reqs []Request, out []Response, workers int) []Response {
 	// Work is handed out in chunks to amortise channel hops; cancellation
 	// stays per-request because the worker loop checks the context before
 	// each score, so a cancelled batch drains each in-flight chunk with
@@ -699,40 +1000,15 @@ func (e *Engine) ScoreBatch(ctx context.Context, reqs []Request) []Response {
 			// steady-state per-request path allocates nothing.
 			sc := getScratch()
 			defer putScratch(sc)
-			// Batches overwhelmingly score one or two models, so each
-			// worker memoises its last successful resolution: repeated
-			// references skip the ref parse and table lookup, keeping the
-			// hot dispatch loop at a string compare per request. The cache
-			// lives for one batch only — a hot-swap lands no later than
-			// the next ScoreBatch call.
-			var (
-				cacheRef    string
-				cacheName   string
-				cacheVer    int
-				cacheScorer Scorer
-			)
+			var bs batchState
+			defer bs.release()
 			for start := range starts {
 				end := start + chunk
 				if end > len(reqs) {
 					end = len(reqs)
 				}
 				for i := start; i < end; i++ {
-					req := reqs[i]
-					if err := ctx.Err(); err != nil {
-						out[i] = Response{ID: req.ID, Model: e.requestModel(req.Model)}
-						out[i].setErr(err)
-						continue
-					}
-					if cacheScorer == nil || req.Model != cacheRef {
-						name, version, s, err := e.resolve(req.Model)
-						if err != nil {
-							out[i] = Response{ID: req.ID, Model: name}
-							out[i].setErr(err)
-							continue
-						}
-						cacheRef, cacheName, cacheVer, cacheScorer = req.Model, name, version, s
-					}
-					out[i], _ = e.scoreResolved(ctx, req, cacheName, cacheVer, cacheScorer, sc)
+					e.scoreOne(ctx, reqs[i], &out[i], &bs, sc)
 				}
 			}
 		}()

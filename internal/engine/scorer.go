@@ -176,6 +176,19 @@ func NewMicroScorer(m *core.Model) *MicroScorer {
 	return &MicroScorer{M: m, c: m.Compile()}
 }
 
+// NewCompiledMicroScorer wraps an already-compiled model — the mapped
+// (v2 artifact) path, where no fitting form exists. M stays nil; the
+// scorer serves straight off the compiled tables, which may be
+// zero-copy views into a file mapping pinned by the engine's version
+// table.
+func NewCompiledMicroScorer(c *core.CompiledModel) *MicroScorer {
+	return &MicroScorer{c: c}
+}
+
+// Compiled exposes the scorer's compiled form (nil for a literal
+// &MicroScorer{M: m} with no compiled tables).
+func (s *MicroScorer) Compiled() *core.CompiledModel { return s.c }
+
 // ScoreCTR implements Scorer. CTR is the exact expectation of Eq. 3
 // under independent micro-examination,
 //

@@ -1,0 +1,155 @@
+package binproto
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"repro/internal/engine"
+)
+
+// Client is one binary-protocol connection. It is synchronous and not
+// safe for concurrent use: one ScoreBatch at a time per client, one
+// client per goroutine (the protocol itself pipelines by opening more
+// connections, which is exactly what cmd/loadgen does).
+//
+// Decoded responses reuse client-owned buffers, and their strings are
+// zero-copy views into the receive buffer: everything returned by
+// ScoreBatch is valid only until the next call. Callers that retain
+// responses must copy them.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	out       []byte
+	payload   []byte
+	resps     []engine.Response
+	positions []float64
+	hdr       [HeaderSize]byte
+}
+
+// Dial connects a client to a binary-protocol (or muxed) address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReaderSize(conn, 64<<10)}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ScoreBatch sends one score frame and decodes the matching result
+// frame. Per-request failures come back inside each Response.Error;
+// the returned error is connection- or protocol-level.
+func (c *Client) ScoreBatch(reqs []engine.Request) ([]engine.Response, error) {
+	var zeroHdr [HeaderSize]byte
+	c.out = append(c.out[:0], zeroHdr[:]...)
+	var err error
+	if c.out, err = AppendRequests(c.out, reqs); err != nil {
+		return nil, err
+	}
+	putHeader(c.out, FrameScore, len(c.out)-HeaderSize)
+	if _, err := c.conn.Write(c.out); err != nil {
+		return nil, err
+	}
+
+	ftype, payload, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	switch ftype {
+	case FrameResult:
+		return c.decodeResponses(payload)
+	case FrameError:
+		r := reader{b: payload}
+		msg := r.str()
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("binproto: server error: %s", msg)
+	default:
+		return nil, fmt.Errorf("binproto: unexpected frame type %d (want result)", ftype)
+	}
+}
+
+func (c *Client) readFrame() (byte, []byte, error) {
+	if _, err := readFull(c.br, c.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	ftype, n, err := parseHeader(c.hdr[:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if cap(c.payload) < n {
+		c.payload = make([]byte, n)
+	}
+	c.payload = c.payload[:n]
+	if _, err := readFull(c.br, c.payload); err != nil {
+		return 0, nil, err
+	}
+	return ftype, c.payload, nil
+}
+
+func readFull(br *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		k, err := br.Read(p[n:])
+		n += k
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func (c *Client) decodeResponses(payload []byte) ([]engine.Response, error) {
+	r := reader{b: payload}
+	n := int(r.u32())
+	if r.err == nil && n > MaxBatch {
+		return nil, fmt.Errorf("binproto: response batch of %d exceeds the %d limit", n, MaxBatch)
+	}
+	if cap(c.resps) < n {
+		c.resps = make([]engine.Response, n)
+	}
+	c.resps = c.resps[:n]
+	c.positions = c.positions[:0]
+
+	// Positions are collected into one arena first (append may move
+	// it), then sliced out once it is final.
+	type posSpan struct{ start, n int }
+	pspans := make([]posSpan, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		resp := &c.resps[i]
+		*resp = engine.Response{}
+		resp.ID = r.str()
+		resp.Model = r.str()
+		resp.ModelVersion = int(r.u32())
+		resp.CTR = r.f64()
+		resp.Score = r.f64()
+		np := int(r.u16())
+		pspans[i] = posSpan{start: len(c.positions), n: np}
+		for j := 0; j < np && r.err == nil; j++ {
+			c.positions = append(c.positions, r.f64())
+		}
+		resp.Error = r.str()
+		if resp.Error != "" {
+			resp.Err = fmt.Errorf("%s", resp.Error)
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	for i := range c.resps {
+		if pspans[i].n > 0 {
+			c.resps[i].Positions = c.positions[pspans[i].start : pspans[i].start+pspans[i].n : pspans[i].start+pspans[i].n]
+		}
+	}
+	return c.resps, nil
+}

@@ -1,0 +1,157 @@
+package binproto
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+// Mux splits one listener between the binary protocol and HTTP by
+// sniffing each connection's first four bytes: "MBSP" connections are
+// served by the binary server on their own goroutines, everything
+// else (an HTTP method line never starts with "MBSP") is surfaced
+// through Mux's own net.Listener interface for http.Serve. One port,
+// two protocols — deploys choose a wire format per client, not per
+// endpoint.
+type Mux struct {
+	inner net.Listener
+	bin   *Server
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	conns chan net.Conn
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+// sniffTimeout bounds how long an accepted connection may sit silent
+// before its first bytes classify it; a client that connects and
+// sends nothing is dropped rather than pinned forever.
+const sniffTimeout = 10 * time.Second
+
+// NewMux starts sniffing inner. Binary connections are handed to bin;
+// the returned Mux is the listener to pass to http.Serve for the
+// rest. Closing the Mux closes inner and stops the accept loop;
+// in-flight binary connections drain on their own goroutines.
+func NewMux(inner net.Listener, bin *Server) *Mux {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Mux{
+		inner:  inner,
+		bin:    bin,
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  make(chan net.Conn),
+	}
+	go m.acceptLoop()
+	return m
+}
+
+func (m *Mux) acceptLoop() {
+	for {
+		c, err := m.inner.Accept()
+		if err != nil {
+			m.mu.Lock()
+			if m.err == nil {
+				m.err = err
+			}
+			m.mu.Unlock()
+			m.cancel()
+			return
+		}
+		go m.sniff(c)
+	}
+}
+
+// sniff classifies one connection and routes it. The read deadline
+// covers only the magic bytes; once classified the connection's pace
+// belongs to its protocol handler.
+func (m *Mux) sniff(c net.Conn) {
+	var magic [4]byte
+	c.SetReadDeadline(time.Now().Add(sniffTimeout))
+	n, err := readAtLeast(c, magic[:])
+	c.SetReadDeadline(time.Time{})
+	if err != nil && n == 0 {
+		c.Close()
+		return
+	}
+	rc := &replayConn{Conn: c, pre: magic[:n]}
+	if IsMagic(magic[:n]) {
+		m.bin.ServeConn(m.ctx, rc)
+		return
+	}
+	select {
+	case m.conns <- rc:
+	case <-m.ctx.Done():
+		c.Close()
+	}
+}
+
+// readAtLeast fills buf fully when it can but tolerates a short read
+// followed by EOF (a probe that sent fewer than 4 bytes still gets
+// classified as non-binary and handed to HTTP, which answers with a
+// proper 400).
+func readAtLeast(c net.Conn, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		k, err := c.Read(buf[n:])
+		n += k
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Accept implements net.Listener, yielding the non-binary connections.
+func (m *Mux) Accept() (net.Conn, error) {
+	select {
+	case c := <-m.conns:
+		return c, nil
+	case <-m.ctx.Done():
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.err != nil {
+			return nil, m.err
+		}
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	err := m.inner.Close()
+	m.cancel()
+	return err
+}
+
+// Addr implements net.Listener.
+func (m *Mux) Addr() net.Addr { return m.inner.Addr() }
+
+// replayConn replays the sniffed bytes ahead of the live stream, so
+// both protocol handlers see the connection from byte zero.
+type replayConn struct {
+	net.Conn
+	pre []byte
+}
+
+func (r *replayConn) Read(p []byte) (int, error) {
+	if len(r.pre) > 0 {
+		n := copy(p, r.pre)
+		r.pre = r.pre[n:]
+		return n, nil
+	}
+	return r.Conn.Read(p)
+}
+
+var _ net.Listener = (*Mux)(nil)

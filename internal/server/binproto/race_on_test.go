@@ -1,0 +1,5 @@
+//go:build race
+
+package binproto
+
+const raceEnabled = true

@@ -1,0 +1,263 @@
+package binproto
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync/atomic"
+
+	"repro/internal/clickmodel"
+	"repro/internal/engine"
+)
+
+// Server speaks the binary protocol over accepted connections,
+// scoring batches through one Engine. It carries no per-connection
+// state itself — ServeConn owns a connState for the connection's
+// lifetime — so one Server instance serves any number of connections.
+type Server struct {
+	eng *engine.Engine
+	log *log.Logger
+
+	frames   atomic.Uint64
+	requests atomic.Uint64
+	errs     atomic.Uint64
+}
+
+// NewServer returns a binary-protocol server over eng. logger may be
+// nil (discards).
+func NewServer(eng *engine.Engine, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{eng: eng, log: logger}
+}
+
+// Counters is a point-in-time snapshot of the binary surface's
+// traffic, the analogue of the HTTP metrics block.
+type Counters struct {
+	Frames   uint64 `json:"frames"`
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+}
+
+// Counters reports frames served, requests scored and connection
+// errors since start.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Frames:   s.frames.Load(),
+		Requests: s.requests.Load(),
+		Errors:   s.errs.Load(),
+	}
+}
+
+// span records where one request's variable-length evidence landed in
+// the connection arenas, so slices are taken only after the arenas
+// stop growing (append may move the backing array).
+type span struct {
+	req   int
+	start int
+	n     int
+}
+
+// sessSpan is span for macro evidence: one session's query plus its
+// doc and click ranges.
+type sessSpan struct {
+	req    int
+	query  string
+	dstart int
+	ndocs  int
+	cstart int
+}
+
+// connState is the per-connection working set: the frame buffer, the
+// decoded request batch, the response batch and the evidence arenas.
+// Everything is reused frame over frame, so a warm connection's score
+// cycle allocates nothing.
+type connState struct {
+	hdr     [HeaderSize]byte
+	payload []byte
+	out     []byte
+
+	reqs  []engine.Request
+	resps []engine.Response
+
+	lines     []string
+	lineSpans []span
+	docs      []string
+	clicks    []bool
+	sessions  []clickmodel.Session
+	sessSpans []sessSpan
+}
+
+// decodeRequests rebuilds the request batch from a score payload.
+// Strings are zero-copy views into st.payload: valid until the next
+// frame is read, which is after the batch is fully scored and the
+// responses encoded.
+func (st *connState) decodeRequests(payload []byte) ([]engine.Request, error) {
+	r := reader{b: payload}
+	n := int(r.u32())
+	if r.err == nil && n > MaxBatch {
+		return nil, fmt.Errorf("binproto: batch of %d requests exceeds the %d limit; split it", n, MaxBatch)
+	}
+	if cap(st.reqs) < n {
+		st.reqs = make([]engine.Request, n)
+	}
+	st.reqs = st.reqs[:n]
+	st.lines = st.lines[:0]
+	st.lineSpans = st.lineSpans[:0]
+	st.docs = st.docs[:0]
+	st.clicks = st.clicks[:0]
+	st.sessions = st.sessions[:0]
+	st.sessSpans = st.sessSpans[:0]
+
+	for i := 0; i < n && r.err == nil; i++ {
+		req := &st.reqs[i]
+		*req = engine.Request{}
+		req.ID = r.str()
+		req.Model = r.str()
+		req.MaxN = int(r.u8())
+		switch kind := r.u8(); kind {
+		case evLines:
+			nl := int(r.u16())
+			start := len(st.lines)
+			for j := 0; j < nl && r.err == nil; j++ {
+				st.lines = append(st.lines, r.str())
+			}
+			st.lineSpans = append(st.lineSpans, span{req: i, start: start, n: nl})
+		case evSession:
+			ss := sessSpan{req: i, query: r.str()}
+			ss.ndocs = int(r.u16())
+			ss.dstart = len(st.docs)
+			for j := 0; j < ss.ndocs && r.err == nil; j++ {
+				st.docs = append(st.docs, r.str())
+			}
+			ss.cstart = len(st.clicks)
+			bits := r.bytes((ss.ndocs + 7) / 8)
+			for j := 0; j < ss.ndocs && r.err == nil; j++ {
+				st.clicks = append(st.clicks, bits[j/8]&(1<<(j%8)) != 0)
+			}
+			st.sessSpans = append(st.sessSpans, ss)
+		default:
+			if r.err == nil {
+				return nil, fmt.Errorf("binproto: request %d: unknown evidence kind %d", i, kind)
+			}
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+
+	// The arenas are final; now the slices they back cannot move.
+	for _, s := range st.lineSpans {
+		st.reqs[s.req].Lines = st.lines[s.start : s.start+s.n : s.start+s.n]
+	}
+	for _, ss := range st.sessSpans {
+		st.sessions = append(st.sessions, clickmodel.Session{
+			Query:  ss.query,
+			Docs:   st.docs[ss.dstart : ss.dstart+ss.ndocs : ss.dstart+ss.ndocs],
+			Clicks: st.clicks[ss.cstart : ss.cstart+ss.ndocs : ss.cstart+ss.ndocs],
+		})
+	}
+	for k, ss := range st.sessSpans {
+		st.reqs[ss.req].Session = &st.sessions[k]
+	}
+	return st.reqs, nil
+}
+
+// process runs one score cycle with no I/O: decode the payload, score
+// the batch, encode the result frame (header included) into st.out.
+// Split from ServeConn so the zero-allocation property is testable
+// directly with testing.AllocsPerRun.
+func (s *Server) process(ctx context.Context, st *connState, payload []byte) error {
+	reqs, err := st.decodeRequests(payload)
+	if err != nil {
+		return err
+	}
+	s.requests.Add(uint64(len(reqs)))
+	st.resps = s.eng.ScoreBatchInto(ctx, reqs, st.resps)
+	var zeroHdr [HeaderSize]byte
+	st.out = append(st.out[:0], zeroHdr[:]...)
+	st.out, err = AppendResponses(st.out, st.resps)
+	if err != nil {
+		return err
+	}
+	putHeader(st.out, FrameResult, len(st.out)-HeaderSize)
+	return nil
+}
+
+// readFrame reads one frame into the connection buffers and returns
+// its type and payload view.
+func (st *connState) readFrame(br *bufio.Reader) (byte, []byte, error) {
+	if _, err := io.ReadFull(br, st.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	ftype, n, err := parseHeader(st.hdr[:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if cap(st.payload) < n {
+		st.payload = make([]byte, n)
+	}
+	st.payload = st.payload[:n]
+	if _, err := io.ReadFull(br, st.payload); err != nil {
+		return 0, nil, fmt.Errorf("binproto: reading %d-byte payload: %w", n, err)
+	}
+	return ftype, st.payload, nil
+}
+
+// writeError sends a best-effort error frame; the connection closes
+// right after, so a failed write is not itself an error.
+func writeError(conn net.Conn, msg string) {
+	if len(msg) > maxStr {
+		msg = msg[:maxStr]
+	}
+	buf := make([]byte, HeaderSize, HeaderSize+2+len(msg))
+	buf, _ = appendStr16(buf, msg)
+	putHeader(buf, FrameError, len(buf)-HeaderSize)
+	conn.Write(buf)
+}
+
+// ServeConn runs the request/response loop until the peer closes,
+// the context is cancelled, or a protocol error makes the stream
+// unrecoverable. It owns conn and closes it on return.
+func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	st := &connState{}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		ftype, payload, err := st.readFrame(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
+				s.errs.Add(1)
+				s.log.Printf("binproto %s: %v", conn.RemoteAddr(), err)
+				writeError(conn, err.Error())
+			}
+			return
+		}
+		if ftype != FrameScore {
+			s.errs.Add(1)
+			writeError(conn, fmt.Sprintf("binproto: unexpected frame type %d (want score)", ftype))
+			return
+		}
+		s.frames.Add(1)
+		if err := s.process(ctx, st, payload); err != nil {
+			s.errs.Add(1)
+			s.log.Printf("binproto %s: %v", conn.RemoteAddr(), err)
+			writeError(conn, err.Error())
+			return
+		}
+		if _, err := conn.Write(st.out); err != nil {
+			return
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 type rateLimiter struct {
 	rate  float64 // tokens per second
 	burst float64
+	ttl   time.Duration // idle-bucket eviction horizon
 
 	mu        sync.Mutex
 	clients   map[string]*bucket
@@ -47,6 +48,13 @@ const maxClients = 1 << 16
 // sweepEvery is how often allowN scans for reclaimable buckets.
 const sweepEvery = time.Minute
 
+// defaultClientTTL is how long an idle client's bucket is remembered
+// before eviction. A bucket below full never self-evicts through the
+// refill rule alone (a client that sent one burst and vanished under a
+// slow refill rate would be tracked for hours), so idleness itself is
+// the bound that actually caps the map.
+const defaultClientTTL = 10 * time.Minute
+
 func newRateLimiter(rate float64, burst int) *rateLimiter {
 	if burst < 1 {
 		burst = 1
@@ -54,6 +62,7 @@ func newRateLimiter(rate float64, burst int) *rateLimiter {
 	return &rateLimiter{
 		rate:    rate,
 		burst:   float64(burst),
+		ttl:     defaultClientTTL,
 		clients: make(map[string]*bucket),
 		now:     time.Now,
 	}
@@ -98,12 +107,22 @@ func (rl *rateLimiter) allowN(key string, n int) (ok bool, retryAfter time.Durat
 	return false, wait
 }
 
-// sweepLocked drops buckets that are full again (idle long enough to
-// have fully refilled): forgetting them is free, their next request
-// recreates an identical bucket. Caller holds rl.mu.
+// sweepLocked drops reclaimable buckets: ones that are full again
+// (idle long enough to have fully refilled — forgetting them is free,
+// their next request recreates an identical bucket) and ones idle past
+// the TTL regardless of balance. The TTL eviction forgives at most
+// burst tokens of debt per TTL window per client, a bounded and
+// documented leniency; without it a partially-drained bucket under a
+// slow refill rate would pin a map entry near-indefinitely. Caller
+// holds rl.mu.
 func (rl *rateLimiter) sweepLocked(now time.Time) {
 	for key, b := range rl.clients {
-		if math.Min(rl.burst, b.tokens+now.Sub(b.at).Seconds()*rl.rate) >= rl.burst {
+		idle := now.Sub(b.at)
+		if rl.ttl > 0 && idle >= rl.ttl {
+			delete(rl.clients, key)
+			continue
+		}
+		if math.Min(rl.burst, b.tokens+idle.Seconds()*rl.rate) >= rl.burst {
 			delete(rl.clients, key)
 		}
 	}

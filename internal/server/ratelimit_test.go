@@ -75,6 +75,72 @@ func TestRateLimiterSweep(t *testing.T) {
 	}
 }
 
+// TestRateLimiterIdleTTLEviction is the memory-bound test: a client
+// whose bucket can never refill to full (slow rate, deep debt) must
+// still be evicted once idle past the TTL — otherwise one burst from
+// each of an open-ended client population pins map entries for hours.
+func TestRateLimiterIdleTTLEviction(t *testing.T) {
+	clk := newFakeClock()
+	rl := newRateLimiter(0.01, 1000) // full refill takes ~28 hours
+	rl.ttl = 5 * time.Minute
+	withClock(rl, clk)
+
+	for i := 0; i < 50; i++ {
+		rl.allowN(fmt.Sprintf("c%d", i), 1000) // drain each bucket fully
+	}
+	if rl.size() != 50 {
+		t.Fatalf("tracked %d clients, want 50", rl.size())
+	}
+
+	// One sweep interval later the buckets are nowhere near refilled
+	// and still inside the TTL: nothing may be evicted.
+	clk.advance(time.Minute)
+	rl.allowN("keepalive", 1)
+	if n := rl.size(); n != 51 {
+		t.Fatalf("pre-TTL sweep evicted: %d clients, want 51", n)
+	}
+
+	// Past the TTL the idle 50 go; the recently-active keepalive and
+	// the fresh client stay.
+	clk.advance(5 * time.Minute)
+	rl.allowN("keepalive", 1)
+	if n := rl.size(); n != 1 {
+		t.Fatalf("TTL sweep left %d clients, want just keepalive", n)
+	}
+
+	// ttl <= 0 disables idle eviction entirely.
+	rl2 := newRateLimiter(0.01, 1000)
+	rl2.ttl = 0
+	clk2 := newFakeClock()
+	withClock(rl2, clk2)
+	rl2.allowN("x", 1000)
+	clk2.advance(24 * time.Hour) // refill completes at ~28h
+	rl2.allowN("y", 1)
+	if n := rl2.size(); n != 2 {
+		t.Fatalf("disabled TTL still evicted: %d clients, want 2", n)
+	}
+}
+
+// TestWithFeedbackClientTTL pins the option plumbing in either order
+// relative to WithFeedbackRateLimit.
+func TestWithFeedbackClientTTL(t *testing.T) {
+	s := New(engine.New(), nil,
+		WithFeedbackClientTTL(42*time.Second),
+		WithFeedbackRateLimit(10, 10))
+	if s.limiter.ttl != 42*time.Second {
+		t.Fatalf("ttl = %v, want 42s (option before limiter)", s.limiter.ttl)
+	}
+	s = New(engine.New(), nil,
+		WithFeedbackRateLimit(10, 10),
+		WithFeedbackClientTTL(42*time.Second))
+	if s.limiter.ttl != 42*time.Second {
+		t.Fatalf("ttl = %v, want 42s (option after limiter)", s.limiter.ttl)
+	}
+	if s2 := New(engine.New(), nil, WithFeedbackRateLimit(10, 10)); s2.limiter.ttl != defaultClientTTL {
+		t.Fatalf("default ttl = %v, want %v", s2.limiter.ttl, defaultClientTTL)
+	}
+}
+
 func TestClientKey(t *testing.T) {
 	r := httptest.NewRequest(http.MethodPost, "/v1/feedback", nil)
 	r.RemoteAddr = "10.1.2.3:5555"

@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,13 +59,14 @@ const maxBatchItems = 10000
 // Server serves one Engine (and optionally one online Learner) over
 // HTTP.
 type Server struct {
-	eng     *engine.Engine
-	learner *stream.Learner
-	wal     *wal.WAL
-	limiter *rateLimiter
-	mux     *http.ServeMux
-	log     *log.Logger
-	met     metrics
+	eng        *engine.Engine
+	learner    *stream.Learner
+	wal        *wal.WAL
+	limiter    *rateLimiter
+	limiterTTL *time.Duration // nil = limiter default
+	mux        *http.ServeMux
+	log        *log.Logger
+	met        metrics
 }
 
 // Option configures a Server at construction time.
@@ -95,6 +97,14 @@ func WithFeedbackRateLimit(eventsPerSec float64, burst int) Option {
 	}
 }
 
+// WithFeedbackClientTTL sets how long an idle client's rate-limit
+// bucket is remembered before the sweep evicts it (default 10m; <= 0
+// disables idle eviction, leaving only full-bucket reclamation). Order
+// with WithFeedbackRateLimit does not matter.
+func WithFeedbackClientTTL(ttl time.Duration) Option {
+	return func(s *Server) { s.limiterTTL = &ttl }
+}
+
 // New returns a Server routing to eng. logger may be nil (discards).
 func New(eng *engine.Engine, logger *log.Logger, opts ...Option) *Server {
 	if logger == nil {
@@ -103,6 +113,9 @@ func New(eng *engine.Engine, logger *log.Logger, opts ...Option) *Server {
 	s := &Server{eng: eng, mux: http.NewServeMux(), log: logger}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.limiter != nil && s.limiterTTL != nil {
+		s.limiter.ttl = *s.limiterTTL
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -113,6 +126,7 @@ func New(eng *engine.Engine, logger *log.Logger, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}/load", s.handleLoad)
 	s.mux.HandleFunc("POST /v1/models/{name}/rollback", s.handleRollback)
 	s.mux.HandleFunc("POST /v1/models/{name}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/models/{name}/snapshot", s.handleSnapshotGet)
 	return s
 }
 
@@ -444,6 +458,65 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.met.snapshots.Add(1)
 	s.log.Printf("exported %s to %s (%d bytes)", name, req.Path, n)
 	s.writeJSON(w, http.StatusOK, snapshotResponse{Model: name, Path: req.Path, Bytes: n})
+}
+
+// handleSnapshotGet streams the referenced model's artifact over the
+// wire (GET /v1/models/{name}/snapshot, path accepts "name" or
+// "name@version"). The response carries a strong ETag — the resolved
+// name@version, which uniquely identifies immutable installed
+// parameters — plus Content-Length, and honours If-None-Match with
+// 304: a replica polling for changes pays two table lookups and zero
+// serialisation until the version actually moves.
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, err := s.eng.Stat(name)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "snapshot: %v", err)
+		return
+	}
+	etag := `"` + info.Ref() + `"`
+	w.Header().Set("ETag", etag)
+	if matchesETag(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	// Serialise the exact version the probe saw: a hot swap between
+	// Stat and export must not ship bytes that contradict the ETag.
+	var buf bytes.Buffer
+	if err := s.eng.SaveSnapshot(info.Ref(), &buf); err != nil {
+		w.Header().Del("ETag")
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, engine.ErrNoModel) {
+			status = http.StatusNotFound
+		}
+		s.writeError(w, status, "snapshot: %v", err)
+		return
+	}
+	s.met.snapshots.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// matchesETag implements the If-None-Match grammar the export needs:
+// "*", or a comma-separated list of entity tags, compared weakly (a
+// W/ prefix on either side is ignored — RFC 9110's comparison for
+// If-None-Match).
+func matchesETag(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	etag = strings.TrimPrefix(etag, "W/")
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimPrefix(strings.TrimSpace(part), "W/") == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // countingWriter reports how many artifact bytes an export produced.

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -603,5 +605,119 @@ func TestHealthzCounters(t *testing.T) {
 	}
 	if _, ok := generic["stream"]; ok {
 		t.Errorf("stream counters leaked without a learner: %v", generic)
+	}
+}
+
+// TestSnapshotExportGet covers the replica-sync surface: GET export
+// with ETag (the resolved name@version), Content-Length, and
+// If-None-Match → 304 until the served version moves.
+func TestSnapshotExportGet(t *testing.T) {
+	ts, eng, _ := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/v1/models/pbm/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET snapshot: %d (%s)", resp.StatusCode, body)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag != `"pbm@1"` {
+		t.Fatalf("ETag = %q, want %q", etag, `"pbm@1"`)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(body)) {
+		t.Fatalf("Content-Length %q, body is %d bytes", cl, len(body))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// The exported bytes are a loadable artifact.
+	e2 := engine.New()
+	if _, err := e2.LoadSnapshot("", bytes.NewReader(body)); err != nil {
+		t.Fatalf("exported artifact does not load: %v", err)
+	}
+
+	// Conditional poll: unchanged version → 304 with no body.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/models/pbm/snapshot", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET: %d, want 304", resp2.StatusCode)
+	}
+	if len(b2) != 0 {
+		t.Fatalf("304 carried %d body bytes", len(b2))
+	}
+	if resp2.Header.Get("ETag") != etag {
+		t.Fatalf("304 ETag = %q, want %q", resp2.Header.Get("ETag"), etag)
+	}
+
+	// Install a new version: the same conditional poll now gets fresh
+	// bytes and a new tag.
+	if _, err := eng.Fit("pbm", testSessions(100), engine.Iterations(3)); err != nil {
+		t.Fatal(err)
+	}
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap conditional GET: %d, want 200", resp3.StatusCode)
+	}
+	if got := resp3.Header.Get("ETag"); got != `"pbm@2"` {
+		t.Fatalf("post-swap ETag = %q, want %q", got, `"pbm@2"`)
+	}
+
+	// Unknown model → 404.
+	resp4, err := http.Get(ts.URL + "/v1/models/bogus/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp4.Body)
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model GET: %d, want 404", resp4.StatusCode)
+	}
+
+	// Version-pinned export stays addressable after the swap.
+	resp5, err := http.Get(ts.URL + "/v1/models/pbm@1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp5.Body)
+	resp5.Body.Close()
+	if resp5.StatusCode != http.StatusOK || resp5.Header.Get("ETag") != `"pbm@1"` {
+		t.Fatalf("pinned export: %d / ETag %q", resp5.StatusCode, resp5.Header.Get("ETag"))
+	}
+}
+
+func TestMatchesETag(t *testing.T) {
+	cases := []struct {
+		header, etag string
+		want         bool
+	}{
+		{"", `"a@1"`, false},
+		{`"a@1"`, `"a@1"`, true},
+		{`"a@2"`, `"a@1"`, false},
+		{"*", `"a@1"`, true},
+		{`"x", "a@1"`, `"a@1"`, true},
+		{`W/"a@1"`, `"a@1"`, true},
+	}
+	for _, c := range cases {
+		if got := matchesETag(c.header, c.etag); got != c.want {
+			t.Errorf("matchesETag(%q, %q) = %v, want %v", c.header, c.etag, got, c.want)
+		}
 	}
 }

@@ -13,6 +13,9 @@
 #   engine     — BenchmarkEngineScoreBatch/* (batch read path), BENCH_engine.json
 #   micro      — BenchmarkMicroScore/* + BenchmarkExtractTermsPath/*
 #                (compiled micro kernel vs map path), BENCH_engine.json
+#   serve      — BenchmarkServeProtocol/* (JSON vs MBSP binary framing
+#                over real TCP) + BenchmarkSnapshotLoad/* (v1 decode vs
+#                v2 mmap at 1/10/100MB artifacts), BENCH_engine.json
 #   stream     — BenchmarkStream* (online-loop ingest / fold / publish),
 #                BENCH_stream.json
 #   wal        — BenchmarkWAL* (feedback-log append per fsync policy,
@@ -37,7 +40,7 @@ while getopts "s:t:o:l:h" opt; do
     o) out="$OPTARG" ;;
     l) label="$OPTARG" ;;
     h)
-      sed -n '2,17p' "$0"
+      sed -n '2,22p' "$0"
       exit 0
       ;;
     *) exit 2 ;;
@@ -48,9 +51,10 @@ case "$suite" in
   clickmodel) pattern="ClickModel"; default_out="BENCH_clickmodel.json" ;;
   engine)     pattern="EngineScoreBatch"; default_out="BENCH_engine.json" ;;
   micro)      pattern="MicroScore|ExtractTermsPath"; default_out="BENCH_engine.json" ;;
+  serve)      pattern="ServeProtocol|SnapshotLoad"; default_out="BENCH_engine.json" ;;
   stream)     pattern="Stream"; default_out="BENCH_stream.json" ;;
   wal)        pattern="WAL"; default_out="BENCH_wal.json" ;;
-  *) echo "bench.sh: unknown suite $suite (clickmodel, engine, micro, stream, wal)" >&2; exit 2 ;;
+  *) echo "bench.sh: unknown suite $suite (clickmodel, engine, micro, serve, stream, wal)" >&2; exit 2 ;;
 esac
 out="${out:-$default_out}"
 

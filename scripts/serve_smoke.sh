@@ -69,6 +69,47 @@ check hot-swap "$(curl -fs -X POST "http://$addr/v1/models/pbm/load" \
   -d "{\"path\":\"$workdir/pbm.bin\"}")" '"version":2'
 check rollback "$(curl -fs -X POST "http://$addr/v1/models/pbm/rollback" -d '{}')" '"version":1'
 
+# --- v2 zero-parse round trip: conv → mmap load → parity → export ---
+echo "serve_smoke: v2 zero-parse round trip"
+score_ctr() {
+  curl -fs -X POST "http://$addr/v1/score" \
+    -d '{"id":"rt","model":"pbm","session":{"query":"q","docs":["a","b","c"],"clicks":[false,false,false]}}' \
+    | sed -n 's/.*"ctr":\([0-9.eE+-]*\).*/\1/p'
+}
+base_ctr=$(score_ctr)
+[ -n "$base_ctr" ] || { echo "serve_smoke: baseline score failed" >&2; exit 1; }
+cp "$workdir/pbm.bin" "$workdir/pbm-v2.bin"
+"$workdir/clickmodelfit" -conv "$workdir/pbm-v2.bin" >/dev/null 2>&1
+[ "$(head -c 4 "$workdir/pbm-v2.bin")" = "MBS2" ] || { echo "serve_smoke: -conv did not produce a v2 artifact" >&2; exit 1; }
+check v2-load "$(curl -fs -X POST "http://$addr/v1/models/pbm/load" \
+  -d "{\"path\":\"$workdir/pbm-v2.bin\"}")" '"name":"pbm"'
+v2_ctr=$(score_ctr)
+if [ "$v2_ctr" != "$base_ctr" ]; then
+  echo "serve_smoke: v2 score parity FAILED: v1 $base_ctr vs mapped $v2_ctr" >&2
+  exit 1
+fi
+# Export the mapped model back out through the replica-sync surface:
+# the bytes must be a v2 artifact, the ETag must round-trip as a 304,
+# and reloading the export must preserve the score exactly.
+curl -fs -D "$workdir/snap.hdr" -o "$workdir/pbm-exported.bin" "http://$addr/v1/models/pbm/snapshot"
+etag=$(grep -i '^etag:' "$workdir/snap.hdr" | tr -d '\r' | cut -d' ' -f2)
+[ -n "$etag" ] || { echo "serve_smoke: snapshot export carried no ETag" >&2; exit 1; }
+code=$(curl -fs -o /dev/null -w '%{http_code}' -H "If-None-Match: $etag" "http://$addr/v1/models/pbm/snapshot")
+[ "$code" = "304" ] || { echo "serve_smoke: If-None-Match $etag got $code, want 304" >&2; exit 1; }
+[ "$(head -c 4 "$workdir/pbm-exported.bin")" = "MBS2" ] || { echo "serve_smoke: mapped export is not a v2 artifact" >&2; exit 1; }
+check v2-reload "$(curl -fs -X POST "http://$addr/v1/models/pbm/load" \
+  -d "{\"path\":\"$workdir/pbm-exported.bin\"}")" '"name":"pbm"'
+reload_ctr=$(score_ctr)
+if [ "$reload_ctr" != "$base_ctr" ]; then
+  echo "serve_smoke: exported-artifact parity FAILED: $base_ctr vs $reload_ctr" >&2
+  exit 1
+fi
+echo "serve_smoke: v2 round trip ok (ctr $base_ctr preserved across conv/export/reload)"
+
+echo "serve_smoke: binary-protocol score traffic through the shared port"
+"$workdir/loadgen" -addr "http://$addr" -sessions 400 -batch 100 -clients 2 \
+  -score-every 1 -score-model pbm -proto binary
+
 echo "serve_smoke: replaying feedback traffic"
 "$workdir/loadgen" -addr "http://$addr" -sessions 2000 -batch 250 -snippets 2 \
   -clients 4 -score-every 2 -score-model pbm
