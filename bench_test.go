@@ -979,7 +979,9 @@ func BenchmarkWALReplay(b *testing.B) {
 		if replayed != n {
 			b.Fatalf("replayed %d of %d", replayed, n)
 		}
-		r.Close()
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "sessions/s")

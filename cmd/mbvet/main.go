@@ -1,0 +1,94 @@
+// Command mbvet is the repo's invariant checker: a multichecker over
+// the five analyzers in internal/analysis/suite. It runs two ways:
+//
+// Standalone, over packages in the current module:
+//
+//	go run ./cmd/mbvet ./...
+//	mbvet -tests=false ./internal/engine
+//
+// As a vet tool, driven by cmd/go's unitchecker protocol (per-package
+// vet.cfg files, caching, -V=full handshake):
+//
+//	go build -o bin/mbvet ./cmd/mbvet
+//	go vet -vettool=$(pwd)/bin/mbvet ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	analyzers := suite.All()
+
+	// cmd/go vettool handshake: -V=full must print "name version vX".
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Println("mbvet version v1.0.0")
+		return 0
+	}
+	// cmd/go asks which flags the tool accepts; we add none.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	// Unitchecker mode: single *.cfg argument from cmd/go.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return analysis.Unitchecker(args[0], analyzers)
+	}
+
+	fs := flag.NewFlagSet("mbvet", flag.ExitOnError)
+	tests := fs.Bool("tests", true, "also analyze test files")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: mbvet [-tests=false] [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	units, err := analysis.Load(".", patterns, *tests)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbvet: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, u := range units {
+		findings, err := analysis.RunAnalyzers(u, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mbvet: %s: %v\n", u.Path, err)
+			exit = 2
+			continue
+		}
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f.String())
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}

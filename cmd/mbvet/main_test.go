@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildMbvet compiles the mbvet binary once per test run.
+func buildMbvet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mbvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building mbvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVettoolHandshake pins the cmd/go tool protocol: -V=full prints
+// the version line, -flags prints a flag list.
+func TestVettoolHandshake(t *testing.T) {
+	bin := buildMbvet(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(out), "mbvet version v") {
+		t.Fatalf("-V=full printed %q, want a 'mbvet version vX' line", out)
+	}
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Fatalf("-flags printed %q, want []", out)
+	}
+}
+
+// TestGoVetDrivesMbvet runs the real thing: `go vet -vettool` over a
+// module package (clean) and over a scratch module seeded with a
+// durability bug (must fail with a durerr diagnostic).
+func TestGoVetDrivesMbvet(t *testing.T) {
+	bin := buildMbvet(t)
+
+	clean := exec.Command("go", "vet", "-vettool="+bin, "./internal/mmap")
+	clean.Dir = "../.." // module root
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on a clean package failed: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module scratchvet\n\ngo 1.24\n",
+		"main.go": `package main
+
+import "os"
+
+func main() {
+	f, err := os.Create("x")
+	if err != nil {
+		return
+	}
+	f.Sync()
+	_ = f.Close()
+}
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty := exec.Command("go", "vet", "-vettool="+bin, ".")
+	dirty.Dir = dir
+	out, err := dirty.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed a module with an unchecked Sync:\n%s", out)
+	}
+	if !strings.Contains(string(out), "durerr") || !strings.Contains(string(out), "Sync") {
+		t.Fatalf("diagnostic should name durerr and Sync, got:\n%s", out)
+	}
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestLoadTypeChecksAgainstExportData pins the offline loader: a
+// module package resolves its dependencies through `go list -export`
+// gc export data, with test files folded into the unit.
+func TestLoadTypeChecksAgainstExportData(t *testing.T) {
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := Load(root, []string{"./internal/mmap"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unit *Unit
+	for _, u := range units {
+		if CanonicalPath(u.Path) == "repro/internal/mmap" && !strings.HasSuffix(u.Path, "_test") {
+			unit = u
+		}
+	}
+	if unit == nil {
+		t.Fatalf("no unit for repro/internal/mmap among %d units", len(units))
+	}
+	if unit.Pkg == nil || unit.Info == nil || len(unit.Files) < 2 {
+		t.Fatalf("unit incomplete: pkg=%v files=%d", unit.Pkg, len(unit.Files))
+	}
+	hasTestFile := false
+	for _, f := range unit.Files {
+		if strings.HasSuffix(unit.Fset.Position(f.Pos()).Filename, "_test.go") {
+			hasTestFile = true
+		}
+	}
+	if !hasTestFile {
+		t.Error("test-augmented unit carries no _test.go files")
+	}
+}
+
+func TestCanonicalPath(t *testing.T) {
+	cases := map[string]string{
+		"repro/internal/wal":                                "repro/internal/wal",
+		"repro/internal/wal [repro/internal/wal.test]":      "repro/internal/wal",
+		"repro/internal/wal_test [repro/internal/wal.test]": "repro/internal/wal",
+		"repro/internal/engine_test":                        "repro/internal/engine",
+	}
+	for in, want := range cases {
+		if got := CanonicalPath(in); got != want {
+			t.Errorf("CanonicalPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestNoallocAnnotationsHaveRegressionTests walks the repo and
+// requires, for every //mb:noalloc function, a _test.go file in the
+// same package that names the function and calls
+// testing.AllocsPerRun — the end-to-end backstop behind the analyzer's
+// syntactic check.
+func TestNoallocAnnotationsHaveRegressionTests(t *testing.T) {
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	markRe := regexp.MustCompile(`(?m)^//mb:noalloc`)
+	funcRe := regexp.MustCompile(`(?m)^//mb:noalloc[^\n]*\n(?://[^\n]*\n)*func(?: \([^)]*\))? ([A-Za-z0-9_]+)`)
+
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if !markRe.Match(src) {
+			return nil
+		}
+		for _, m := range funcRe.FindAllStringSubmatch(string(src), -1) {
+			fn := m[1]
+			if !packageTestsMention(t, filepath.Dir(path), fn) {
+				t.Errorf("%s: //mb:noalloc %s has no AllocsPerRun regression test naming it in its package", path, fn)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// packageTestsMention reports whether some _test.go in dir both calls
+// testing.AllocsPerRun and names fn.
+func packageTestsMention(t *testing.T, dir, fn string) bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordRe := regexp.MustCompile(`\b` + regexp.QuoteMeta(fn) + `\b`)
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(src), "AllocsPerRun") && wordRe.Match(src) {
+			return true
+		}
+	}
+	return false
+}

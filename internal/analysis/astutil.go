@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotation markers. They live in doc comments the way //go:noinline
+// does: a line of the form "//mb:<name>", optionally followed by
+// free-form text. DESIGN.md §9 documents each.
+const (
+	// MarkNoalloc on a function declares its body allocation-free; the
+	// noalloc analyzer rejects allocation-inducing constructs in it.
+	MarkNoalloc = "mb:noalloc"
+	// MarkAllocOK on a line inside a //mb:noalloc function suppresses
+	// the noalloc finding for that line (cold paths: error returns,
+	// capacity-miss warmups). A justification after the marker is
+	// conventional.
+	MarkAllocOK = "mb:allocok"
+	// MarkImmutable on a type confines stores to its fields and
+	// elements to the file that declares it (its constructor file).
+	MarkImmutable = "mb:immutable"
+	// MarkCtorFile on a file comment ("//mb:ctorfile TypeName") grants
+	// that file constructor rights over an //mb:immutable type declared
+	// elsewhere in the package.
+	MarkCtorFile = "mb:ctorfile"
+)
+
+// HasMarker reports whether any line of the comment group carries the
+// given marker (as "//mb:name" or "//mb:name text").
+func HasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if text == marker || strings.HasPrefix(text, marker+" ") || strings.HasPrefix(text, marker+"(") {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkerArg returns the text following "//mb:name " on the first
+// matching line, e.g. the type list of an //mb:ctorfile comment.
+func MarkerArg(doc *ast.CommentGroup, marker string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(text, marker+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// MarkedLines returns the set of line numbers in the unit's files that
+// carry the given marker anywhere in a comment — the suppression map
+// behind //mb:allocok.
+func MarkedLines(fset *token.FileSet, files []*ast.File, marker string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text == marker || strings.HasPrefix(text, marker+" ") {
+					pos := fset.Position(c.Pos())
+					m := out[pos.Filename]
+					if m == nil {
+						m = map[int]bool{}
+						out[pos.Filename] = m
+					}
+					m[pos.Line] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FuncMarkers scans every function declaration in the unit and returns
+// those whose doc comment carries the marker.
+func FuncMarkers(files []*ast.File, marker string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && HasMarker(fd.Doc, marker) {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// TypeMarkers scans every type declaration and returns the marked
+// ones, mapped to the file that declares them.
+func TypeMarkers(fset *token.FileSet, files []*ast.File, info *types.Info, marker string) map[*types.TypeName]string {
+	out := map[*types.TypeName]string{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !HasMarker(ts.Doc, marker) && !HasMarker(gd.Doc, marker) && !HasMarker(ts.Comment, marker) {
+					continue
+				}
+				if obj, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+					out[obj] = fset.Position(ts.Pos()).Filename
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Deref unwraps one level of pointer.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedOf returns the named type behind t (through one pointer and
+// through aliases), or nil.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = Deref(types.Unalias(t))
+	if n, ok := t.(*types.Named); ok {
+		return n
+	}
+	return nil
+}
+
+// RootIdent returns the leftmost identifier of a selector/index/star
+// chain: RootIdent(a.b[i].c) == a. nil when the chain is rooted in a
+// call or literal.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ExprText renders an expression compactly for diagnostics and for
+// syntactic receiver matching (types.ExprString without the import
+// knot in callers).
+func ExprText(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// IsPointerShaped reports whether values of t fit an interface's data
+// word without boxing: pointers, channels, maps, funcs and
+// unsafe.Pointer.
+func IsPointerShaped(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return types.Unalias(t).Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+// Package cowpublish enforces the copy-on-write publish discipline on
+// types marked //mb:immutable: once such a value is constructed, its
+// fields and the elements of its field maps/slices may only be stored
+// to in the file that declares the type (the constructor file), or in
+// a file that claims constructor rights with "//mb:ctorfile TypeName".
+//
+// The engine's versioned scorer table is published by storing a fresh
+// immutable generation through an atomic.Pointer; readers then treat
+// everything reachable from it as read-only without locks. A stray
+// mutation after the Store is a data race the race detector only
+// catches when a test happens to interleave it; this analyzer rejects
+// the store at vet time. File granularity is the enforcement unit
+// because construction sites legitimately mutate (clone-and-fill
+// before publish) and those all live beside the type.
+package cowpublish
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the cowpublish pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cowpublish",
+	Doc:  "reject stores to //mb:immutable types outside their constructor file",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	marked := analysis.TypeMarkers(pass.Fset, pass.Files, pass.TypesInfo, analysis.MarkImmutable)
+	if len(marked) == 0 {
+		return nil
+	}
+	// Files granted constructor rights per type, beyond the declaring
+	// file: //mb:ctorfile TypeName [TypeName...] anywhere in the file.
+	ctor := map[string]map[string]bool{} // filename -> type name -> ok
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			if arg, ok := analysis.MarkerArg(cg, analysis.MarkCtorFile); ok && arg != "" {
+				m := ctor[fname]
+				if m == nil {
+					m = map[string]bool{}
+					ctor[fname] = m
+				}
+				for _, name := range strings.Fields(arg) {
+					m[name] = true
+				}
+			}
+		}
+	}
+
+	allowed := func(file string, tn *types.TypeName) bool {
+		if marked[tn] == file {
+			return true
+		}
+		return ctor[file][tn.Name()]
+	}
+
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if x.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range x.Lhs {
+					checkStore(pass, marked, allowed, fname, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkStore(pass, marked, allowed, fname, x.X)
+			case *ast.UnaryExpr:
+				// &immutable.field taken outside the constructor file is a
+				// mutable window onto frozen memory.
+				if x.Op == token.AND {
+					if sel, ok := x.X.(*ast.SelectorExpr); ok {
+						reportIfMarked(pass, marked, allowed, fname, sel, sel.X,
+							"taking the address of field %s of //mb:immutable type %s outside its constructor file")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStore walks an assignment target's selector/index chain and
+// reports the store when any link is owned by a marked type.
+func checkStore(pass *analysis.Pass, marked map[*types.TypeName]string, allowed func(string, *types.TypeName) bool, fname string, lhs ast.Expr) {
+	for {
+		switch x := lhs.(type) {
+		case *ast.SelectorExpr:
+			// Field store: x.X's type owns the field.
+			reportIfMarked(pass, marked, allowed, fname, x, x.X,
+				"store to field %s of //mb:immutable type %s outside its constructor file")
+			lhs = x.X
+		case *ast.IndexExpr:
+			// Element store: the indexed map/slice may itself be the
+			// marked type or a field of it (handled next iteration).
+			reportIfMarked(pass, marked, allowed, fname, x, x.X,
+				"element store through %s of //mb:immutable type %s outside its constructor file")
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.ParenExpr:
+			lhs = x.X
+		default:
+			return
+		}
+	}
+}
+
+// reportIfMarked reports at site when owner's type is //mb:immutable
+// and the current file lacks constructor rights.
+func reportIfMarked(pass *analysis.Pass, marked map[*types.TypeName]string, allowed func(string, *types.TypeName) bool, fname string, site, owner ast.Expr, format string) {
+	tv, ok := pass.TypesInfo.Types[owner]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named := analysis.NamedOf(tv.Type)
+	if named == nil {
+		return
+	}
+	tn := named.Obj()
+	if _, isMarked := marked[tn]; !isMarked || allowed(fname, tn) {
+		return
+	}
+	pass.Reportf(site.Pos(), format, analysis.ExprText(site), tn.Name())
+}

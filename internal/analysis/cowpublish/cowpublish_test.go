@@ -1,0 +1,12 @@
+package cowpublish_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cowpublish"
+)
+
+func TestCopyOnWrite(t *testing.T) {
+	analysistest.Run(t, "testdata/cow", "repro/internal/cow", cowpublish.Analyzer)
+}

@@ -1,0 +1,16 @@
+package cow
+
+// This file claims constructor rights over table: clone-and-fill
+// helpers that legitimately live apart from the type declaration.
+//
+//mb:ctorfile table
+
+// clone copies a generation for modification before republication.
+func clone(src *table) *table {
+	dst := &table{m: make(map[string]int, len(src.m))}
+	for k, v := range src.m {
+		dst.m[k] = v
+	}
+	dst.n = src.n
+	return dst
+}

@@ -1,0 +1,16 @@
+package cow
+
+// poke mutates a published table outside the constructor file: every
+// store shape is rejected.
+func poke(t *table) {
+	t.n = 2      // want `store to field t\.n of //mb:immutable type table`
+	t.m["k"] = 3 // want `store to field t\.m of //mb:immutable type table`
+	t.n++        // want `store to field t\.n of //mb:immutable type table`
+	p := &t.n    // want `taking the address of field t\.n of //mb:immutable type table`
+	_ = p
+}
+
+// read-only access is fine anywhere.
+func lookup(t *table, k string) int {
+	return t.n + t.m[k]
+}

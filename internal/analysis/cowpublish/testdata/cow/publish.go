@@ -1,0 +1,14 @@
+package cow
+
+import "sync/atomic"
+
+var current atomic.Pointer[table]
+
+// publishThenMutate is the bug this analyzer exists for: the
+// generation is already visible to lock-free readers when the write
+// lands. The analyzer rejects the store wherever it sits relative to
+// the Store call — file granularity, not flow analysis.
+func publishThenMutate(t *table) {
+	current.Store(t)
+	t.n = 9 // want `store to field t\.n of //mb:immutable type table`
+}

@@ -1,0 +1,26 @@
+// Package cow exercises the copy-on-write publish discipline: the
+// //mb:immutable table may be filled here (its constructor file) and
+// in files that claim //mb:ctorfile rights, nowhere else.
+package cow
+
+// table is one published generation.
+//
+//mb:immutable
+type table struct {
+	n int
+	m map[string]int
+}
+
+// newTable builds and fills a generation before publication —
+// constructor-file stores are legal.
+func newTable() *table {
+	t := &table{m: map[string]int{}}
+	t.n = 1
+	t.m["seed"] = 1
+	return t
+}
+
+// reset also lives in the constructor file; its stores are legal.
+func (t *table) reset() {
+	t.n = 0
+}

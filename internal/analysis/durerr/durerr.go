@@ -1,0 +1,173 @@
+// Package durerr is an errcheck-style pass scoped to durability calls.
+//
+// A dropped error from Sync, Close, a CRC verify or an atomic file
+// replace silently converts "durable" into "probably durable": the WAL
+// acks a record the disk never saw, or a snapshot passes verification
+// that never ran. General errcheck is too noisy to gate CI on; this
+// pass flags only the calls where an ignored error is a durability
+// bug:
+//
+//   - any error-returning call whose callee is declared in
+//     internal/wal, internal/snapshot or internal/mmap;
+//   - (*os.File).Sync anywhere in the tree;
+//   - (*os.File).Close inside internal/wal and internal/snapshot
+//     (elsewhere a dropped Close on a read-only file is harmless).
+//
+// "Unchecked" means the call's error result is discarded outright: a
+// bare expression statement, or a go/defer of the call. Assigning to _
+// is allowed — it is the language's own "I considered this" spelling.
+// Deferred calls in _test.go files are exempt (test cleanup).
+package durerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// durablePkgs are the packages whose exported errors must always be
+// consumed, wherever the caller lives.
+var durablePkgs = map[string]bool{
+	"repro/internal/wal":      true,
+	"repro/internal/snapshot": true,
+	"repro/internal/mmap":     true,
+}
+
+// closeStrictPkgs are the packages in which even (*os.File).Close must
+// be checked: they own files opened for writing.
+var closeStrictPkgs = map[string]bool{
+	"repro/internal/wal":      true,
+	"repro/internal/snapshot": true,
+}
+
+// Analyzer is the durerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "durerr",
+	Doc:  "require the error results of durability calls (Sync, Close, CRC verify, atomic replace) to be consumed",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkgPath := pass.PkgPath()
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		isTest := strings.HasSuffix(fname, "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					checkCall(pass, pkgPath, call, "discarded")
+				}
+			case *ast.DeferStmt:
+				if !isTest {
+					checkCall(pass, pkgPath, x.Call, "discarded by defer")
+				}
+				return false
+			case *ast.GoStmt:
+				checkCall(pass, pkgPath, x.Call, "discarded by go statement")
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall reports the call if it is a durability call whose error
+// result is being dropped in the given way.
+func checkCall(pass *analysis.Pass, pkgPath string, call *ast.CallExpr, how string) {
+	label, ok := durabilityCall(pass, pkgPath, call)
+	if !ok {
+		return
+	}
+	if !returnsError(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from durability call %s %s; handle it or assign it to _ deliberately", label, how)
+}
+
+// durabilityCall classifies the call; label is the diagnostic name.
+func durabilityCall(pass *analysis.Pass, pkgPath string, call *ast.CallExpr) (string, bool) {
+	obj := calleeObject(pass, call)
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	calleePkg := analysis.CanonicalPath(obj.Pkg().Path())
+	name := obj.Name()
+	if durablePkgs[calleePkg] {
+		return calleePkg[strings.LastIndex(calleePkg, "/")+1:] + "." + name, true
+	}
+	if calleePkg == "os" && isFileMethod(obj) {
+		switch name {
+		case "Sync":
+			return "(*os.File).Sync", true
+		case "Close":
+			if closeStrictPkgs[pkgPath] {
+				return "(*os.File).Close", true
+			}
+		}
+	}
+	return "", false
+}
+
+// calleeObject resolves the function object behind the call, or nil
+// for builtins, conversions and indirect calls.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call: wal.Open(...).
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isFileMethod reports whether obj is a method with *os.File receiver.
+func isFileMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := analysis.NamedOf(sig.Recv().Type())
+	return named != nil && named.Obj().Name() == "File"
+}
+
+// returnsError reports whether the call yields an error anywhere in
+// its result tuple.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

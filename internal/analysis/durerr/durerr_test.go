@@ -1,0 +1,16 @@
+package durerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/durerr"
+)
+
+func TestCallers(t *testing.T) {
+	analysistest.Run(t, "testdata/caller", "repro/internal/other", durerr.Analyzer)
+}
+
+func TestStrictClosePackages(t *testing.T) {
+	analysistest.Run(t, "testdata/strict", "repro/internal/snapshot", durerr.Analyzer)
+}

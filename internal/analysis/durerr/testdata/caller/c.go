@@ -1,0 +1,39 @@
+// Package other calls into the durable packages from outside: every
+// dropped error on a durability call is rejected; deliberate drops
+// spelled with _ pass.
+package other
+
+import (
+	"os"
+
+	"repro/internal/wal"
+)
+
+func sloppy(w *wal.WAL, f *os.File) {
+	w.Close() // want `wal\.Close discarded`
+	f.Sync()  // want `\(\*os\.File\)\.Sync discarded`
+	f.Close() // ok: Close outside the strict packages is not a durability call
+}
+
+func deliberate(w *wal.WAL) {
+	_ = w.Close() // ok: the language's own "I considered this" spelling
+}
+
+func handled(w *wal.WAL) error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+func deferred(w *wal.WAL) {
+	defer w.Close() // want `wal\.Close discarded by defer`
+}
+
+func fireAndForget(w *wal.WAL) {
+	go w.Sync() // want `wal\.Sync discarded by go statement`
+}
+
+func tupleDrop(w *wal.WAL, rec wal.Record) {
+	w.Append(rec) // want `wal\.Append discarded`
+}

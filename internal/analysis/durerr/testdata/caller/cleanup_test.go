@@ -1,0 +1,9 @@
+package other
+
+import "repro/internal/wal"
+
+// Test files may defer Close for cleanup without checking: the test's
+// assertions are about the code under test, not the teardown.
+func cleanup(w *wal.WAL) {
+	defer w.Close() // ok: _test.go defers are exempt
+}

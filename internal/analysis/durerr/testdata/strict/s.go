@@ -1,0 +1,13 @@
+// Package snapshot impersonates a strict-Close package: it owns files
+// opened for writing, so even (*os.File).Close must be consumed.
+package snapshot
+
+import "os"
+
+func strictClose(f *os.File) {
+	f.Close() // want `\(\*os\.File\)\.Close discarded`
+}
+
+func checkedClose(f *os.File) error {
+	return f.Close()
+}

@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Unit is one type-checked package ready for analysis. When tests are
+// loaded, the unit for a package is its test-augmented variant (the
+// package's own files plus its _test.go files), so findings cover test
+// code with one pass; external test packages ("p_test") are separate
+// units.
+type Unit struct {
+	// Path is the import path as the loader saw it (may carry cmd/go's
+	// " [p.test]" variant suffix; CanonicalPath strips it).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	ForTest    string
+	Module     *struct{ Path string }
+}
+
+// Load type-checks the packages matching patterns (for example
+// "./...") in the module rooted at or above dir, entirely offline: it
+// asks `go list -export` for the file sets and compiled export data of
+// every dependency, parses the target packages from source with
+// comments (the annotations live there), and type-checks them against
+// the export data. includeTests folds _test.go files into each unit
+// and adds external test packages.
+func Load(dir string, patterns []string, includeTests bool) ([]*Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-e", "-export", "-deps"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,ForTest,Module")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var local []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+			// A test variant "p [q.test]" satisfies plain imports of p
+			// too, when no plain build of p was listed.
+			if key := stripVariant(p.ImportPath); key != p.ImportPath {
+				if _, ok := exports[key]; !ok {
+					exports[key] = p.Export
+				}
+			}
+		}
+		if p.Module != nil && !strings.HasSuffix(p.ImportPath, ".test") {
+			local = append(local, p)
+		}
+	}
+
+	// With -test the same package lists twice: plain and test-augmented
+	// ("p [p.test]", whose GoFiles are a superset). Analyze only the
+	// augmented variant so each file is checked once.
+	augmented := map[string]bool{}
+	for _, p := range local {
+		if p.ForTest != "" && stripVariant(p.ImportPath) == p.ForTest {
+			augmented[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportDataImporter(fset, exports)
+	var units []*Unit
+	for _, p := range local {
+		if p.ForTest == "" && augmented[p.ImportPath] {
+			continue // superseded by its test-augmented variant
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		u, err := checkUnit(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// stripVariant removes cmd/go's " [p.test]" suffix only, keeping an
+// external test package's "_test" name intact.
+func stripVariant(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// checkUnit parses and type-checks one package's files.
+func checkUnit(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Unit, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, gf := range goFiles {
+		name := gf
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, gf)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Unit{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// exportDataImporter resolves imports from the gc export data files
+// `go list -export` reported, so type-checking never re-parses a
+// dependency.
+func exportDataImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("analysis: no go.mod above " + dir)
+		}
+		dir = parent
+	}
+}
+
+// fixtureExports caches export data lookups for LoadDir fixtures, so a
+// test binary running many fixtures shells out to `go list` once per
+// distinct import set, not once per fixture file.
+var fixtureExports struct {
+	sync.Mutex
+	m map[string]string
+}
+
+// LoadDir parses and type-checks every .go file in one directory as a
+// single package — the fixture loader behind analysistest. The files
+// may import standard-library and module-local packages; their export
+// data is resolved through `go list -export` run at the module root.
+// pkgPath becomes the type-checked package's import path, letting
+// fixtures impersonate an arbitrary package (allowlisted or not).
+func LoadDir(dir, pkgPath string) (*Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+
+	// Resolve the fixture's imports to export data, cached process-wide.
+	var imports []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if p != "unsafe" && !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	exports, err := resolveExports(dir, imports)
+	if err != nil {
+		return nil, err
+	}
+
+	info := NewTypesInfo()
+	conf := types.Config{Importer: exportDataImporter(fset, exports)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking fixture %s: %w", dir, err)
+	}
+	return &Unit{Path: pkgPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// resolveExports maps import paths to gc export data files, caching
+// results across calls.
+func resolveExports(dir string, imports []string) (map[string]string, error) {
+	fixtureExports.Lock()
+	defer fixtureExports.Unlock()
+	if fixtureExports.m == nil {
+		fixtureExports.m = map[string]string{}
+	}
+	var missing []string
+	for _, p := range imports {
+		if _, ok := fixtureExports.m[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		root, err := moduleRoot(dir)
+		if err != nil {
+			return nil, err
+		}
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = root
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(missing, " "), err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				fixtureExports.m[p.ImportPath] = p.Export
+			}
+		}
+	}
+	out := make(map[string]string, len(fixtureExports.m))
+	for k, v := range fixtureExports.m {
+		out[k] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noalloc"
+)
+
+func TestHotPathChecks(t *testing.T) {
+	analysistest.Run(t, "testdata/hot", "repro/internal/hot", noalloc.Analyzer)
+}

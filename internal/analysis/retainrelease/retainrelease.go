@@ -1,0 +1,391 @@
+// Package retainrelease checks that every Retain of a refcounted
+// object is paired with a Release on the paths the function owns.
+//
+// internal/mmap artifacts pin a memory mapping: a Retain without its
+// Release keeps a pruned model's pages mapped forever — a leak no test
+// notices until a long-lived server runs out of address space. The
+// analyzer recognises any method pair named Retain/Release on the same
+// receiver type (so fixtures and future refcounted types are covered,
+// not just *mmap.Artifact) and requires, per function:
+//
+//   - a deferred Release of the same receiver expression, or
+//   - an explicit Release on the fall-through path with no bare return
+//     between the Retain and that Release, or
+//   - an ownership transfer: the retained object (its root variable)
+//     is returned, stored, sent, captured or passed onward — then the
+//     pairing obligation moves with it.
+//
+// Retains rooted in a method receiver are out of scope: those
+// references are owned by the struct's lifecycle, not one call frame.
+package retainrelease
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the retainrelease pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "retainrelease",
+	Doc:  "require a Release (or ownership transfer) for every Retain of a refcounted object",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// retainCall is one x.Retain() site in a function.
+type retainCall struct {
+	call *ast.CallExpr
+	sel  *ast.SelectorExpr
+	key  string       // rendered receiver expression ("mv.art")
+	root types.Object // leftmost variable of the receiver chain
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var retains []retainCall
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Retain" || len(call.Args) != 0 {
+			return true
+		}
+		if !isRefcounted(pass, sel) {
+			return true
+		}
+		rc := retainCall{call: call, sel: sel, key: analysis.ExprText(sel.X)}
+		if id := analysis.RootIdent(sel.X); id != nil {
+			rc.root = pass.TypesInfo.Uses[id]
+		}
+		retains = append(retains, rc)
+		return true
+	})
+	if len(retains) == 0 {
+		return
+	}
+
+	recvObjs := receiverObjects(pass, fd)
+	results := namedResults(pass, fd)
+
+	for _, rc := range retains {
+		if rc.root == nil {
+			continue // rooted in a call or literal; cannot track
+		}
+		if recvObjs[rc.root] {
+			continue // struct-owned reference, not a call-frame pairing
+		}
+		if results[rc.root] {
+			continue // escapes via named result
+		}
+		sum := summarize(pass, fd, rc)
+		if sum.escapes {
+			continue
+		}
+		if sum.deferRelease {
+			continue
+		}
+		if !sum.released {
+			pass.Reportf(rc.call.Pos(),
+				"%s.Retain() has no matching %s.Release() (or ownership transfer) in %s; a leaked retain pins the mapping forever",
+				rc.key, rc.key, fd.Name.Name)
+			continue
+		}
+		checkStraightLine(pass, fd, rc)
+	}
+}
+
+// isRefcounted reports whether sel names a Retain method whose
+// receiver type also has a Release method — the shape of a refcount
+// pair, whatever the concrete type.
+func isRefcounted(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		t = types.NewPointer(t)
+	}
+	ms := types.NewMethodSet(t)
+	hasRetain, hasRelease := false, false
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Retain":
+			hasRetain = true
+		case "Release":
+			hasRelease = true
+		}
+	}
+	return hasRetain && hasRelease
+}
+
+// receiverObjects returns the method receiver's object(s).
+func receiverObjects(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// namedResults returns the function's named result objects; a retain
+// rooted in one escapes through every return.
+func namedResults(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// funcSummary is what the function as a whole does with one retained
+// expression.
+type funcSummary struct {
+	released     bool // an explicit key.Release() exists
+	deferRelease bool // a defer key.Release() exists
+	escapes      bool // the root variable is handed to someone else
+}
+
+func summarize(pass *analysis.Pass, fd *ast.FuncDecl, rc retainCall) funcSummary {
+	var sum funcSummary
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if releasesKey(x.Call, rc.key) {
+				sum.deferRelease = true
+				return false
+			}
+			// defer f() / defer func(){...}() mentioning the root hands
+			// the reference to the deferred call.
+			if usesObject(pass, x.Call, rc.root) {
+				sum.escapes = true
+			}
+		case *ast.CallExpr:
+			if releasesKey(x, rc.key) {
+				sum.released = true
+				return true
+			}
+			// The object escaping as an argument transfers ownership;
+			// method calls on the object itself (x.Refs(), x.Retain())
+			// do not.
+			for _, arg := range x.Args {
+				if usesObject(pass, arg, rc.root) {
+					sum.escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if usesObject(pass, res, rc.root) {
+					sum.escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				if usesObject(pass, rhs, rc.root) {
+					// x := retained-thing is aliasing, not escaping, but
+					// distinguishing the two needs alias tracking; treat
+					// any store of the root as a transfer.
+					sum.escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				if usesObject(pass, elt, rc.root) {
+					sum.escapes = true
+				}
+			}
+		case *ast.SendStmt:
+			if usesObject(pass, x.Value, rc.root) {
+				sum.escapes = true
+			}
+		case *ast.GoStmt:
+			if usesObject(pass, x.Call, rc.root) {
+				sum.escapes = true
+			}
+		case *ast.FuncLit:
+			if usesObject(pass, x, rc.root) {
+				sum.escapes = true // captured by a closure
+			}
+			return false
+		}
+		return true
+	})
+	return sum
+}
+
+// releasesKey reports whether call is key.Release().
+func releasesKey(call *ast.CallExpr, key string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Release" && analysis.ExprText(sel.X) == key
+}
+
+// usesObject reports whether the subtree mentions the object, except
+// as the receiver of a method call (x in x.Retain()).
+func usesObject(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	if obj == nil || n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		// Skip the receiver side of method calls on the object chain.
+		if call, ok := m.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id := analysis.RootIdent(sel.X); id != nil && pass.TypesInfo.Uses[id] == obj {
+					for _, arg := range call.Args {
+						if usesObject(pass, arg, obj) {
+							found = true
+						}
+					}
+					return false
+				}
+			}
+		}
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkStraightLine flags returns that sit between the Retain and its
+// first explicit Release within the same statement list: the classic
+// "early return leaks the pin" bug.
+func checkStraightLine(pass *analysis.Pass, fd *ast.FuncDecl, rc retainCall) {
+	block, idx := enclosingBlock(fd.Body, rc.call)
+	if block == nil {
+		return
+	}
+	// A guarded retain (`if x.Retain() { ...; x.Release() }`) pairs
+	// inside the statement that contains the Retain itself.
+	if stmtReleases(block.List[idx], rc.key) {
+		return
+	}
+	for _, stmt := range block.List[idx+1:] {
+		if stmtReleases(stmt, rc.key) {
+			return // paired before any return on this path
+		}
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			if !returnMentions(pass, s, rc.root) {
+				pass.Reportf(s.Pos(),
+					"return leaks %s retained at line %d (no %s.Release() before this return)",
+					rc.key, pass.Fset.Position(rc.call.Pos()).Line, rc.key)
+			}
+			return
+		case *ast.IfStmt:
+			if term := terminalReturn(s.Body); term != nil &&
+				!blockReleases(s.Body, rc.key) && !blockMentions(pass, s.Body, rc.root) {
+				pass.Reportf(term.Pos(),
+					"early return leaks %s retained at line %d (no %s.Release() on this path)",
+					rc.key, pass.Fset.Position(rc.call.Pos()).Line, rc.key)
+			}
+		}
+	}
+}
+
+// enclosingBlock finds the innermost statement list containing target
+// and the index of the statement that contains it.
+func enclosingBlock(body *ast.BlockStmt, target ast.Node) (*ast.BlockStmt, int) {
+	var stack []ast.Node
+	var best *ast.BlockStmt
+	bestIdx := -1
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if n == target && best == nil {
+			for i := len(stack) - 1; i >= 0; i-- {
+				if b, ok := stack[i].(*ast.BlockStmt); ok {
+					for j, stmt := range b.List {
+						if containsNode(stmt, target) {
+							best, bestIdx = b, j
+							return true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return best, bestIdx
+}
+
+func containsNode(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func stmtReleases(stmt ast.Stmt, key string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && releasesKey(call, key) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func blockReleases(b *ast.BlockStmt, key string) bool { return stmtReleases(b, key) }
+
+func blockMentions(pass *analysis.Pass, b *ast.BlockStmt, obj types.Object) bool {
+	return usesObject(pass, b, obj)
+}
+
+func returnMentions(pass *analysis.Pass, s *ast.ReturnStmt, obj types.Object) bool {
+	for _, res := range s.Results {
+		if usesObject(pass, res, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminalReturn returns the block's trailing return statement, if it
+// ends in one.
+func terminalReturn(b *ast.BlockStmt) *ast.ReturnStmt {
+	if len(b.List) == 0 {
+		return nil
+	}
+	r, _ := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return r
+}

@@ -1,0 +1,12 @@
+package retainrelease_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/retainrelease"
+)
+
+func TestPairing(t *testing.T) {
+	analysistest.Run(t, "testdata/pair", "repro/internal/pair", retainrelease.Analyzer)
+}

@@ -1,0 +1,83 @@
+// Package pair exercises the Retain/Release pairing rules on a local
+// refcounted type — the analyzer keys on the method-pair shape, not on
+// *mmap.Artifact specifically.
+package pair
+
+type res struct{ n int }
+
+func (r *res) Retain() bool { r.n++; return true }
+func (r *res) Release()     { r.n-- }
+func (r *res) Refs() int    { return r.n }
+
+// leak: retained, never released, never handed off.
+func leak(r *res) {
+	r.Retain() // want `no matching r\.Release\(\)`
+	_ = r.Refs()
+}
+
+// earlyReturn: released on the fall-through path, but the guard
+// returns first and leaks the pin.
+func earlyReturn(r *res, bad bool) {
+	r.Retain()
+	if bad {
+		return // want `early return leaks r`
+	}
+	r.Release()
+}
+
+// bareReturn: a return sits between the Retain and its Release.
+func bareReturn(r *res, done bool) {
+	r.Retain()
+	if done {
+		r.Release()
+		return
+	}
+	r.Release()
+}
+
+// deferred: the canonical safe shape.
+func deferred(r *res) int {
+	if !r.Retain() {
+		return 0
+	}
+	defer r.Release()
+	return r.Refs()
+}
+
+// guarded: Retain and Release pair inside one if statement.
+func guarded(r *res) {
+	if r.Retain() {
+		r.Release()
+	}
+}
+
+// transfer: ownership moves to the caller with the return value; the
+// pairing obligation moves with it.
+func transfer(r *res) *res {
+	r.Retain()
+	return r
+}
+
+// stored: ownership moves into a structure.
+type cache struct{ held *res }
+
+func stored(c *cache, r *res) {
+	r.Retain()
+	c.held = r
+}
+
+// handedOff: ownership moves to the callee.
+func handedOff(r *res) {
+	r.Retain()
+	sink(r)
+}
+
+func sink(*res) {}
+
+// receiverOwned: retains rooted in the method receiver belong to the
+// struct's lifecycle, not this call frame.
+type holder struct{ r *res }
+
+func (h *holder) pin() {
+	h.r.Retain()
+}

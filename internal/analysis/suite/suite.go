@@ -1,0 +1,25 @@
+// Package suite assembles the full mbvet analyzer set. cmd/mbvet and
+// the analysis tests both consume this list, so a new analyzer added
+// here is automatically wired into the binary, the vettool protocol
+// and the CI gate.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/cowpublish"
+	"repro/internal/analysis/durerr"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/retainrelease"
+	"repro/internal/analysis/unsafeconfine"
+)
+
+// All returns the mbvet analyzers in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		unsafeconfine.Analyzer,
+		retainrelease.Analyzer,
+		cowpublish.Analyzer,
+		noalloc.Analyzer,
+		durerr.Analyzer,
+	}
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go hands a vet tool for
+// each package unit (see cmd/go/internal/work's "vet.cfg"). Fields the
+// checker does not consume are still listed so the decode is strict
+// about nothing and forward-compatible with everything.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Unitchecker runs the analyzers on the single package unit described
+// by the vet.cfg file at cfgPath — the protocol `go vet -vettool=`
+// speaks — and returns the process exit code: 0 clean, 1 on an
+// operational error, 2 when diagnostics were reported. Diagnostics go
+// to stderr in the standard file:line:col form.
+func Unitchecker(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mbvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go requires the facts output file to exist even though these
+	// analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("mbvet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "mbvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// The unit is only needed as a dependency's fact source; with no
+		// facts to compute there is nothing to do.
+		return 0
+	}
+	if cfg.Compiler == "gccgo" {
+		fmt.Fprintln(os.Stderr, "mbvet: gccgo export data is not supported")
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "mbvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("mbvet: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	u := &Unit{Path: cfg.ImportPath, Fset: fset, Files: files}
+	pkg, err := conf.Check(cfg.ImportPath, fset, u.Files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "mbvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	u.Pkg, u.Info = pkg, info
+
+	findings, err := RunAnalyzers(u, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbvet: %v\n", err)
+		return 1
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	return 2
+}

@@ -1,0 +1,16 @@
+// Package mmap impersonates an allowlisted package: the same unsafe
+// surface that is rejected elsewhere passes here.
+package mmap
+
+import (
+	"reflect"
+	"unsafe"
+)
+
+func firstByte(b []byte) *byte {
+	return (*byte)(unsafe.Pointer(&b[0]))
+}
+
+func header(s string) *reflect.StringHeader {
+	return (*reflect.StringHeader)(unsafe.Pointer(&s))
+}

@@ -1,0 +1,6 @@
+package other
+
+import _ "unsafe" // required by the linkname pragma at build time
+
+/* want `go:linkname outside the unsafe allowlist` */ //go:linkname fastrand runtime.fastrand
+func fastrand() uint32

@@ -1,0 +1,32 @@
+// Package other stands in for any package outside the unsafe
+// allowlist: pointer reinterpretation and deprecated slice headers are
+// rejected; the compile-time size operators pass.
+package other
+
+import (
+	"reflect"
+	"unsafe"
+)
+
+// The size operators are compile-time and allowed everywhere (cache
+// line padding, layout assertions).
+const (
+	wordSize  = unsafe.Sizeof(uintptr(0))
+	wordAlign = unsafe.Alignof(uintptr(0))
+)
+
+type padded struct {
+	n   uint64
+	pad [64 - unsafe.Sizeof(uint64(0))%64]byte
+}
+
+func firstByte(b []byte) *byte {
+	return (*byte)(unsafe.Pointer(&b[0])) // want `use of unsafe\.Pointer outside the unsafe allowlist`
+}
+
+func header(s string) uintptr {
+	h := (*reflect.StringHeader)(nil) // want `reflect\.StringHeader conversion outside the unsafe allowlist`
+	_ = h
+	_ = s
+	return 0
+}

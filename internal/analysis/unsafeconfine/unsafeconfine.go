@@ -1,0 +1,112 @@
+// Package unsafeconfine rejects unconfined uses of unsafe: outside an
+// allowlisted set of packages, importing unsafe for anything beyond
+// the compile-time size operators, using //go:linkname, or touching
+// reflect.SliceHeader/StringHeader is an error.
+//
+// The serving stack's zero-copy tricks — string views into connection
+// arenas, typed slices over mmapped artifact bytes — are deliberately
+// confined to three packages whose tests pin the aliasing rules
+// (internal/server/binproto, internal/snapshot, internal/mmap). Every
+// other package gets memory safety from the language; this analyzer
+// keeps it that way when future PRs grow the tree.
+//
+// unsafe.Sizeof, Alignof and Offsetof are allowed everywhere: they are
+// compile-time constants with no pointer reinterpretation, used for
+// cache-line padding and layout assertions.
+package unsafeconfine
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Allowlist is the set of canonical package paths permitted to use the
+// full unsafe surface. Tests of an allowlisted package are covered by
+// the same entry.
+var Allowlist = []string{
+	"repro/internal/server/binproto",
+	"repro/internal/snapshot",
+	"repro/internal/mmap",
+}
+
+// sizeOps are the compile-time unsafe operators allowed everywhere.
+var sizeOps = map[string]bool{"Sizeof": true, "Alignof": true, "Offsetof": true}
+
+// Analyzer is the unsafeconfine pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unsafeconfine",
+	Doc:  "confine unsafe, //go:linkname and slice-header conversions to the allowlisted packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.PkgPath()
+	for _, allowed := range Allowlist {
+		if path == allowed {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	// //go:linkname reaches across package boundaries into private
+	// runtime state; it is never allowed outside the allowlist.
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//go:linkname") {
+				pass.Reportf(c.Pos(), "//go:linkname outside the unsafe allowlist (%s)", strings.Join(Allowlist, ", "))
+			}
+		}
+	}
+
+	importsUnsafe := false
+	for _, spec := range f.Imports {
+		if strings.Trim(spec.Path.Value, `"`) == "unsafe" {
+			importsUnsafe = true
+		}
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "unsafe":
+			if !sizeOps[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "use of unsafe.%s outside the unsafe allowlist (%s); only Sizeof/Alignof/Offsetof are allowed here",
+					sel.Sel.Name, strings.Join(Allowlist, ", "))
+			}
+		case "reflect":
+			if sel.Sel.Name == "SliceHeader" || sel.Sel.Name == "StringHeader" {
+				pass.Reportf(sel.Pos(), "reflect.%s conversion outside the unsafe allowlist (%s)",
+					sel.Sel.Name, strings.Join(Allowlist, ", "))
+			}
+		}
+		return true
+	})
+
+	// A dot-import of unsafe would hide the uses from the selector walk.
+	if importsUnsafe {
+		for _, spec := range f.Imports {
+			if strings.Trim(spec.Path.Value, `"`) == "unsafe" && spec.Name != nil && spec.Name.Name == "." {
+				pass.Reportf(spec.Pos(), "dot-import of unsafe outside the unsafe allowlist")
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package unsafeconfine_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unsafeconfine"
+)
+
+func TestUnconfined(t *testing.T) {
+	analysistest.Run(t, "testdata/unconfined", "repro/internal/other", unsafeconfine.Analyzer)
+}
+
+// TestConfined type-checks the same unsafe surface under an
+// allowlisted import path; the analyzer must stay silent.
+func TestConfined(t *testing.T) {
+	analysistest.Run(t, "testdata/confined", "repro/internal/mmap", unsafeconfine.Analyzer)
+}
+
+// TestAllowlistCoversTestVariants pins the canonicalisation that maps
+// a test-augmented unit ("p [p.test]") onto its package's entry.
+func TestAllowlistCoversTestVariants(t *testing.T) {
+	analysistest.Run(t, "testdata/confined", "repro/internal/mmap [repro/internal/mmap.test]", unsafeconfine.Analyzer)
+}

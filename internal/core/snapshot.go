@@ -65,7 +65,7 @@ func (m *Model) Save(w io.Writer) error {
 		}
 		e.Float(att.Default)
 	default:
-		e.Close()
+		_ = e.Close() // the type error below is the one worth reporting
 		return fmt.Errorf("core: attention %T is not snapshot-serializable", m.Attention)
 	}
 	return e.Close()

@@ -77,12 +77,16 @@ type Engine struct {
 // scorerTable is one immutable generation of the engine's model table.
 // Writers clone-and-replace; readers treat everything reachable from
 // it as read-only.
+//
+//mb:immutable
 type scorerTable struct {
 	entries map[string]*modelEntry
 }
 
 // modelEntry is the version history of one model name. Immutable once
 // published (writers clone the entry they modify).
+//
+//mb:immutable
 type modelEntry struct {
 	latest   int // version currently served by bare-name requests
 	maxVer   int // highest version ever assigned under this name
@@ -95,6 +99,8 @@ type modelEntry struct {
 // it (Retain/Release) around use, and the prune in installLocked drops
 // the owner reference — the mapping is unmapped only when the last
 // pinned reader drains.
+//
+//mb:immutable
 type modelVersion struct {
 	scorer Scorer
 	info   ModelInfo
@@ -856,6 +862,8 @@ func (e *Engine) ScoreCTR(ctx context.Context, req Request) (Response, error) {
 // implement the internal scratchScorer surface run with the caller's
 // scratch (per-worker in batches, pooled for single requests);
 // third-party Scorer implementations take their public path.
+//
+//mb:noalloc
 func (e *Engine) scoreResolved(ctx context.Context, req Request, name string, version int, s Scorer, sc *scratch) (Response, error) {
 	var resp Response
 	var err error
@@ -893,6 +901,8 @@ type batchState struct {
 }
 
 // release drops the strand's artifact pin, if any.
+//
+//mb:noalloc
 func (bs *batchState) release() {
 	if bs.mv.art != nil {
 		bs.mv.art.Release()
@@ -902,6 +912,8 @@ func (bs *batchState) release() {
 
 // scoreOne scores one batch element into *out through the strand's
 // memoised resolution.
+//
+//mb:noalloc
 func (e *Engine) scoreOne(ctx context.Context, req Request, out *Response, bs *batchState, sc *scratch) {
 	if err := ctx.Err(); err != nil {
 		*out = Response{ID: req.ID, Model: e.requestModel(req.Model)}

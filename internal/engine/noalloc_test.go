@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+// TestStrandScoreNoalloc backs the //mb:noalloc annotations on
+// scoreOne, scoreResolved and batchState.release: one warm strand
+// cycle — memoised resolution hit, compiled scorer, pin bookkeeping —
+// must not allocate.
+func TestStrandScoreNoalloc(t *testing.T) {
+	e := New()
+	e.UseMicro(testMicroModel())
+	ctx := context.Background()
+	req := Request{Lines: testLines, MaxN: 3}
+
+	sc := getScratch()
+	defer putScratch(sc)
+	var bs batchState
+	defer bs.release()
+	var out Response
+
+	e.scoreOne(ctx, req, &out, &bs, sc) // warm the memoised resolution
+	if out.Err != nil {
+		t.Fatalf("warmup scoreOne failed: %v", out.Err)
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		e.scoreOne(ctx, req, &out, &bs, sc)
+		if _, err := e.scoreResolved(ctx, req, bs.name, bs.ver, bs.mv.scorer, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm strand score allocates %v/op, want 0", allocs)
+	}
+}

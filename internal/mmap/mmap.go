@@ -104,6 +104,8 @@ func (a *Artifact) Verify() error { return a.VerifySections() }
 // without side effects — if the count already drained to zero, meaning
 // the mapping is gone (or about to be); the caller must re-resolve
 // whatever led it here instead of using the artifact.
+//
+//mb:noalloc
 func (a *Artifact) Retain() bool {
 	for {
 		n := a.refs.Load()
@@ -119,6 +121,8 @@ func (a *Artifact) Retain() bool {
 // Release drops one reference; the last release unmaps. Releasing more
 // times than retained is a bug and panics loudly rather than silently
 // double-unmapping.
+//
+//mb:noalloc
 func (a *Artifact) Release() {
 	n := a.refs.Add(-1)
 	switch {

@@ -1,0 +1,24 @@
+package mmap
+
+import "testing"
+
+// TestRetainReleaseNoalloc backs the //mb:noalloc annotations on
+// Retain and Release: the refcount CAS pair on a live artifact is
+// pure atomics, no allocation.
+func TestRetainReleaseNoalloc(t *testing.T) {
+	a, err := FromBytes(artifactBytes(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+
+	allocs := testing.AllocsPerRun(500, func() {
+		if !a.Retain() {
+			t.Fatal("Retain failed on a live artifact")
+		}
+		a.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("Retain/Release pair allocates %v/op, want 0", allocs)
+	}
+}

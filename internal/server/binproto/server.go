@@ -97,14 +97,16 @@ type connState struct {
 // Strings are zero-copy views into st.payload: valid until the next
 // frame is read, which is after the batch is fully scored and the
 // responses encoded.
+//
+//mb:noalloc
 func (st *connState) decodeRequests(payload []byte) ([]engine.Request, error) {
 	r := reader{b: payload}
 	n := int(r.u32())
 	if r.err == nil && n > MaxBatch {
-		return nil, fmt.Errorf("binproto: batch of %d requests exceeds the %d limit; split it", n, MaxBatch)
+		return nil, fmt.Errorf("binproto: batch of %d requests exceeds the %d limit; split it", n, MaxBatch) //mb:allocok cold reject path
 	}
 	if cap(st.reqs) < n {
-		st.reqs = make([]engine.Request, n)
+		st.reqs = make([]engine.Request, n) //mb:allocok capacity miss: first frame this size, then reused
 	}
 	st.reqs = st.reqs[:n]
 	st.lines = st.lines[:0]
@@ -143,7 +145,7 @@ func (st *connState) decodeRequests(payload []byte) ([]engine.Request, error) {
 			st.sessSpans = append(st.sessSpans, ss)
 		default:
 			if r.err == nil {
-				return nil, fmt.Errorf("binproto: request %d: unknown evidence kind %d", i, kind)
+				return nil, fmt.Errorf("binproto: request %d: unknown evidence kind %d", i, kind) //mb:allocok cold reject path
 			}
 		}
 	}
@@ -172,6 +174,8 @@ func (st *connState) decodeRequests(payload []byte) ([]engine.Request, error) {
 // the batch, encode the result frame (header included) into st.out.
 // Split from ServeConn so the zero-allocation property is testable
 // directly with testing.AllocsPerRun.
+//
+//mb:noalloc
 func (s *Server) process(ctx context.Context, st *connState, payload []byte) error {
 	reqs, err := st.decodeRequests(payload)
 	if err != nil {
@@ -191,6 +195,8 @@ func (s *Server) process(ctx context.Context, st *connState, payload []byte) err
 
 // readFrame reads one frame into the connection buffers and returns
 // its type and payload view.
+//
+//mb:noalloc
 func (st *connState) readFrame(br *bufio.Reader) (byte, []byte, error) {
 	if _, err := io.ReadFull(br, st.hdr[:]); err != nil {
 		return 0, nil, err
@@ -200,11 +206,11 @@ func (st *connState) readFrame(br *bufio.Reader) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	if cap(st.payload) < n {
-		st.payload = make([]byte, n)
+		st.payload = make([]byte, n) //mb:allocok capacity miss: first frame this size, then reused
 	}
 	st.payload = st.payload[:n]
 	if _, err := io.ReadFull(br, st.payload); err != nil {
-		return 0, nil, fmt.Errorf("binproto: reading %d-byte payload: %w", n, err)
+		return 0, nil, fmt.Errorf("binproto: reading %d-byte payload: %w", n, err) //mb:allocok cold error path
 	}
 	return ftype, st.payload, nil
 }

@@ -161,7 +161,7 @@ func newDurableServer(t *testing.T, rate float64, burst int) (*httptest.Server, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { w.Close() })
+	t.Cleanup(func() { _ = w.Close() })
 	eng := engine.New(engine.WithWorkers(2))
 	l, err := stream.New(eng, stream.Config{Models: []string{"pbm"}, WAL: w})
 	if err != nil {

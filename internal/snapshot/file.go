@@ -24,11 +24,11 @@ func WriteFileAtomic(path string, save func(w io.Writer) error) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op once renamed
 	if err := save(tmp); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // temp file is discarded; save's error is the one to keep
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -49,7 +49,7 @@ func SyncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
+	defer func() { _ = d.Close() }() // read-only directory handle
 	if err := d.Sync(); err != nil &&
 		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
 		return err

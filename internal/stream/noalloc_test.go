@@ -1,0 +1,32 @@
+package stream
+
+import "testing"
+
+// TestOfferNoalloc backs the //mb:noalloc annotation on Sink.Offer:
+// enqueueing into a shard with spare capacity is a mutex, an append
+// into preallocated backing and two counters — no allocation. The
+// drop path (full shard) is measured too; it is even cheaper.
+func TestOfferNoalloc(t *testing.T) {
+	s := NewSink(1, 2048)
+	ev := Event{Session: testSession("q")}
+
+	allocs := testing.AllocsPerRun(500, func() {
+		if !s.Offer(ev) {
+			t.Fatal("Offer dropped with spare capacity")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Offer allocates %v/op, want 0", allocs)
+	}
+
+	for s.Offer(ev) {
+	} // fill the shard
+	allocs = testing.AllocsPerRun(100, func() {
+		if s.Offer(ev) {
+			t.Fatal("Offer accepted into a full shard")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Offer drop path allocates %v/op, want 0", allocs)
+	}
+}

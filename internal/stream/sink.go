@@ -114,6 +114,8 @@ func NewSink(shards, queueCap int) *Sink {
 
 // Offer enqueues one event, returning false (and counting a drop) when
 // the selected shard's buffer is full.
+//
+//mb:noalloc
 func (s *Sink) Offer(ev Event) bool {
 	sh := &s.shards[s.cursor.Add(1)%uint64(len(s.shards))]
 	sh.mu.Lock()

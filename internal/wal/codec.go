@@ -58,6 +58,8 @@ const (
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // appendFrame appends one framed record (header + payload) to dst.
+//
+//mb:noalloc
 func appendFrame(dst []byte, seq uint64, r *Record) []byte {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header backfilled below

@@ -85,6 +85,10 @@ func (p SyncPolicy) String() string {
 // ErrClosed is returned by Append after Close.
 var ErrClosed = errors.New("wal: closed")
 
+// errEmptyRecord is hoisted to package level so Append's reject path
+// stays allocation-free.
+var errEmptyRecord = errors.New("wal: record carries neither session nor snippet")
+
 // manifestName is the inventory file rewritten on rotation and prune.
 const manifestName = "MANIFEST"
 
@@ -336,9 +340,11 @@ func (w *WAL) Policy() SyncPolicy { return w.opt.Sync }
 // records in ticket order; under SyncAlways, Append then waits on the
 // group-committed fsync barrier before returning, so the record is
 // durable; otherwise it is flushed within one SyncInterval.
+//
+//mb:noalloc
 func (w *WAL) Append(rec Record) (uint64, error) {
 	if rec.empty() {
-		return 0, errors.New("wal: record carries neither session nor snippet")
+		return 0, errEmptyRecord
 	}
 	w.inflight.Add(1)
 	if w.closedA.Load() {
@@ -778,7 +784,7 @@ func (w *WAL) openSegmentLocked() error {
 	}
 	hdr := appendSegmentHeader(nil, w.segFirst, time.Now().Unix())
 	if _, err := f.Write(hdr); err != nil {
-		f.Close()
+		_ = f.Close() // segment is unusable; the write error is the one to surface
 		return fmt.Errorf("wal: write segment header: %w", err)
 	}
 	w.f = f

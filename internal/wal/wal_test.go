@@ -46,7 +46,7 @@ func mustOpen(t *testing.T, dir string, opt Options) *WAL {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { w.Close() })
+	t.Cleanup(func() { _ = w.Close() })
 	return w
 }
 
@@ -327,7 +327,9 @@ func TestTornTailTruncated(t *testing.T) {
 	if _, err := f.Write(torn); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
 	before, _ := os.Stat(segs[0])
 
 	w2 := mustOpen(t, dir, Options{})
@@ -413,7 +415,7 @@ func TestCorruptEveryByte(t *testing.T) {
 				t.Fatalf("%s byte %d: lost %d records without a counter: %+v",
 					filepath.Base(seg), off, n-replayed, c)
 			}
-			w2.Close()
+			_ = w2.Close() // WAL opened on deliberately corrupted bytes
 			os.RemoveAll(dir)
 		}
 	}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# lint.sh — the repo's static gate: gofmt, go vet, mbvet (the custom
+# invariant analyzers, driven through go vet's -vettool protocol so
+# cmd/go handles package loading and caching), and — when the pinned
+# tools are installed — staticcheck and govulncheck.
+#
+# Usage: scripts/lint.sh
+# Exits nonzero on any finding. CI installs staticcheck/govulncheck
+# with pinned versions; locally they are skipped with a notice if
+# absent (the container has no network to fetch them).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== gofmt"
+unformatted=$(gofmt -l . | grep -v '/testdata/' || true)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  fail=1
+fi
+
+echo "== go vet"
+go vet ./... || fail=1
+
+echo "== mbvet (invariant analyzers)"
+mkdir -p bin
+go build -o bin/mbvet ./cmd/mbvet
+go vet -vettool="$(pwd)/bin/mbvet" ./... || fail=1
+
+echo "== staticcheck"
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck ./... || fail=1
+else
+  echo "staticcheck not installed; skipping (CI installs it pinned)"
+fi
+
+echo "== govulncheck"
+if command -v govulncheck >/dev/null 2>&1; then
+  govulncheck ./... || fail=1
+else
+  echo "govulncheck not installed; skipping (CI installs it pinned)"
+fi
+
+exit "$fail"
