@@ -28,6 +28,7 @@ import (
 	micro "repro"
 	"repro/internal/classifier"
 	"repro/internal/clickmodel"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/ml"
 	"repro/internal/rewrite"
@@ -985,4 +986,95 @@ func BenchmarkWALReplay(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "sessions/s")
+}
+
+// --- candidate-set scoring fast path (/v1/optimize) ---
+
+// BenchmarkOptimizeCandidates prices the /v1/optimize workload — one
+// query × N candidate snippets that are edits of a common base, so the
+// candidates share almost all of their lines — through three layers:
+//
+//	naive        — ScoreSnippet in a loop, one full tokenise + vocab
+//	               walk per candidate (what a client scoring variants
+//	               one at a time pays)
+//	candidateset — core.ScoreCandidates, the amortised pass: each
+//	               distinct (line, position) pair is tokenised and
+//	               scored once, candidates combine cached partials
+//	engine       — the same pass behind engine resolution + version
+//	               pinning + pooled scratch, i.e. what the server runs
+//
+// The candidate-set pass must hold a ≥5× advantage over naive at
+// N=512 and allocate nothing at steady state; BENCH_optimize.json
+// tracks both (scripts/bench.sh -s optimize).
+func BenchmarkOptimizeCandidates(b *testing.B) {
+	reqs, model := getEngineBench(b)
+	cm := model.Compile()
+	ctx := context.Background()
+
+	// The candidate pool: lines drawn from a dozen sibling creatives,
+	// mixed three at a time — the loadgen -optimize-every workload
+	// shape, with the heavy line sharing real edit spaces have.
+	var pool []string
+	for i := 0; i < len(reqs) && len(pool) < 36; i++ {
+		pool = append(pool, reqs[i].Lines...)
+	}
+	build := func(n int) [][]string {
+		cands := make([][]string, 0, n+1)
+		cands = append(cands, reqs[0].Lines) // slot 0: the base snippet
+		for i := 0; i < n; i++ {
+			cands = append(cands, []string{
+				pool[(i*7)%len(pool)],
+				pool[(i*5+11)%len(pool)],
+				pool[(i*3+23)%len(pool)],
+			})
+		}
+		return cands
+	}
+
+	for _, n := range []int{16, 128, 512} {
+		cands := build(n)
+
+		b.Run(fmt.Sprintf("naive/N=%d", n), func(b *testing.B) {
+			var sc textproc.Scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, lines := range cands {
+					if ctr, _ := cm.ScoreSnippet(lines, 3, &sc); ctr < 0 || ctr > 1 {
+						b.Fatalf("ctr out of range: %v", ctr)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(cands))*float64(b.N)/b.Elapsed().Seconds(), "cand/s")
+		})
+
+		b.Run(fmt.Sprintf("candidateset/N=%d", n), func(b *testing.B) {
+			var cs core.CandidateScratch
+			out := cm.ScoreCandidates(cands, 3, &cs, nil) // warm the arenas
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out = cm.ScoreCandidates(cands, 3, &cs, out)
+				if out[0].CTR < 0 || out[0].CTR > 1 {
+					b.Fatalf("ctr out of range: %v", out[0].CTR)
+				}
+			}
+			b.ReportMetric(float64(len(cands))*float64(b.N)/b.Elapsed().Seconds(), "cand/s")
+		})
+
+		b.Run(fmt.Sprintf("engine/N=%d", n), func(b *testing.B) {
+			eng := micro.NewEngine()
+			eng.UseMicro(model)
+			var out []core.CandidateScore
+			var err error
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if out, _, err = eng.ScoreCandidates(ctx, micro.ModelMicro, cands, 3, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(cands))*float64(b.N)/b.Elapsed().Seconds(), "cand/s")
+		})
+	}
 }

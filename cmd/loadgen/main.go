@@ -12,13 +12,19 @@
 //	loadgen -sessions 50000 -batch 500 -workers 8 -snippets 2
 //	loadgen -sessions 10000 -score-every 4   # 1 score batch per 4 feedback batches
 //	loadgen -sessions 10000 -score-every 1 -proto binary   # score over MBSP frames
+//	loadgen -sessions 10000 -optimize-every 2 -optimize-cands 128   # candidate-set traffic
 //
-// With -proto binary the score batches skip HTTP and JSON entirely:
-// each worker holds one TCP connection to the same port speaking the
-// length-prefixed MBSP framing (internal/server/binproto), which the
-// server sniffs apart from HTTP by the first bytes. Feedback ingest
-// stays on JSON either way — the binary protocol covers the hot
-// scoring path only.
+// With -optimize-every, loadgen mixes POST /v1/optimize calls into the
+// stream: each call is one query × N candidate snippets mixed-and-
+// matched from one adgroup's creatives (the snippet-construction
+// workload the amortised candidate-set path is built for).
+//
+// With -proto binary the score batches and optimize calls skip HTTP
+// and JSON entirely: each worker holds one TCP connection to the same
+// port speaking the length-prefixed MBSP framing
+// (internal/server/binproto), which the server sniffs apart from HTTP
+// by the first bytes. Feedback ingest stays on JSON either way — the
+// binary protocol covers the hot scoring path only.
 //
 // The exit status is non-zero when the server rejects traffic for any
 // reason other than saturation (429 counts as drops, not failure).
@@ -31,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"strings"
@@ -67,6 +74,39 @@ type scoreBody struct {
 	Requests []engine.Request `json:"requests"`
 }
 
+// optimizeBody mirrors the server's /v1/optimize wire shape.
+type optimizeBody struct {
+	Model      string     `json:"model,omitempty"`
+	Query      string     `json:"query,omitempty"`
+	Lines      []string   `json:"lines"`
+	Candidates [][]string `json:"candidates"`
+	MaxN       int        `json:"max_n,omitempty"`
+	TopK       int        `json:"top_k,omitempty"`
+}
+
+// optimizeWorkload mixes-and-matches one adgroup's creative lines into
+// a candidate set: the base is one creative verbatim, every candidate
+// picks each line position from a random sibling. Candidates share
+// lines heavily — the shape the candidate-set fast path amortises.
+func optimizeWorkload(rng *rand.Rand, corpus *adcorpus.Corpus, n int) (query string, base []string, cands [][]string) {
+	g := &corpus.Groups[rng.Intn(len(corpus.Groups))]
+	base = g.Creatives[rng.Intn(len(g.Creatives))].Lines
+	cands = make([][]string, n)
+	for i := range cands {
+		lines := make([]string, len(base))
+		for j := range lines {
+			c := &g.Creatives[rng.Intn(len(g.Creatives))]
+			if j < len(c.Lines) {
+				lines[j] = c.Lines[j]
+			} else {
+				lines[j] = base[j]
+			}
+		}
+		cands[i] = lines
+	}
+	return g.Keyword, base, cands
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
@@ -78,6 +118,9 @@ func main() {
 	impressions := flag.Int("impressions", 50, "impressions aggregated into each snippet event")
 	scoreEvery := flag.Int("score-every", 0, "POST one score batch per N feedback batches (0 = feedback only)")
 	scoreModel := flag.String("score-model", "", "model reference for score traffic (empty = server default)")
+	optimizeEvery := flag.Int("optimize-every", 0, "POST one /v1/optimize call per N feedback batches (0 = none)")
+	optimizeCands := flag.Int("optimize-cands", 64, "candidate snippets per optimize call")
+	optimizeModel := flag.String("optimize-model", "micro", "model reference for optimize traffic")
 	proto := flag.String("proto", "json", "score traffic protocol: json (HTTP) or binary (MBSP frames on the same port)")
 	workers := flag.Int("workers", 4, "concurrent HTTP senders")
 	clients := flag.Int("clients", 1, "distinct X-Client-ID identities to spread traffic across (0 = no header)")
@@ -103,7 +146,7 @@ func main() {
 	sim := serp.New(serp.Config{Seed: *seed + 1})
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	var accepted, dropped, invalid, limited, scored, httpErrs atomic.Uint64
+	var accepted, dropped, invalid, limited, scored, optimized, httpErrs atomic.Uint64
 
 	// One generator feeds request bodies to the sender pool: the
 	// simulator's rng is not safe for concurrent draws, and a single
@@ -112,7 +155,8 @@ func main() {
 		path   string
 		client string // X-Client-ID header ("" = none)
 		body   []byte
-		reqs   []engine.Request // binary score batch (path/body unused)
+		reqs   []engine.Request          // binary score batch (path/body unused)
+		opt    *binproto.OptimizeRequest // binary optimize call (path/body unused)
 	}
 	jobs := make(chan job, *workers)
 	var wg sync.WaitGroup
@@ -130,6 +174,31 @@ func main() {
 				}
 			}()
 			for j := range jobs {
+				if j.opt != nil {
+					if bin == nil {
+						var err error
+						if bin, err = binproto.Dial(binAddr); err != nil {
+							httpErrs.Add(1)
+							log.Printf("binary dial %s: %v", binAddr, err)
+							continue
+						}
+					}
+					res, err := bin.Optimize(*j.opt)
+					if err != nil {
+						httpErrs.Add(1)
+						log.Printf("binary optimize: %v", err)
+						bin.Close()
+						bin = nil
+						continue
+					}
+					if res.Err != "" {
+						httpErrs.Add(1)
+						log.Printf("binary optimize result: %s", res.Err)
+						continue
+					}
+					optimized.Add(1)
+					continue
+				}
 				if j.reqs != nil {
 					if bin == nil {
 						var err error
@@ -195,6 +264,14 @@ func main() {
 						httpErrs.Add(1)
 						log.Printf("feedback status %d", resp.StatusCode)
 					}
+				case "/v1/optimize":
+					io.Copy(io.Discard, resp.Body)
+					if resp.StatusCode != http.StatusOK {
+						httpErrs.Add(1)
+						log.Printf("optimize status %d", resp.StatusCode)
+					} else {
+						optimized.Add(1)
+					}
 				default:
 					io.Copy(io.Discard, resp.Body)
 					if resp.StatusCode != http.StatusOK {
@@ -210,6 +287,7 @@ func main() {
 	}
 
 	start := time.Now()
+	optRng := rand.New(rand.NewSource(*seed + 2))
 	sent, batches := 0, 0
 	for sent < *nSessions {
 		n := *batch
@@ -236,6 +314,25 @@ func main() {
 		sent += n
 		batches++
 
+		if *optimizeEvery > 0 && batches%*optimizeEvery == 0 {
+			query, base, cands := optimizeWorkload(optRng, corpus, *optimizeCands)
+			if binary {
+				jobs <- job{opt: &binproto.OptimizeRequest{
+					ID: fmt.Sprintf("opt-%d", batches), Model: *optimizeModel,
+					MaxN: 2, Lines: base, Candidates: cands,
+				}}
+			} else {
+				body, err := json.Marshal(optimizeBody{
+					Model: *optimizeModel, Query: query, Lines: base,
+					Candidates: cands, MaxN: 2, TopK: 5,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				jobs <- job{path: "/v1/optimize", client: id, body: body}
+			}
+		}
+
 		if *scoreEvery > 0 && batches%*scoreEvery == 0 {
 			reqs := make([]engine.Request, 0, n)
 			for i := range fb.Sessions {
@@ -257,8 +354,8 @@ func main() {
 	elapsed := time.Since(start)
 
 	rate := float64(sent) / elapsed.Seconds()
-	fmt.Printf("replayed %d sessions in %v (%.0f sessions/s): accepted %d, dropped %d, invalid %d, rate-limited batches %d, score batches %d\n",
-		sent, elapsed.Round(time.Millisecond), rate, accepted.Load(), dropped.Load(), invalid.Load(), limited.Load(), scored.Load())
+	fmt.Printf("replayed %d sessions in %v (%.0f sessions/s): accepted %d, dropped %d, invalid %d, rate-limited batches %d, score batches %d, optimize calls %d\n",
+		sent, elapsed.Round(time.Millisecond), rate, accepted.Load(), dropped.Load(), invalid.Load(), limited.Load(), scored.Load(), optimized.Load())
 	if httpErrs.Load() > 0 {
 		log.Printf("%d transport/status errors", httpErrs.Load())
 		os.Exit(1)

@@ -51,6 +51,7 @@
 //	GET  /v1/models
 //	POST /v1/score            {"model":"pbm","session":{...}} or {"lines":[...]}
 //	POST /v1/score/batch      {"requests":[...]}
+//	POST /v1/optimize         {"lines":[...],"candidates":[[...],...]} or {"lines":[...],"inventory":[...]}
 //	POST /v1/feedback         {"sessions":[...],"snippets":[...]}
 //	POST /v1/models/{name}/load      {"path":"/models/pbm-v2.bin"}
 //	POST /v1/models/{name}/rollback

@@ -1,0 +1,8 @@
+//go:build !race
+
+package engine
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation heap-allocates defer records, so exact alloc counts
+// only hold in uninstrumented builds.
+const raceEnabled = false

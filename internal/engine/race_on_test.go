@@ -1,0 +1,5 @@
+//go:build race
+
+package engine
+
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/textproc"
 )
 
@@ -21,9 +22,13 @@ import (
 //     writes that region again, so carved slices stay valid in the
 //     caller's hands while the scratch (and the arena's unused tail)
 //     is recycled.
+//   - cands is the candidate-set working set (line dedup arena plus
+//     per-line partial cache); ScoreCandidates resets it at the top of
+//     every pass, so nothing derived from it survives a request either.
 type scratch struct {
 	text      textproc.Scratch
 	positions floatArena
+	cands     core.CandidateScratch
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}

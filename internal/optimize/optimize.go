@@ -12,23 +12,25 @@
 package optimize
 
 import (
-	"sort"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/snippet"
 	"repro/internal/textproc"
 )
 
-// Edit is one proposed change to a creative.
+// Edit is one proposed change to a creative. The JSON tags are the
+// /v1/optimize wire shape.
 type Edit struct {
 	// Kind is "replace", "insert" or "move".
-	Kind string
+	Kind string `json:"kind"`
 	// Line is the 1-based line the edit touches.
-	Line int
+	Line int `json:"line"`
 	// Old and New are the phrase texts involved ("" where not
 	// applicable: inserts have no Old).
-	Old, New string
+	Old string `json:"old,omitempty"`
+	New string `json:"new,omitempty"`
 }
 
 // Candidate is a scored variant of the base creative.
@@ -49,8 +51,21 @@ type Candidate struct {
 // This is the additive form of Eq. 5 that the snippet classifier learns;
 // the product-form Eq. 3 relevances (always ≤ 1) cannot drive generation
 // because under them every deletion "improves" a snippet.
+//
+// When Model is set it takes over variant scoring: a candidate's score
+// is then the exact Eq. 5 pair score (expected log-probability
+// difference against the base) computed through the compiled model's
+// amortised candidate-set pass — every variant shares the base's
+// tokenised lines, so the search loop pays per distinct edited line,
+// not per variant. The same conservatism note applies: the edit space
+// keeps deletions bounded, so the product-form objective cannot strip a
+// snippet bare.
+//
+// An Optimizer reuses internal scoring arenas across calls and is owned
+// by one goroutine at a time.
 type Optimizer struct {
-	// Attention weighs each micro-position; required.
+	// Attention weighs each micro-position; required for Weights-based
+	// scoring.
 	Attention core.Attention
 	// Weights maps term text to its CTR-lift log odds. Unknown terms
 	// weigh zero.
@@ -62,12 +77,28 @@ type Optimizer struct {
 	// MaxTokensPerLine rejects edits that would overflow a line
 	// (default 12).
 	MaxTokensPerLine int
+	// Model, when non-nil, scores variants through the compiled
+	// micro-browsing model instead of Weights.
+	Model *core.CompiledModel
+
+	// Reused working state of the scoring pass.
+	topk    engine.TopK
+	scratch core.CandidateScratch
+	scores  []core.CandidateScore
+	cands   []Candidate
+	lines   [][]string
 }
 
 // New returns an optimizer over the attention curve, term weights and
 // phrase inventory.
 func New(att core.Attention, weights map[string]float64, inventory []string) *Optimizer {
 	return &Optimizer{Attention: att, Weights: weights, Inventory: inventory, MaxN: 3, MaxTokensPerLine: 12}
+}
+
+// NewModelGuided returns an optimizer that scores variants through a
+// compiled micro-browsing model (the /v1/optimize serving path).
+func NewModelGuided(m *core.CompiledModel, inventory []string) *Optimizer {
+	return &Optimizer{Model: m, Inventory: inventory, MaxN: 3, MaxTokensPerLine: 12}
 }
 
 func (o *Optimizer) maxN() int {
@@ -157,19 +188,16 @@ func replaceInLine(line, old, new string) (string, bool) {
 	return strings.Join(out, " "), true
 }
 
-// Propose enumerates single-edit variants of the creative and returns
-// those the model scores above the base, best first.
-func (o *Optimizer) Propose(base snippet.Creative) []Candidate {
-	var cands []Candidate
+// generate enumerates the single-edit variants of base that respect
+// the per-line token budget, calling emit for each.
+func (o *Optimizer) generate(base snippet.Creative, emit func(snippet.Creative, Edit)) {
 	try := func(c snippet.Creative, e Edit) {
 		for _, line := range c.Lines {
 			if len(textproc.Tokenize(line)) > o.maxTokens() {
 				return
 			}
 		}
-		if s := o.score(c, base); s > 1e-9 {
-			cands = append(cands, Candidate{Creative: c, Edit: e, Score: s})
-		}
+		emit(c, e)
 	}
 
 	for li, line := range base.Lines {
@@ -211,14 +239,70 @@ func (o *Optimizer) Propose(base snippet.Creative) []Candidate {
 			try(v, Edit{Kind: "insert", Line: li + 1, New: phrase})
 		}
 	}
+}
 
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Score != cands[j].Score {
-			return cands[i].Score > cands[j].Score
-		}
-		return cands[i].Creative.Text() < cands[j].Creative.Text()
+// Generate enumerates the single-edit variants of the creative,
+// unscored — the candidate half of the /v1/optimize server path, where
+// scoring happens downstream through the engine's candidate-set pass.
+func (o *Optimizer) Generate(base snippet.Creative) []Candidate {
+	var cands []Candidate
+	o.generate(base, func(c snippet.Creative, e Edit) {
+		cands = append(cands, Candidate{Creative: c, Edit: e})
 	})
 	return cands
+}
+
+// Propose enumerates single-edit variants of the creative and returns
+// those the model scores above the base, best first.
+func (o *Optimizer) Propose(base snippet.Creative) []Candidate {
+	return o.ProposeTop(base, 0)
+}
+
+// ProposeTop is Propose bounded to the k best variants (k <= 0 keeps
+// every improving one). Selection runs through the engine's bounded
+// top-k heap instead of a full sort over the scored variants; equal
+// scores break toward the earlier-generated edit.
+func (o *Optimizer) ProposeTop(base snippet.Creative, k int) []Candidate {
+	o.cands = o.cands[:0]
+	o.generate(base, func(c snippet.Creative, e Edit) {
+		o.cands = append(o.cands, Candidate{Creative: c, Edit: e})
+	})
+
+	if o.Model != nil {
+		// One amortised candidate-set pass scores the base and every
+		// variant; the pair score is the Eq. 5 difference.
+		o.lines = o.lines[:0]
+		o.lines = append(o.lines, base.Lines)
+		for i := range o.cands {
+			o.lines = append(o.lines, o.cands[i].Creative.Lines)
+		}
+		o.scores = o.Model.ScoreCandidates(o.lines, o.maxN(), &o.scratch, o.scores)
+		baseScore := o.scores[0].Score
+		for i := range o.cands {
+			o.cands[i].Score = o.scores[i+1].Score - baseScore
+		}
+	} else {
+		baseScore := o.Score(base)
+		for i := range o.cands {
+			o.cands[i].Score = o.Score(o.cands[i].Creative) - baseScore
+		}
+	}
+
+	if k <= 0 {
+		k = len(o.cands)
+	}
+	o.topk.Reset(k)
+	for i := range o.cands {
+		if o.cands[i].Score > 1e-9 {
+			o.topk.Offer(i, o.cands[i].Score)
+		}
+	}
+	idx, _ := o.topk.Sorted()
+	out := make([]Candidate, len(idx))
+	for r, i := range idx {
+		out[r] = o.cands[i]
+	}
+	return out
 }
 
 // HillClimb applies the best available edit up to steps times, returning
@@ -229,7 +313,7 @@ func (o *Optimizer) HillClimb(base snippet.Creative, steps int) (snippet.Creativ
 	var edits []Edit
 	var total float64
 	for i := 0; i < steps; i++ {
-		cands := o.Propose(cur)
+		cands := o.ProposeTop(cur, 1)
 		if len(cands) == 0 {
 			break
 		}

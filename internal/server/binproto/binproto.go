@@ -13,16 +13,19 @@
 //	offset  size  field
 //	0       4     magic "MBSP"
 //	4       1     protocol version (1)
-//	5       1     frame type (1 score, 2 result, 3 error)
+//	5       1     frame type (1 score, 2 result, 3 error,
+//	              4 optimize, 5 optimize result)
 //	6       2     reserved, must be zero
 //	8       4     payload length (≤ MaxPayload)
 //
 // A score frame carries a request batch; the server answers each with
 // exactly one result frame carrying the response batch in request
 // order, then reads the next frame — a strict request/response cycle
-// per connection (pipeline by opening more connections). A malformed
-// frame is answered with an error frame and the connection closes:
-// framing errors are not recoverable mid-stream.
+// per connection (pipeline by opening more connections). An optimize
+// frame carries one query × N candidate snippets and is answered with
+// exactly one optimize-result frame. A malformed frame is answered
+// with an error frame and the connection closes: framing errors are
+// not recoverable mid-stream.
 //
 // # Batch encoding
 //
@@ -41,6 +44,24 @@
 //	per response:
 //	  str16 id, str16 model, u32 version, f64 ctr, f64 score,
 //	  u16 npositions, npositions × f64, str16 error
+//
+// An optimize payload is one candidate-set scoring call (the binary
+// analogue of POST /v1/optimize; candidates are always explicit —
+// server-side generation is a JSON-surface affordance):
+//
+//	str16 id, str16 model, u8 maxN, u16 topK (0 = all)
+//	u16 nlines, nlines × str16              (base snippet)
+//	u32 ncands
+//	per candidate: u16 nlines, nlines × str16
+//
+// An optimize-result payload is:
+//
+//	str16 id, str16 model, u32 version
+//	f64 base ctr, f64 base score
+//	u32 best (0 = the base wins, k = candidate k−1)
+//	u32 nranked
+//	per ranked (best first): u32 candidate index, f64 ctr, f64 score
+//	str16 error
 //
 // An error payload is a single str16 message.
 //
@@ -77,9 +98,11 @@ var Magic = [4]byte{'M', 'B', 'S', 'P'}
 
 // Frame types.
 const (
-	FrameScore  = 1 // client → server: request batch
-	FrameResult = 2 // server → client: response batch
-	FrameError  = 3 // server → client: connection-fatal message
+	FrameScore          = 1 // client → server: request batch
+	FrameResult         = 2 // server → client: response batch
+	FrameError          = 3 // server → client: connection-fatal message
+	FrameOptimize       = 4 // client → server: one query × N candidates
+	FrameOptimizeResult = 5 // server → client: ranked candidate set
 )
 
 // Evidence kinds inside a score frame.
@@ -243,6 +266,74 @@ func AppendResponses(out []byte, resps []engine.Response) ([]byte, error) {
 			out = appendF64(out, p)
 		}
 		if out, err = appendStr16(out, r.Error); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// OptimizeRequest is the client-side shape of one optimize frame: the
+// base snippet plus explicit candidate variants, scored in one
+// amortised candidate-set pass on the server.
+type OptimizeRequest struct {
+	ID    string
+	Model string
+	// MaxN is the n-gram ceiling (0 takes the server default).
+	MaxN int
+	// TopK bounds the ranked candidates in the result (0 keeps all).
+	TopK int
+	// Lines is the base snippet the candidates compete against.
+	Lines []string
+	// Candidates are the variant snippets to rank.
+	Candidates [][]string
+}
+
+// appendSnippet encodes u16 nlines + each line as str16.
+func appendSnippet(out []byte, lines []string) ([]byte, error) {
+	if len(lines) > maxStr {
+		return out, fmt.Errorf("binproto: %d lines exceed the %d limit", len(lines), maxStr)
+	}
+	out = appendU16(out, uint16(len(lines)))
+	var err error
+	for _, l := range lines {
+		if out, err = appendStr16(out, l); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// AppendOptimize encodes an optimize-frame payload onto out — the
+// client-side encoder; the server decodes the exact inverse.
+func AppendOptimize(out []byte, req *OptimizeRequest) ([]byte, error) {
+	if len(req.Candidates) > MaxBatch {
+		return out, fmt.Errorf("binproto: candidate set of %d exceeds the %d limit; split it", len(req.Candidates), MaxBatch)
+	}
+	var err error
+	if out, err = appendStr16(out, req.ID); err != nil {
+		return out, err
+	}
+	if out, err = appendStr16(out, req.Model); err != nil {
+		return out, err
+	}
+	if req.MaxN < 0 || req.MaxN > 255 {
+		return out, fmt.Errorf("binproto: max_n %d out of range", req.MaxN)
+	}
+	out = append(out, byte(req.MaxN))
+	topK := req.TopK
+	if topK < 0 {
+		topK = 0
+	}
+	if topK > maxStr {
+		return out, fmt.Errorf("binproto: top_k %d out of range", req.TopK)
+	}
+	out = appendU16(out, uint16(topK))
+	if out, err = appendSnippet(out, req.Lines); err != nil {
+		return out, err
+	}
+	out = appendU32(out, uint32(len(req.Candidates)))
+	for _, cand := range req.Candidates {
+		if out, err = appendSnippet(out, cand); err != nil {
 			return out, err
 		}
 	}

@@ -25,6 +25,8 @@ type Client struct {
 	payload   []byte
 	resps     []engine.Response
 	positions []float64
+	ranked    []RankedCandidate
+	optResult OptimizeResult
 	hdr       [HeaderSize]byte
 }
 
@@ -77,6 +79,93 @@ func (c *Client) ScoreBatch(reqs []engine.Request) ([]engine.Response, error) {
 	default:
 		return nil, fmt.Errorf("binproto: unexpected frame type %d (want result)", ftype)
 	}
+}
+
+// RankedCandidate is one entry of an optimize result: the candidate's
+// position in the request's candidate list and its predicted scores.
+type RankedCandidate struct {
+	Index int
+	CTR   float64
+	Score float64
+}
+
+// OptimizeResult is the decoded optimize-result frame. Best is the
+// winning candidate's index, or -1 when no candidate beats the base.
+// A semantic scoring failure (unknown model, macro model) arrives in
+// Err with everything else zero; the connection stays usable.
+type OptimizeResult struct {
+	ID           string
+	Model        string
+	ModelVersion int
+	BaseCTR      float64
+	BaseScore    float64
+	Best         int
+	Ranked       []RankedCandidate
+	Err          string
+}
+
+// Optimize sends one optimize frame (one query × N candidate
+// snippets) and decodes the matching optimize-result frame. Like
+// ScoreBatch, the result reuses client-owned buffers and is valid only
+// until the next call.
+func (c *Client) Optimize(req OptimizeRequest) (*OptimizeResult, error) {
+	var zeroHdr [HeaderSize]byte
+	c.out = append(c.out[:0], zeroHdr[:]...)
+	var err error
+	if c.out, err = AppendOptimize(c.out, &req); err != nil {
+		return nil, err
+	}
+	putHeader(c.out, FrameOptimize, len(c.out)-HeaderSize)
+	if _, err := c.conn.Write(c.out); err != nil {
+		return nil, err
+	}
+
+	ftype, payload, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	switch ftype {
+	case FrameOptimizeResult:
+		return c.decodeOptimizeResult(payload)
+	case FrameError:
+		r := reader{b: payload}
+		msg := r.str()
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("binproto: server error: %s", msg)
+	default:
+		return nil, fmt.Errorf("binproto: unexpected frame type %d (want optimize result)", ftype)
+	}
+}
+
+func (c *Client) decodeOptimizeResult(payload []byte) (*OptimizeResult, error) {
+	r := reader{b: payload}
+	res := &c.optResult
+	*res = OptimizeResult{}
+	res.ID = r.str()
+	res.Model = r.str()
+	res.ModelVersion = int(r.u32())
+	res.BaseCTR = r.f64()
+	res.BaseScore = r.f64()
+	res.Best = int(r.u32()) - 1
+	n := int(r.u32())
+	if r.err == nil && n > MaxBatch {
+		return nil, fmt.Errorf("binproto: ranked set of %d exceeds the %d limit", n, MaxBatch)
+	}
+	if cap(c.ranked) < n {
+		c.ranked = make([]RankedCandidate, n)
+	}
+	c.ranked = c.ranked[:n]
+	for i := 0; i < n && r.err == nil; i++ {
+		c.ranked[i] = RankedCandidate{Index: int(r.u32()), CTR: r.f64(), Score: r.f64()}
+	}
+	res.Err = r.str()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	res.Ranked = c.ranked
+	return res, nil
 }
 
 func (c *Client) readFrame() (byte, []byte, error) {

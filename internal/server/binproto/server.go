@@ -91,6 +91,8 @@ type connState struct {
 	clicks    []bool
 	sessions  []clickmodel.Session
 	sessSpans []sessSpan
+
+	opt optState
 }
 
 // decodeRequests rebuilds the request batch from a score payload.
@@ -250,16 +252,23 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 			}
 			return
 		}
-		if ftype != FrameScore {
+		var perr error
+		switch ftype {
+		case FrameScore:
+			s.frames.Add(1)
+			perr = s.process(ctx, st, payload)
+		case FrameOptimize:
+			s.frames.Add(1)
+			perr = s.processOptimize(ctx, st, payload)
+		default:
 			s.errs.Add(1)
-			writeError(conn, fmt.Sprintf("binproto: unexpected frame type %d (want score)", ftype))
+			writeError(conn, fmt.Sprintf("binproto: unexpected frame type %d (want score or optimize)", ftype))
 			return
 		}
-		s.frames.Add(1)
-		if err := s.process(ctx, st, payload); err != nil {
+		if perr != nil {
 			s.errs.Add(1)
-			s.log.Printf("binproto %s: %v", conn.RemoteAddr(), err)
-			writeError(conn, err.Error())
+			s.log.Printf("binproto %s: %v", conn.RemoteAddr(), perr)
+			writeError(conn, perr.Error())
 			return
 		}
 		if _, err := conn.Write(st.out); err != nil {

@@ -1,0 +1,170 @@
+package server
+
+// End-to-end optimizer lift test: the full serve→optimize→feedback
+// loop under the user simulator's ground truth. Snippet feedback
+// streams in through /v1/feedback, the online learner publishes a
+// micro model, /v1/optimize picks a variant off that learned model,
+// and the simulator then realizes impressions of the default snippet
+// versus the optimizer's pick — which also flow back through
+// /v1/feedback, the way the loop runs in production. The optimizer's
+// realized click-through rate must beat the default snippet's.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/adcorpus"
+	"repro/internal/engine"
+	"repro/internal/serp"
+	"repro/internal/stream"
+)
+
+func TestOptimizeFeedbackLoopBeatsBaseline(t *testing.T) {
+	corpus := adcorpus.Generate(adcorpus.Config{Seed: 17, Groups: 40}, adcorpus.DefaultLexicon())
+	sim := serp.New(serp.Config{Seed: 18})
+
+	eng := engine.New(engine.WithWorkers(2))
+	l, err := stream.New(eng, stream.Config{
+		Models:    []string{"micro"},
+		Shards:    2,
+		QueueCap:  8192,
+		Attention: serp.DefaultAttention(),
+		MicroMaxN: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	ts := httptest.NewServer(New(eng, nil, WithLearner(l)))
+	t.Cleanup(ts.Close)
+
+	// Pick the adgroup with the widest planted quality gap: the worst
+	// creative is the "default snippet", its siblings the candidates.
+	var group *adcorpus.Group
+	var baseIdx int
+	bestGap := 0.0
+	for gi := range corpus.Groups {
+		g := &corpus.Groups[gi]
+		lo, hi := 0, 0
+		for ci := range g.Creatives {
+			p := sim.MarginalClickProb(&g.Creatives[ci])
+			if p < sim.MarginalClickProb(&g.Creatives[lo]) {
+				lo = ci
+			}
+			if p > sim.MarginalClickProb(&g.Creatives[hi]) {
+				hi = ci
+			}
+		}
+		gap := sim.MarginalClickProb(&g.Creatives[hi]) - sim.MarginalClickProb(&g.Creatives[lo])
+		if gap > bestGap {
+			bestGap, group, baseIdx = gap, g, lo
+		}
+	}
+	if group == nil || bestGap <= 0.02 {
+		t.Fatalf("corpus has no adgroup with a usable quality gap (best %v)", bestGap)
+	}
+	base := &group.Creatives[baseIdx]
+
+	// Stream micro feedback through the wire: a broad pass over the
+	// corpus plus concentrated traffic on the target group, so the
+	// learned relevances separate its creatives.
+	feed := func(c *adcorpus.Creative, impressions int) stream.SnippetEvent {
+		clicks := 0
+		for k := 0; k < impressions; k++ {
+			if _, clicked := sim.Impress(c); clicked {
+				clicks++
+			}
+		}
+		return stream.SnippetEvent{Lines: c.Lines, Impressions: impressions, Clicks: clicks}
+	}
+	var events []stream.SnippetEvent
+	for gi := range corpus.Groups {
+		for ci := range corpus.Groups[gi].Creatives {
+			events = append(events, feed(&corpus.Groups[gi].Creatives[ci], 400))
+		}
+	}
+	for round := 0; round < 10; round++ {
+		for ci := range group.Creatives {
+			events = append(events, feed(&group.Creatives[ci], 400))
+		}
+	}
+	for start := 0; start < len(events); start += 100 {
+		end := start + 100
+		if end > len(events) {
+			end = len(events)
+		}
+		var fb feedbackResponse
+		if code := postJSON(t, ts.URL+"/v1/feedback", feedbackRequest{Snippets: events[start:end]}, &fb); code != http.StatusOK {
+			t.Fatalf("feedback status %d", code)
+		}
+		if fb.Accepted != end-start {
+			t.Fatalf("feedback accepted %d of %d", fb.Accepted, end-start)
+		}
+	}
+	if _, err := l.Publish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Optimize the default snippet against its siblings through the
+	// learned model.
+	cands := make([][]string, 0, len(group.Creatives)-1)
+	truth := make([]*adcorpus.Creative, 0, len(group.Creatives)-1)
+	for ci := range group.Creatives {
+		if ci == baseIdx {
+			continue
+		}
+		cands = append(cands, group.Creatives[ci].Lines)
+		truth = append(truth, &group.Creatives[ci])
+	}
+	var got optimizeResponse
+	code := postJSON(t, ts.URL+"/v1/optimize", optimizeRequest{
+		Model: "micro", Query: group.Keyword, Lines: base.Lines, Candidates: cands, MaxN: 2,
+	}, &got)
+	if code != http.StatusOK {
+		t.Fatalf("optimize status %d: %+v", code, got)
+	}
+	if got.Best.Index < 0 {
+		t.Fatalf("optimizer kept the default snippet (gap %v): %+v", bestGap, got)
+	}
+	pick := truth[got.Best.Index]
+
+	// The pick must genuinely beat the default under the simulator's
+	// planted ground truth...
+	if sim.MarginalClickProb(pick) <= sim.MarginalClickProb(base) {
+		t.Fatalf("optimizer picked a truly worse creative: %v vs %v",
+			sim.MarginalClickProb(pick), sim.MarginalClickProb(base))
+	}
+
+	// ...and in realized traffic: impress both heavily, replaying the
+	// outcomes through /v1/feedback like production impressions, and
+	// compare click-through among examined impressions.
+	const n = 30000
+	realize := func(c *adcorpus.Creative) (examined, clicks int) {
+		for k := 0; k < n; k++ {
+			ex, clicked := sim.Impress(c)
+			if ex {
+				examined++
+			}
+			if clicked {
+				clicks++
+			}
+		}
+		var fb feedbackResponse
+		if code := postJSON(t, ts.URL+"/v1/feedback", feedbackRequest{
+			Snippets: []stream.SnippetEvent{{Lines: c.Lines, Impressions: examined, Clicks: clicks}},
+		}, &fb); code != http.StatusOK || fb.Accepted != 1 {
+			t.Fatalf("replaying impressions: %d %+v", code, fb)
+		}
+		return examined, clicks
+	}
+	bx, bc := realize(base)
+	px, pc := realize(pick)
+	baseCTR := float64(bc) / float64(bx)
+	pickCTR := float64(pc) / float64(px)
+	if pickCTR <= baseCTR {
+		t.Fatalf("optimized snippet's realized CTR %.4f does not beat the default's %.4f (true gap %v)",
+			pickCTR, baseCTR, bestGap)
+	}
+	t.Logf("realized CTR: default %.4f → optimized %.4f (planted gap %.4f)", baseCTR, pickCTR, bestGap)
+}

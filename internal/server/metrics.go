@@ -8,44 +8,50 @@ import "sync/atomic"
 // feedback outcomes, admin actions — the numbers a load generator or a
 // dashboard needs to tell "serving and learning" from "quietly broken".
 type metrics struct {
-	requests       atomic.Uint64 // every HTTP request routed
-	scores         atomic.Uint64 // POST /v1/score calls
-	batches        atomic.Uint64 // POST /v1/score/batch calls
-	batchRequests  atomic.Uint64 // requests inside those batches
-	feedbacks      atomic.Uint64 // POST /v1/feedback calls
-	feedbackEvents atomic.Uint64 // events inside those calls (pre-ingest)
-	loads          atomic.Uint64 // snapshot hot-swaps
-	rollbacks      atomic.Uint64
-	snapshots      atomic.Uint64 // snapshot exports
-	errors         atomic.Uint64 // non-2xx responses written
+	requests           atomic.Uint64 // every HTTP request routed
+	scores             atomic.Uint64 // POST /v1/score calls
+	batches            atomic.Uint64 // POST /v1/score/batch calls
+	batchRequests      atomic.Uint64 // requests inside those batches
+	optimizes          atomic.Uint64 // POST /v1/optimize calls
+	optimizeCandidates atomic.Uint64 // candidates scored inside those calls
+	feedbacks          atomic.Uint64 // POST /v1/feedback calls
+	feedbackEvents     atomic.Uint64 // events inside those calls (pre-ingest)
+	loads              atomic.Uint64 // snapshot hot-swaps
+	rollbacks          atomic.Uint64
+	snapshots          atomic.Uint64 // snapshot exports
+	errors             atomic.Uint64 // non-2xx responses written
 }
 
 // MetricsSnapshot is the wire form of the serving counters on
 // GET /healthz.
 type MetricsSnapshot struct {
-	Requests       uint64 `json:"requests"`
-	Scores         uint64 `json:"scores"`
-	Batches        uint64 `json:"batches"`
-	BatchRequests  uint64 `json:"batch_requests"`
-	Feedbacks      uint64 `json:"feedbacks"`
-	FeedbackEvents uint64 `json:"feedback_events"`
-	Loads          uint64 `json:"loads"`
-	Rollbacks      uint64 `json:"rollbacks"`
-	Snapshots      uint64 `json:"snapshots"`
-	Errors         uint64 `json:"errors"`
+	Requests           uint64 `json:"requests"`
+	Scores             uint64 `json:"scores"`
+	Batches            uint64 `json:"batches"`
+	BatchRequests      uint64 `json:"batch_requests"`
+	Optimizes          uint64 `json:"optimizes"`
+	OptimizeCandidates uint64 `json:"optimize_candidates"`
+	Feedbacks          uint64 `json:"feedbacks"`
+	FeedbackEvents     uint64 `json:"feedback_events"`
+	Loads              uint64 `json:"loads"`
+	Rollbacks          uint64 `json:"rollbacks"`
+	Snapshots          uint64 `json:"snapshots"`
+	Errors             uint64 `json:"errors"`
 }
 
 func (m *metrics) snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Requests:       m.requests.Load(),
-		Scores:         m.scores.Load(),
-		Batches:        m.batches.Load(),
-		BatchRequests:  m.batchRequests.Load(),
-		Feedbacks:      m.feedbacks.Load(),
-		FeedbackEvents: m.feedbackEvents.Load(),
-		Loads:          m.loads.Load(),
-		Rollbacks:      m.rollbacks.Load(),
-		Snapshots:      m.snapshots.Load(),
-		Errors:         m.errors.Load(),
+		Requests:           m.requests.Load(),
+		Scores:             m.scores.Load(),
+		Batches:            m.batches.Load(),
+		BatchRequests:      m.batchRequests.Load(),
+		Optimizes:          m.optimizes.Load(),
+		OptimizeCandidates: m.optimizeCandidates.Load(),
+		Feedbacks:          m.feedbacks.Load(),
+		FeedbackEvents:     m.feedbackEvents.Load(),
+		Loads:              m.loads.Load(),
+		Rollbacks:          m.rollbacks.Load(),
+		Snapshots:          m.snapshots.Load(),
+		Errors:             m.errors.Load(),
 	}
 }

@@ -35,6 +35,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("microserve_scores_total", "POST /v1/score calls.", m.Scores)
 	p.counter("microserve_score_batches_total", "POST /v1/score/batch calls.", m.Batches)
 	p.counter("microserve_score_batch_requests_total", "Requests inside score batches.", m.BatchRequests)
+	p.counter("microserve_optimizes_total", "POST /v1/optimize calls.", m.Optimizes)
+	p.counter("microserve_optimize_candidates_total", "Candidates scored inside optimize calls.", m.OptimizeCandidates)
 	p.counter("microserve_feedbacks_total", "POST /v1/feedback calls.", m.Feedbacks)
 	p.counter("microserve_feedback_events_total", "Events inside feedback calls (pre-ingest).", m.FeedbackEvents)
 	p.counter("microserve_model_loads_total", "Snapshot hot-swaps.", m.Loads)

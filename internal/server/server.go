@@ -12,6 +12,7 @@
 //	GET  /v1/models                  — metadata of every installed version
 //	POST /v1/score                   — score one engine.Request
 //	POST /v1/score/batch             — score a request slice concurrently
+//	POST /v1/optimize                — rank candidate snippets in one amortised pass
 //	POST /v1/feedback                — ingest click feedback (single + batch)
 //	POST /v1/models/{name}/load      — hot-swap a snapshot artifact in
 //	POST /v1/models/{name}/rollback  — move the latest pointer back
@@ -122,6 +123,7 @@ func New(eng *engine.Engine, logger *log.Logger, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/score", s.handleScore)
 	s.mux.HandleFunc("POST /v1/score/batch", s.handleScoreBatch)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	s.mux.HandleFunc("POST /v1/models/{name}/load", s.handleLoad)
 	s.mux.HandleFunc("POST /v1/models/{name}/rollback", s.handleRollback)

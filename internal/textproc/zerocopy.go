@@ -126,8 +126,20 @@ type Scratch struct {
 // returned slice and the bytes it indexes are invalidated by the next
 // Tokenize call on the same Scratch.
 func (sc *Scratch) Tokenize(line string) []TokenSpan {
-	norm := sc.Norm[:0]
-	spans := sc.Spans[:0]
+	sc.Norm, sc.Spans = appendTokens(sc.Norm[:0], sc.Spans[:0], line)
+	return sc.Spans
+}
+
+// appendTokens is Tokenize's core as an arena append: it normalises
+// line onto the end of norm, appends the token spans (absolute offsets
+// into norm) and returns the grown slices. The joining space is only
+// emitted between tokens of THIS line — the first token starts flush
+// against whatever norm already holds — so n-gram windows can never
+// bleed across lines when many lines share one arena
+// (CandidateSet) and a single line starting at offset 0 reproduces
+// Scratch.Tokenize byte for byte.
+func appendTokens(norm []byte, spans []TokenSpan, line string) ([]byte, []TokenSpan) {
+	base := len(norm)
 	start := -1 // byte offset of the open token, -1 when closed
 	th := uint64(hashSeed)
 	for i := 0; i < len(line); {
@@ -147,7 +159,7 @@ func (sc *Scratch) Tokenize(line string) []TokenSpan {
 				b = out
 			}
 			if start < 0 {
-				if len(norm) > 0 {
+				if len(norm) > base {
 					norm = append(norm, ' ')
 				}
 				start = len(norm)
@@ -182,8 +194,7 @@ func (sc *Scratch) Tokenize(line string) []TokenSpan {
 	if start >= 0 {
 		spans = append(spans, TokenSpan{Start: start, End: len(norm), Hash: th})
 	}
-	sc.Norm, sc.Spans = norm, spans
-	return spans
+	return norm, spans
 }
 
 // TermVocab interns term texts to dense int32 IDs behind an

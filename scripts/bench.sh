@@ -16,6 +16,9 @@
 #   serve      — BenchmarkServeProtocol/* (JSON vs MBSP binary framing
 #                over real TCP) + BenchmarkSnapshotLoad/* (v1 decode vs
 #                v2 mmap at 1/10/100MB artifacts), BENCH_engine.json
+#   optimize   — BenchmarkOptimizeCandidates/* (naive per-candidate
+#                loop vs the amortised candidate-set pass vs the full
+#                engine path at N=16/128/512), BENCH_optimize.json
 #   stream     — BenchmarkStream* (online-loop ingest / fold / publish),
 #                BENCH_stream.json
 #   wal        — BenchmarkWAL* (feedback-log append per fsync policy,
@@ -52,9 +55,10 @@ case "$suite" in
   engine)     pattern="EngineScoreBatch"; default_out="BENCH_engine.json" ;;
   micro)      pattern="MicroScore|ExtractTermsPath"; default_out="BENCH_engine.json" ;;
   serve)      pattern="ServeProtocol|SnapshotLoad"; default_out="BENCH_engine.json" ;;
+  optimize)   pattern="OptimizeCandidates"; default_out="BENCH_optimize.json" ;;
   stream)     pattern="Stream"; default_out="BENCH_stream.json" ;;
   wal)        pattern="WAL"; default_out="BENCH_wal.json" ;;
-  *) echo "bench.sh: unknown suite $suite (clickmodel, engine, micro, serve, stream, wal)" >&2; exit 2 ;;
+  *) echo "bench.sh: unknown suite $suite (clickmodel, engine, micro, serve, optimize, stream, wal)" >&2; exit 2 ;;
 esac
 out="${out:-$default_out}"
 
@@ -77,18 +81,20 @@ results=$(awk '
     name = $1
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
-    ns = ""; bytes = ""; allocs = ""; reqs = ""; sess = ""
+    ns = ""; bytes = ""; allocs = ""; reqs = ""; sess = ""; cand = ""
     for (i = 3; i <= NF; i++) {
       if ($i == "ns/op") ns = $(i-1)
       else if ($i == "B/op") bytes = $(i-1)
       else if ($i == "allocs/op") allocs = $(i-1)
       else if ($i == "req/s") reqs = $(i-1)
       else if ($i == "sessions/s") sess = $(i-1)
+      else if ($i == "cand/s") cand = $(i-1)
     }
     if (ns == "") next
     extra = ""
     if (reqs != "") extra = sprintf(", \"req_per_s\": %s", reqs)
     if (sess != "") extra = extra sprintf(", \"sessions_per_s\": %s", sess)
+    if (cand != "") extra = extra sprintf(", \"cand_per_s\": %s", cand)
     printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}", sep, name, $2, ns, bytes, allocs, extra
     sep = ",\n"
   }

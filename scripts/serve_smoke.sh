@@ -3,7 +3,9 @@
 # feedback → republish loop: build the three binaries, fit a small PBM
 # and snapshot it, start microserve with the artifact, the online
 # learner and the feedback WAL enabled, hit /healthz and /metrics,
-# score through both browsing levels, hot-swap the artifact a second
+# score through both browsing levels, rank candidate snippets through
+# /v1/optimize (explicit candidates, server-side generation, and both
+# wire protocols under loadgen), hot-swap the artifact a second
 # time, replay simulated feedback with loadgen until a new model
 # version auto-publishes, export it back to disk through the admin
 # surface — then kill -9 the server, restart it on the same WAL
@@ -65,6 +67,10 @@ check micro-score "$(curl -fs -X POST "http://$addr/v1/score" \
   -d '{"id":"m1","lines":["Acme Air","Find cheap flights"]}')" '"model":"micro"'
 check batch "$(curl -fs -X POST "http://$addr/v1/score/batch" \
   -d '{"requests":[{"id":"a","lines":["Find cheap flights"]}]}')" '"id":"a"'
+check optimize "$(curl -fs -X POST "http://$addr/v1/optimize" \
+  -d '{"id":"opt1","lines":["Acme Air","Find cheap flights"],"candidates":[["Acme Air","Find cheap flights to Rome"],["Acme Air"]],"top_k":1}')" '"best":'
+check optimize-generate "$(curl -fs -X POST "http://$addr/v1/optimize" \
+  -d '{"id":"opt2","lines":["Acme Air","Find cheap flights"],"inventory":["cheap flights to rome","book today"]}')" '"generated":'
 check hot-swap "$(curl -fs -X POST "http://$addr/v1/models/pbm/load" \
   -d "{\"path\":\"$workdir/pbm.bin\"}")" '"version":2'
 check rollback "$(curl -fs -X POST "http://$addr/v1/models/pbm/rollback" -d '{}')" '"version":1'
@@ -106,13 +112,13 @@ if [ "$reload_ctr" != "$base_ctr" ]; then
 fi
 echo "serve_smoke: v2 round trip ok (ctr $base_ctr preserved across conv/export/reload)"
 
-echo "serve_smoke: binary-protocol score traffic through the shared port"
+echo "serve_smoke: binary-protocol score + optimize traffic through the shared port"
 "$workdir/loadgen" -addr "http://$addr" -sessions 400 -batch 100 -clients 2 \
-  -score-every 1 -score-model pbm -proto binary
+  -score-every 1 -score-model pbm -optimize-every 2 -proto binary
 
-echo "serve_smoke: replaying feedback traffic"
+echo "serve_smoke: replaying feedback traffic (with JSON optimize calls)"
 "$workdir/loadgen" -addr "http://$addr" -sessions 2000 -batch 250 -snippets 2 \
-  -clients 4 -score-every 2 -score-model pbm
+  -clients 4 -score-every 2 -score-model pbm -optimize-every 4
 
 published=""
 for _ in $(seq 100); do
@@ -132,6 +138,13 @@ echo "serve_smoke: online publish ok"
 
 health=$(curl -fs "http://$addr/healthz")
 check stream-counters "$health" '"publishes":'
+optimizes=$(printf '%s' "$health" | sed -n 's/.*"optimizes":\([0-9]*\).*/\1/p')
+if [ -z "$optimizes" ] || [ "$optimizes" -lt 4 ]; then
+  echo "serve_smoke: only ${optimizes:-0} optimize calls counted (want the curl pair plus loadgen traffic)" >&2
+  echo "$health" >&2
+  exit 1
+fi
+echo "serve_smoke: optimize-counters ok ($optimizes calls)"
 accepted=$(printf '%s' "$health" | sed -n 's/.*"accepted":\([0-9]*\).*/\1/p')
 if [ -z "$accepted" ] || [ "$accepted" -lt 2000 ]; then
   echo "serve_smoke: stream accepted only ${accepted:-0} of the ~2016 replayed events" >&2
