@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/rewrite"
 	"repro/internal/serp"
 	"repro/internal/server"
@@ -1077,4 +1078,76 @@ func BenchmarkOptimizeCandidates(b *testing.B) {
 			b.ReportMetric(float64(len(cands))*float64(b.N)/b.Elapsed().Seconds(), "cand/s")
 		})
 	}
+}
+
+// --- observability tax ---
+
+// BenchmarkObsHistogramRecord prices one obs.Histogram.Record — the
+// primitive every instrumented hot path pays per sample. It must stay
+// a handful of nanoseconds and exactly zero allocations, or the
+// observability layer has no business inside the scoring loop. The
+// parallel sub-bench hammers one histogram from every hardware thread
+// to expose the contended-cache-line cost a busy server actually sees.
+func BenchmarkObsHistogramRecord(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		var h obs.Histogram
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Record(uint64(i)&0xFFFFF + 1)
+		}
+		if h.Snapshot().Count != uint64(b.N) {
+			b.Fatal("histogram lost samples")
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		var h obs.Histogram
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			v := uint64(1)
+			for pb.Next() {
+				h.Record(v&0xFFFFF + 1)
+				v += 2654435761 // Fibonacci-hash stride: cheap spread over buckets
+			}
+		})
+		if h.Snapshot().Count != uint64(b.N) {
+			b.Fatal("histogram lost samples")
+		}
+	})
+}
+
+// BenchmarkObsScoreBatch prices the instrumentation tax on the
+// engine's hottest path: the same 4-worker batch scored with no
+// observer attached (off) and with the full stage-timing + sampled
+// per-score + predicted-CTR pipeline (on). The acceptance bar is the
+// two staying within 5% of each other — the observer costs two
+// monotonic clock reads per batch plus a 1-in-64 sampled score timing,
+// which amortises to noise over a multi-thousand-request batch.
+func BenchmarkObsScoreBatch(b *testing.B) {
+	reqs, model := getEngineBench(b)
+	ctx := context.Background()
+	run := func(b *testing.B, eng *micro.Engine) {
+		eng.UseMicro(model)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resps := eng.ScoreBatch(ctx, reqs)
+			if resps[0].Err != nil {
+				b.Fatal(resps[0].Err)
+			}
+		}
+		b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, micro.NewEngine(micro.WithWorkers(4)))
+	})
+	b.Run("on", func(b *testing.B) {
+		eo := &micro.EngineObserver{}
+		eng := micro.NewEngine(micro.WithWorkers(4), micro.WithObserver(eo))
+		run(b, eng)
+		if eo.Batch.Snapshot().Count == 0 {
+			b.Fatal("observer attached but batch stage never recorded")
+		}
+	})
 }

@@ -26,6 +26,11 @@
 // by the first bytes. Feedback ingest stays on JSON either way — the
 // binary protocol covers the hot scoring path only.
 //
+// At exit loadgen reports client-observed latency quantiles
+// (p50/p95/p99) per traffic class — feedback, score, optimize — from
+// the same log2-bucketed histograms the server uses (internal/obs),
+// so client-side and /metrics numbers are directly comparable.
+//
 // The exit status is non-zero when the server rejects traffic for any
 // reason other than saturation (429 counts as drops, not failure).
 package main
@@ -48,9 +53,39 @@ import (
 	"repro/internal/adcorpus"
 	"repro/internal/clickmodel"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/serp"
 	"repro/internal/server/binproto"
 )
+
+// Client-side latency histograms per traffic class, shared by the
+// sender pool (obs.Histogram records are atomic). Samples are
+// nanoseconds of full request round trips — including body drain, so
+// the numbers line up with what a real caller experiences rather than
+// with the server's own service-time histograms.
+var feedbackLat, scoreLat, optimizeLat obs.Histogram
+
+// latFor maps an HTTP job path to its latency class.
+func latFor(path string) *obs.Histogram {
+	switch path {
+	case "/v1/feedback":
+		return &feedbackLat
+	case "/v1/optimize":
+		return &optimizeLat
+	default:
+		return &scoreLat
+	}
+}
+
+// printLatency reports one class's client-observed quantiles.
+func printLatency(name string, h *obs.Histogram) {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return
+	}
+	fmt.Printf("  %-8s n=%-6d p50=%.2fms p95=%.2fms p99=%.2fms mean=%.2fms\n",
+		name, s.Count, s.Quantile(0.5)/1e6, s.Quantile(0.95)/1e6, s.Quantile(0.99)/1e6, s.Mean()/1e6)
+}
 
 // feedbackBody mirrors the server's /v1/feedback wire shape.
 type feedbackBody struct {
@@ -183,7 +218,9 @@ func main() {
 							continue
 						}
 					}
+					t0 := time.Now()
 					res, err := bin.Optimize(*j.opt)
+					optimizeLat.RecordSince(t0)
 					if err != nil {
 						httpErrs.Add(1)
 						log.Printf("binary optimize: %v", err)
@@ -208,7 +245,9 @@ func main() {
 							continue
 						}
 					}
+					t0 := time.Now()
 					resps, err := bin.ScoreBatch(j.reqs)
+					scoreLat.RecordSince(t0)
 					if err != nil {
 						httpErrs.Add(1)
 						log.Printf("binary score: %v", err)
@@ -238,6 +277,7 @@ func main() {
 				if j.client != "" {
 					req.Header.Set("X-Client-ID", j.client)
 				}
+				t0 := time.Now()
 				resp, err := client.Do(req)
 				if err != nil {
 					httpErrs.Add(1)
@@ -252,6 +292,7 @@ func main() {
 						limited.Add(1)
 						io.Copy(io.Discard, resp.Body)
 						resp.Body.Close()
+						feedbackLat.RecordSince(t0)
 						continue
 					}
 					var fr feedbackReply
@@ -282,6 +323,7 @@ func main() {
 					}
 				}
 				resp.Body.Close()
+				latFor(j.path).RecordSince(t0)
 			}
 		}()
 	}
@@ -356,6 +398,10 @@ func main() {
 	rate := float64(sent) / elapsed.Seconds()
 	fmt.Printf("replayed %d sessions in %v (%.0f sessions/s): accepted %d, dropped %d, invalid %d, rate-limited batches %d, score batches %d, optimize calls %d\n",
 		sent, elapsed.Round(time.Millisecond), rate, accepted.Load(), dropped.Load(), invalid.Load(), limited.Load(), scored.Load(), optimized.Load())
+	fmt.Printf("client-observed latency (score/optimize over %s):\n", *proto)
+	printLatency("feedback", &feedbackLat)
+	printLatency("score", &scoreLat)
+	printLatency("optimize", &optimizeLat)
 	if httpErrs.Load() > 0 {
 		log.Printf("%d transport/status errors", httpErrs.Load())
 		os.Exit(1)

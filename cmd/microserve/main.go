@@ -25,9 +25,19 @@
 //	microserve -online model=pbm -wal dir=/var/lib/microserve/wal
 //	microserve -online model=pbm -wal dir=./wal,fsync=always,segment=64MB,retain=1h
 //	microserve -online model=pbm -ratelimit rate=5000,burst=10000
+//	microserve -trace-slow 50ms -trace-ring 256
+//	microserve -debug-addr localhost:6060
 //
 // The -online spec is comma-separated key=value pairs: model (repeat
 // or join with +), interval, window, decay, shards, queue, min, iters.
+//
+// The engine runs instrumented: stage-timing and per-model
+// predicted-CTR histograms feed /metrics, and /healthz carries a
+// drift block comparing each serving version's live CTR distribution
+// against its publish-time baseline. Requests slower than -trace-slow
+// (either protocol) are kept in a -trace-ring-sized ring served at
+// GET /debug/traces. -debug-addr binds net/http/pprof on its own
+// listener — profiling never shares the serving port.
 //
 // The -wal spec (requires -online) makes accepted feedback durable:
 // events are logged to a segmented write-ahead log before the learner
@@ -57,6 +67,7 @@
 //	POST /v1/models/{name}/rollback
 //	POST /v1/models/{name}/snapshot  {"path":"/models/pbm-online.bin"}
 //	GET  /v1/models/{name}/snapshot  (ETag/If-None-Match replica sync)
+//	GET  /debug/traces               (recent slow-request traces)
 //
 // The process drains in-flight requests on SIGINT/SIGTERM.
 package main
@@ -69,6 +80,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -78,6 +90,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/server/binproto"
 	"repro/internal/stream"
@@ -96,6 +109,9 @@ func main() {
 	online := flag.String("online", "", "online learning spec, e.g. model=pbm,interval=30s (empty = serving only)")
 	walSpec := flag.String("wal", "", "feedback WAL spec, e.g. dir=./wal,fsync=interval=100ms (requires -online; empty = no durability)")
 	rateSpec := flag.String("ratelimit", "", "feedback rate-limit spec, e.g. rate=5000,burst=10000 (empty = unlimited)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = pprof off; never on the serving port)")
+	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "capture requests at least this slow at /debug/traces (0 captures everything)")
+	traceRing := flag.Int("trace-ring", 128, "slow-request traces retained (oldest overwritten)")
 	var loads []string
 	flag.Func("load", "snapshot artifact to serve, as name=path or path (repeatable)", func(v string) error {
 		loads = append(loads, v)
@@ -103,10 +119,12 @@ func main() {
 	})
 	flag.Parse()
 
+	engObs := &engine.Observer{}
 	eng := engine.New(
 		engine.WithWorkers(*workers),
 		engine.WithDefaultModel(*defModel),
 		engine.WithKeepVersions(*keep),
+		engine.WithObserver(engObs),
 	)
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
@@ -170,6 +188,13 @@ func main() {
 		log.Printf("feedback rate limit: %.0f events/s per client, burst %d", rate, burst)
 	}
 
+	// One trace ring serves both protocols, so HTTP requests and MBSP
+	// frames land in a single slow-request timeline.
+	ring := obs.NewTraceRing(*traceRing, *traceSlow)
+	binSrv := binproto.NewServer(eng, log.Default())
+	binSrv.SetTracing(ring)
+	opts = append(opts, server.WithTracing(ring), server.WithBinary(binSrv))
+
 	srv := &http.Server{
 		Handler:           server.New(eng, log.Default(), opts...),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -178,6 +203,28 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// pprof only binds when asked, and only on its own listener: the
+	// profiling surface never shares a port with serving traffic.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("-debug-addr %s: %v", *debugAddr, err)
+		}
+		go func() {
+			log.Printf("pprof serving on %s", *debugAddr)
+			if err := http.Serve(dln, dmux); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		defer dln.Close()
+	}
+
 	// One listener, two protocols: the mux sniffs each connection's
 	// first bytes and routes MBSP frames to the binary scorer,
 	// everything else to HTTP.
@@ -185,7 +232,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	binSrv := binproto.NewServer(eng, log.Default())
 	mux := binproto.NewMux(ln, binSrv)
 
 	errc := make(chan error, 1)

@@ -11,6 +11,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 )
@@ -28,7 +29,12 @@ func (e *Engine) ScoreCandidates(ctx context.Context, ref string, cands [][]stri
 	if err := ctx.Err(); err != nil {
 		return out, ModelInfo{}, err
 	}
-	name, _, mv, err := e.resolvePinned(ref)
+	if e.obs != nil {
+		// One sample per candidate set (a few hundred snippets per
+		// call): exact timing, negligible against the amortised pass.
+		defer e.obs.Candidates.RecordSince(time.Now())
+	}
+	name, _, mv, err := e.resolvePinnedTimed(ref)
 	if err != nil {
 		return out, ModelInfo{}, err
 	}

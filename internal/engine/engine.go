@@ -49,6 +49,7 @@ import (
 	"repro/internal/clickmodel"
 	"repro/internal/core"
 	"repro/internal/mmap"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 )
 
@@ -69,6 +70,7 @@ type Engine struct {
 	attention    core.Attention
 	defaultModel string
 	keep         int
+	obs          *Observer // nil = uninstrumented (see WithObserver)
 
 	mu  sync.Mutex                  // serialises table writers only
 	tab atomic.Pointer[scorerTable] // read path loads this, lock-free
@@ -105,6 +107,16 @@ type modelVersion struct {
 	scorer Scorer
 	info   ModelInfo
 	art    *mmap.Artifact
+
+	// ctr is the live predicted-CTR distribution of this version
+	// (micro-CTR units), allocated at install when the engine carries
+	// an observer; the pointed-to histogram mutates through atomics,
+	// the pointer itself never changes after publish. base pins the
+	// predecessor version's distribution at publish time — the drift
+	// baseline — and baseVer records which version it came from.
+	ctr     *obs.Histogram
+	base    *obs.Snapshot
+	baseVer int
 }
 
 // ModelInfo describes one installed model version — the engine's
@@ -236,8 +248,10 @@ func (e *Engine) installLocked(name string, s Scorer, source string, art *mmap.A
 	}
 
 	ent := &modelEntry{versions: map[int]modelVersion{}}
+	prevLatest := 0
 	if old := cur.entries[name]; old != nil {
 		ent.maxVer = old.maxVer
+		prevLatest = old.latest
 		for v, mv := range old.versions {
 			ent.versions[v] = mv
 		}
@@ -251,7 +265,23 @@ func (e *Engine) installLocked(name string, s Scorer, source string, art *mmap.A
 		Source:   source,
 		FittedAt: time.Now().UTC(),
 	}
-	ent.versions[ent.maxVer] = modelVersion{scorer: s, info: info, art: art}
+	nv := modelVersion{scorer: s, info: info, art: art}
+	if e.obs != nil {
+		// Observed engines track each version's predicted-CTR
+		// distribution, and pin the outgoing serving version's live
+		// distribution as the newcomer's drift baseline: "does the new
+		// version predict CTRs shaped like what we were just serving?"
+		// is exactly the question /healthz answers after an online
+		// publish. A predecessor with no recorded scores pins nothing —
+		// no evidence is not a baseline.
+		nv.ctr = &obs.Histogram{}
+		if prev, ok := ent.versions[prevLatest]; ok && prev.ctr != nil && prev.ctr.Count() > 0 {
+			base := prev.ctr.Snapshot()
+			nv.base = &base
+			nv.baseVer = prevLatest
+		}
+	}
+	ent.versions[ent.maxVer] = nv
 
 	if e.keep > 0 && len(ent.versions) > e.keep {
 		vers := make([]int, 0, len(ent.versions))
@@ -804,8 +834,12 @@ func (e *Engine) resolve(ref string) (name string, version int, mv modelVersion,
 		}
 		s := NewMicroScorer(core.NewModel(e.attention))
 		info := e.installLocked(name, s, "register", nil)
+		// Return the stored version, not a reconstruction: the install
+		// may have attached observation state (the CTR histogram) that a
+		// fresh literal would silently lack.
+		mv := e.tab.Load().entries[name].versions[info.Version]
 		e.mu.Unlock()
-		return name, info.Version, modelVersion{scorer: s, info: info}, nil
+		return name, info.Version, mv, nil
 	}
 	if _, lookupErr := clickmodel.Lookup(name); lookupErr == nil {
 		return name, 0, modelVersion{}, fmt.Errorf("%w: click model %q is known but not fitted; call Fit(%q, sessions) or LoadSnapshot first", ErrNoModel, name, name)
@@ -844,7 +878,7 @@ func (e *Engine) ScoreCTR(ctx context.Context, req Request) (Response, error) {
 		resp.setErr(err)
 		return resp, err
 	}
-	name, version, mv, err := e.resolvePinned(req.Model)
+	name, _, mv, err := e.resolvePinnedTimed(req.Model)
 	if err != nil {
 		resp := Response{ID: req.ID, Model: name}
 		resp.setErr(err)
@@ -855,27 +889,42 @@ func (e *Engine) ScoreCTR(ctx context.Context, req Request) (Response, error) {
 	}
 	sc := getScratch()
 	defer putScratch(sc)
-	return e.scoreResolved(ctx, req, name, version, mv.scorer, sc)
+	if e.obs == nil {
+		return e.scoreResolved(ctx, req, name, &mv, sc)
+	}
+	// Single requests are timed unconditionally: the HTTP score path
+	// already pays JSON costs orders of magnitude above two time.Now
+	// calls. Batch strands sample instead (see scoreOne).
+	t0 := time.Now()
+	resp, err := e.scoreResolved(ctx, req, name, &mv, sc)
+	e.obs.Score.RecordSince(t0)
+	return resp, err
 }
 
 // scoreResolved is the post-resolution half of ScoreCTR. Scorers that
 // implement the internal scratchScorer surface run with the caller's
 // scratch (per-worker in batches, pooled for single requests);
-// third-party Scorer implementations take their public path.
+// third-party Scorer implementations take their public path. When the
+// version carries a CTR histogram (observed engines), every
+// successful score lands one atomic sample in it — the raw material
+// of the drift block.
 //
 //mb:noalloc
-func (e *Engine) scoreResolved(ctx context.Context, req Request, name string, version int, s Scorer, sc *scratch) (Response, error) {
+func (e *Engine) scoreResolved(ctx context.Context, req Request, name string, mv *modelVersion, sc *scratch) (Response, error) {
 	var resp Response
 	var err error
-	if ss, ok := s.(scratchScorer); ok {
+	if ss, ok := mv.scorer.(scratchScorer); ok {
 		resp, err = ss.scoreCTR(ctx, req, sc)
 	} else {
-		resp, err = s.ScoreCTR(ctx, req)
+		resp, err = mv.scorer.ScoreCTR(ctx, req)
 	}
 	resp.ID = req.ID
 	resp.Model = name // canonical table key, whatever the scorer stamped
-	resp.ModelVersion = version
+	resp.ModelVersion = mv.info.Version
 	resp.setErr(err)
+	if err == nil && mv.ctr != nil {
+		mv.ctr.Record(obs.CTRUnits(resp.CTR))
+	}
 	return resp, err
 }
 
@@ -896,8 +945,8 @@ const minParallelBatch = 32
 type batchState struct {
 	ref  string
 	name string
-	ver  int
 	mv   modelVersion
+	n    uint32 // requests scored this batch, the sampling clock (observed engines)
 }
 
 // release drops the strand's artifact pin, if any.
@@ -921,16 +970,29 @@ func (e *Engine) scoreOne(ctx context.Context, req Request, out *Response, bs *b
 		return
 	}
 	if bs.mv.scorer == nil || req.Model != bs.ref {
-		name, version, mv, err := e.resolvePinned(req.Model)
+		name, _, mv, err := e.resolvePinnedTimed(req.Model)
 		if err != nil {
 			*out = Response{ID: req.ID, Model: name}
 			out.setErr(err)
 			return
 		}
 		bs.release() // after the new pin: never drains a shared artifact
-		bs.ref, bs.name, bs.ver, bs.mv = req.Model, name, version, mv
+		bs.ref, bs.name, bs.mv = req.Model, name, mv
 	}
-	*out, _ = e.scoreResolved(ctx, req, bs.name, bs.ver, bs.mv.scorer, sc)
+	// Per-request timing is sampled 1-in-scoreSampleEvery per strand:
+	// the compiled kernel scores in ~1µs, so unconditional timing would
+	// be a measurable tax on exactly the path the histogram exists to
+	// protect. The batch histogram (ScoreBatchInto) stays exact.
+	var t0 time.Time
+	if e.obs != nil {
+		if bs.n++; bs.n&(scoreSampleEvery-1) == 0 {
+			t0 = time.Now()
+		}
+	}
+	*out, _ = e.scoreResolved(ctx, req, bs.name, &bs.mv, sc)
+	if !t0.IsZero() {
+		e.obs.Score.RecordSince(t0)
+	}
 }
 
 // ScoreBatch scores every request concurrently over the engine's
@@ -953,6 +1015,21 @@ func (e *Engine) ScoreBatch(ctx context.Context, reqs []Request) []Response {
 // buffer across frames. Every element of the returned slice is
 // overwritten; stale state in a recycled buffer is never observed.
 func (e *Engine) ScoreBatchInto(ctx context.Context, reqs []Request, out []Response) []Response {
+	if e.obs == nil {
+		return e.scoreBatchInto(ctx, reqs, out)
+	}
+	// The split keeps timing off the uninstrumented path entirely and,
+	// on the instrumented one, costs two time.Now calls per batch — no
+	// deferred closure, which would put an allocation back on the
+	// binary protocol's zero-alloc frame cycle.
+	t0 := time.Now()
+	out = e.scoreBatchInto(ctx, reqs, out)
+	e.obs.Batch.RecordSince(t0)
+	return out
+}
+
+// scoreBatchInto is the uninstrumented body of ScoreBatchInto.
+func (e *Engine) scoreBatchInto(ctx context.Context, reqs []Request, out []Response) []Response {
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -12,6 +12,29 @@ import (
 func TestStrandScoreNoalloc(t *testing.T) {
 	e := New()
 	e.UseMicro(testMicroModel())
+	assertStrandScoreNoalloc(t, e)
+}
+
+// TestInstrumentedStrandScoreNoalloc holds the observed engine to the
+// same bar: sampled timing (scoreOne), CTR histogram recording
+// (scoreResolved) and the batch histogram are all atomic arithmetic —
+// attaching an Observer must not put an allocation back on the warm
+// strand path.
+func TestInstrumentedStrandScoreNoalloc(t *testing.T) {
+	e := New(WithObserver(&Observer{}))
+	e.UseMicro(testMicroModel())
+	assertStrandScoreNoalloc(t, e)
+	if got := e.Observer().Score.Count(); got == 0 {
+		t.Fatal("sampled score timing recorded nothing over 200+ requests")
+	}
+	dists := e.CTRDistributions()
+	if len(dists) != 1 || dists[0].Snap.Count == 0 {
+		t.Fatalf("CTR distribution not recorded: %+v", dists)
+	}
+}
+
+func assertStrandScoreNoalloc(t *testing.T, e *Engine) {
+	t.Helper()
 	ctx := context.Background()
 	req := Request{Lines: testLines, MaxN: 3}
 
@@ -28,7 +51,7 @@ func TestStrandScoreNoalloc(t *testing.T) {
 
 	allocs := testing.AllocsPerRun(200, func() {
 		e.scoreOne(ctx, req, &out, &bs, sc)
-		if _, err := e.scoreResolved(ctx, req, bs.name, bs.ver, bs.mv.scorer, sc); err != nil {
+		if _, err := e.scoreResolved(ctx, req, bs.name, &bs.mv, sc); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Series pairs one label set with one snapshot inside a metric
+// family: Labels is the pre-rendered inner label list (e.g.
+// `endpoint="/v1/score"` or `model="micro",version="3"`), empty for
+// an unlabelled series.
+type Series struct {
+	Labels string
+	Snap   Snapshot
+}
+
+// WriteProm renders one histogram metric family in Prometheus text
+// exposition format 0.0.4: a single HELP/TYPE header followed by
+// cumulative _bucket series, _sum and _count for every label set.
+// scale converts Record units into exposition units at render time —
+// 1e-9 turns nanosecond samples into seconds, CTRScale turns
+// micro-CTR into probability — so the hot path stays in integer
+// arithmetic and only the scrape pays for floats. Runs on the cold
+// /metrics path; allocation is fine here.
+func WriteProm(w io.Writer, name, help string, scale float64, series ...Series) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, se := range series {
+		var cum uint64
+		for i, n := range se.Snap.Buckets {
+			cum += n
+			le := "+Inf"
+			if i < NumBuckets-1 {
+				le = formatFloat(UpperBound(i) * scale)
+			}
+			if se.Labels == "" {
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+			} else {
+				fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, se.Labels, le, cum)
+			}
+		}
+		if se.Labels == "" {
+			fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				name, formatFloat(float64(se.Snap.Sum)*scale), name, se.Snap.Count)
+		} else {
+			fmt.Fprintf(w, "%s_sum{%s} %s\n%s_count{%s} %d\n",
+				name, se.Labels, formatFloat(float64(se.Snap.Sum)*scale), name, se.Labels, se.Snap.Count)
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// MaxStages bounds the per-trace stage list so traces stay fixed-size
+// values: a request pipeline here is decode → score/ingest → encode,
+// never deeper than four named stages.
+const MaxStages = 4
+
+// Stage is one timed pipeline stage inside a trace.
+type Stage struct {
+	Name string  `json:"name"`
+	MS   float64 `json:"ms"`
+}
+
+// Trace is one slow request's post-mortem: identity, shape (model,
+// item count), total latency and the per-stage split. Traces are
+// built only after a request has already proven slow, so the strings
+// and slice here cost nothing on the steady-state path.
+type Trace struct {
+	ID      string  `json:"id"`
+	Proto   string  `json:"proto"` // "http" or "mbsp"
+	Kind    string  `json:"kind"`  // endpoint path or frame type
+	Model   string  `json:"model,omitempty"`
+	Items   int     `json:"items,omitempty"`
+	UnixMS  int64   `json:"unix_ms"`
+	TotalMS float64 `json:"total_ms"`
+	Stages  []Stage `json:"stages,omitempty"`
+}
+
+// TraceRing keeps the most recent slow-request traces in a fixed-size
+// overwrite ring: one mutex, written only when a request crossed the
+// slowness threshold (a cold event by definition), read by
+// GET /debug/traces. Old traces are overwritten, never freed one by
+// one — bounded memory with no eviction policy to tune.
+type TraceRing struct {
+	mu        sync.Mutex
+	buf       []Trace
+	at        int // next write position
+	n         int // filled entries, <= len(buf)
+	threshold time.Duration
+	added     uint64
+}
+
+// NewTraceRing returns a ring holding up to size traces of requests
+// at least threshold slow (size < 1 becomes 64; threshold <= 0
+// records every offered trace, which is what tests want).
+func NewTraceRing(size int, threshold time.Duration) *TraceRing {
+	if size < 1 {
+		size = 64
+	}
+	return &TraceRing{buf: make([]Trace, size), threshold: threshold}
+}
+
+// Threshold returns the slowness cut-off.
+func (r *TraceRing) Threshold() time.Duration { return r.threshold }
+
+// Slow reports whether a request of duration d qualifies for the
+// ring. Callers check this before building a Trace, so the fast path
+// never materialises stage slices or ID strings.
+//
+//mb:noalloc
+func (r *TraceRing) Slow(d time.Duration) bool {
+	return d >= r.threshold
+}
+
+// Add records one trace, overwriting the oldest when full.
+func (r *TraceRing) Add(t Trace) {
+	r.mu.Lock()
+	r.buf[r.at] = t
+	r.at = (r.at + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.added++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *TraceRing) Snapshot() []Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.at-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Added returns how many traces were ever recorded (including ones
+// since overwritten).
+func (r *TraceRing) Added() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.added
+}

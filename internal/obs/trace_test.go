@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRingOverwrite(t *testing.T) {
+	r := NewTraceRing(3, 0)
+	for i := 1; i <= 5; i++ {
+		r.Add(Trace{ID: string(rune('0' + i))})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	// Newest first: 5, 4, 3 survive; 1 and 2 were overwritten.
+	for i, want := range []string{"5", "4", "3"} {
+		if got[i].ID != want {
+			t.Errorf("trace[%d].ID = %q, want %q", i, got[i].ID, want)
+		}
+	}
+	if r.Added() != 5 {
+		t.Fatalf("Added = %d, want 5", r.Added())
+	}
+}
+
+func TestTraceRingEmpty(t *testing.T) {
+	r := NewTraceRing(8, time.Millisecond)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot has %d entries", len(got))
+	}
+}
+
+func TestTraceRingSlow(t *testing.T) {
+	r := NewTraceRing(8, 10*time.Millisecond)
+	if r.Slow(time.Millisecond) {
+		t.Fatal("1ms qualified against a 10ms threshold")
+	}
+	if !r.Slow(10 * time.Millisecond) {
+		t.Fatal("threshold itself must qualify")
+	}
+	all := NewTraceRing(8, 0)
+	if !all.Slow(0) {
+		t.Fatal("zero threshold must record everything")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatalf("consecutive IDs collide: %q", a)
+	}
+	if !strings.HasPrefix(a, "mb-") || strings.Count(a, "-") != 2 {
+		t.Fatalf("unexpected ID shape %q", a)
+	}
+}
+
+func TestBuildAndUptime(t *testing.T) {
+	bi := Build()
+	if bi.GoVersion == "" {
+		t.Fatal("Build().GoVersion is empty under go test")
+	}
+	if Uptime() <= 0 {
+		t.Fatal("Uptime() is not positive")
+	}
+}

@@ -15,8 +15,15 @@
 //	4       1     protocol version (1)
 //	5       1     frame type (1 score, 2 result, 3 error,
 //	              4 optimize, 5 optimize result)
-//	6       2     reserved, must be zero
+//	6       2     request tag (echoed in the response frame)
 //	8       4     payload length (≤ MaxPayload)
+//
+// The request tag is the frame-level request ID: clients stamp each
+// outgoing frame with an arbitrary u16 and the server copies it into
+// the answering result (or error) frame header, so a client can
+// correlate responses without decoding the payload. Zero is a valid
+// tag — these bytes were reserved-as-zero in earlier builds, so an
+// old client that leaves them zero keeps working unchanged.
 //
 // A score frame carries a request batch; the server answers each with
 // exactly one result frame carrying the response batch in request
@@ -116,32 +123,38 @@ func IsMagic(b []byte) bool {
 	return len(b) >= 4 && b[0] == Magic[0] && b[1] == Magic[1] && b[2] == Magic[2] && b[3] == Magic[3]
 }
 
-// putHeader writes a frame header into the first HeaderSize bytes of b.
+// putHeader writes a frame header with a zero request tag into the
+// first HeaderSize bytes of b.
 func putHeader(b []byte, ftype byte, payloadLen int) {
+	putHeaderTag(b, ftype, 0, payloadLen)
+}
+
+// putHeaderTag writes a frame header carrying a request tag. Clients
+// pick the tag; the server echoes the request frame's tag in the
+// answering result or error frame.
+func putHeaderTag(b []byte, ftype byte, tag uint16, payloadLen int) {
 	copy(b, Magic[:])
 	b[4] = Version
 	b[5] = ftype
-	b[6], b[7] = 0, 0
+	binary.LittleEndian.PutUint16(b[6:8], tag)
 	binary.LittleEndian.PutUint32(b[8:12], uint32(payloadLen))
 }
 
-// parseHeader validates a frame header and returns its type and
-// payload length.
-func parseHeader(b []byte) (ftype byte, n int, err error) {
+// parseHeader validates a frame header and returns its type, request
+// tag and payload length.
+func parseHeader(b []byte) (ftype byte, tag uint16, n int, err error) {
 	if !IsMagic(b) {
-		return 0, 0, fmt.Errorf("binproto: bad frame magic %q", b[:4])
+		return 0, 0, 0, fmt.Errorf("binproto: bad frame magic %q", b[:4])
 	}
 	if b[4] != Version {
-		return 0, 0, fmt.Errorf("binproto: protocol version %d, this build speaks %d", b[4], Version)
+		return 0, 0, 0, fmt.Errorf("binproto: protocol version %d, this build speaks %d", b[4], Version)
 	}
-	if b[6] != 0 || b[7] != 0 {
-		return 0, 0, fmt.Errorf("binproto: reserved header bytes are non-zero")
-	}
+	tag = binary.LittleEndian.Uint16(b[6:8])
 	n = int(binary.LittleEndian.Uint32(b[8:12]))
 	if n > MaxPayload {
-		return 0, 0, fmt.Errorf("binproto: %d-byte payload exceeds the %d limit", n, MaxPayload)
+		return 0, 0, 0, fmt.Errorf("binproto: %d-byte payload exceeds the %d limit", n, MaxPayload)
 	}
-	return b[5], n, nil
+	return b[5], tag, n, nil
 }
 
 // byteString is a zero-copy view of b. The caller owns the aliasing

@@ -214,17 +214,20 @@ func TestMalformedFrameFailsClosed(t *testing.T) {
 	// Valid header, truncated payload encoding.
 	frame := make([]byte, HeaderSize, HeaderSize+4)
 	frame = appendU32(frame, 5) // claims 5 requests, provides none
-	putHeader(frame, FrameScore, 4)
+	putHeaderTag(frame, FrameScore, 7, 4)
 	if _, err := client.Write(frame); err != nil {
 		t.Fatal(err)
 	}
 	cli := NewClient(client)
-	ftype, payload, err := cli.readFrame()
+	ftype, tag, payload, err := cli.readFrame()
 	if err != nil {
 		t.Fatalf("reading error frame: %v", err)
 	}
 	if ftype != FrameError {
 		t.Fatalf("frame type %d, want error", ftype)
+	}
+	if tag != 7 {
+		t.Fatalf("error frame tag %d, want the request's tag 7", tag)
 	}
 	r := reader{b: payload}
 	if msg := r.str(); !strings.Contains(msg, "truncated") {

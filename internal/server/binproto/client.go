@@ -28,6 +28,10 @@ type Client struct {
 	ranked    []RankedCandidate
 	optResult OptimizeResult
 	hdr       [HeaderSize]byte
+
+	// seq generates per-frame request tags; the server echoes each one
+	// in the matching response header and the client verifies the echo.
+	seq uint16
 }
 
 // Dial connects a client to a binary-protocol (or muxed) address.
@@ -57,17 +61,21 @@ func (c *Client) ScoreBatch(reqs []engine.Request) ([]engine.Response, error) {
 	if c.out, err = AppendRequests(c.out, reqs); err != nil {
 		return nil, err
 	}
-	putHeader(c.out, FrameScore, len(c.out)-HeaderSize)
+	c.seq++
+	putHeaderTag(c.out, FrameScore, c.seq, len(c.out)-HeaderSize)
 	if _, err := c.conn.Write(c.out); err != nil {
 		return nil, err
 	}
 
-	ftype, payload, err := c.readFrame()
+	ftype, tag, payload, err := c.readFrame()
 	if err != nil {
 		return nil, err
 	}
 	switch ftype {
 	case FrameResult:
+		if tag != c.seq {
+			return nil, fmt.Errorf("binproto: response tag %d does not echo request tag %d", tag, c.seq)
+		}
 		return c.decodeResponses(payload)
 	case FrameError:
 		r := reader{b: payload}
@@ -115,17 +123,21 @@ func (c *Client) Optimize(req OptimizeRequest) (*OptimizeResult, error) {
 	if c.out, err = AppendOptimize(c.out, &req); err != nil {
 		return nil, err
 	}
-	putHeader(c.out, FrameOptimize, len(c.out)-HeaderSize)
+	c.seq++
+	putHeaderTag(c.out, FrameOptimize, c.seq, len(c.out)-HeaderSize)
 	if _, err := c.conn.Write(c.out); err != nil {
 		return nil, err
 	}
 
-	ftype, payload, err := c.readFrame()
+	ftype, tag, payload, err := c.readFrame()
 	if err != nil {
 		return nil, err
 	}
 	switch ftype {
 	case FrameOptimizeResult:
+		if tag != c.seq {
+			return nil, fmt.Errorf("binproto: response tag %d does not echo request tag %d", tag, c.seq)
+		}
 		return c.decodeOptimizeResult(payload)
 	case FrameError:
 		r := reader{b: payload}
@@ -168,22 +180,22 @@ func (c *Client) decodeOptimizeResult(payload []byte) (*OptimizeResult, error) {
 	return res, nil
 }
 
-func (c *Client) readFrame() (byte, []byte, error) {
+func (c *Client) readFrame() (byte, uint16, []byte, error) {
 	if _, err := readFull(c.br, c.hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	ftype, n, err := parseHeader(c.hdr[:])
+	ftype, tag, n, err := parseHeader(c.hdr[:])
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	if cap(c.payload) < n {
 		c.payload = make([]byte, n)
 	}
 	c.payload = c.payload[:n]
 	if _, err := readFull(c.br, c.payload); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return ftype, c.payload, nil
+	return ftype, tag, c.payload, nil
 }
 
 func readFull(br *bufio.Reader, p []byte) (int, error) {

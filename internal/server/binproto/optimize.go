@@ -89,6 +89,8 @@ func (s *Server) processOptimize(ctx context.Context, st *connState, payload []b
 		return err
 	}
 	o := &st.opt
+	st.frameModel = model
+	st.frameItems = len(o.cands) - 1
 	s.requests.Add(uint64(len(o.cands) - 1))
 
 	var zeroHdr [HeaderSize]byte
@@ -112,7 +114,7 @@ func (s *Server) processOptimize(ctx context.Context, st *connState, payload []b
 		if st.out, err = appendStr16(st.out, serr.Error()); err != nil { //mb:allocok cold error path
 			return err
 		}
-		putHeader(st.out, FrameOptimizeResult, len(st.out)-HeaderSize)
+		putHeaderTag(st.out, FrameOptimizeResult, st.tag, len(st.out)-HeaderSize)
 		return nil
 	}
 
@@ -148,6 +150,6 @@ func (s *Server) processOptimize(ctx context.Context, st *connState, payload []b
 	if st.out, err = appendStr16(st.out, ""); err != nil {
 		return err
 	}
-	putHeader(st.out, FrameOptimizeResult, len(st.out)-HeaderSize)
+	putHeaderTag(st.out, FrameOptimizeResult, st.tag, len(st.out)-HeaderSize)
 	return nil
 }

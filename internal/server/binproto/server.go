@@ -8,10 +8,14 @@ import (
 	"io"
 	"log"
 	"net"
+	"strconv"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/clickmodel"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Server speaks the binary protocol over accepted connections,
@@ -25,7 +29,24 @@ type Server struct {
 	frames   atomic.Uint64
 	requests atomic.Uint64
 	errs     atomic.Uint64
+
+	// frameH distributes per-frame service time (read done → response
+	// written), nanoseconds; the binary analogue of the HTTP
+	// per-endpoint latency histograms.
+	frameH obs.Histogram
+	// ring, when set, captures slow frames as traces alongside the
+	// HTTP surface's slow requests.
+	ring *obs.TraceRing
 }
+
+// SetTracing attaches a slow-request trace ring. Call before serving
+// connections; frames slower than the ring's threshold are recorded
+// as "mbsp-<tag>" traces.
+func (s *Server) SetTracing(ring *obs.TraceRing) { s.ring = ring }
+
+// FrameLatency snapshots the per-frame service-time histogram
+// (nanosecond samples).
+func (s *Server) FrameLatency() obs.Snapshot { return s.frameH.Snapshot() }
 
 // NewServer returns a binary-protocol server over eng. logger may be
 // nil (discards).
@@ -81,6 +102,14 @@ type connState struct {
 	hdr     [HeaderSize]byte
 	payload []byte
 	out     []byte
+
+	// tag is the current frame's request tag, echoed in the response
+	// header. frameModel and frameItems describe the decoded frame for
+	// slow-frame tracing; frameModel aliases the frame buffer and is
+	// cloned only when a trace is actually built.
+	tag        uint16
+	frameModel string
+	frameItems int
 
 	reqs  []engine.Request
 	resps []engine.Response
@@ -183,6 +212,11 @@ func (s *Server) process(ctx context.Context, st *connState, payload []byte) err
 	if err != nil {
 		return err
 	}
+	st.frameItems = len(reqs)
+	st.frameModel = ""
+	if len(reqs) > 0 {
+		st.frameModel = reqs[0].Model
+	}
 	s.requests.Add(uint64(len(reqs)))
 	st.resps = s.eng.ScoreBatchInto(ctx, reqs, st.resps)
 	var zeroHdr [HeaderSize]byte
@@ -191,22 +225,23 @@ func (s *Server) process(ctx context.Context, st *connState, payload []byte) err
 	if err != nil {
 		return err
 	}
-	putHeader(st.out, FrameResult, len(st.out)-HeaderSize)
+	putHeaderTag(st.out, FrameResult, st.tag, len(st.out)-HeaderSize)
 	return nil
 }
 
-// readFrame reads one frame into the connection buffers and returns
-// its type and payload view.
+// readFrame reads one frame into the connection buffers, latches its
+// request tag into st.tag, and returns its type and payload view.
 //
 //mb:noalloc
 func (st *connState) readFrame(br *bufio.Reader) (byte, []byte, error) {
 	if _, err := io.ReadFull(br, st.hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	ftype, n, err := parseHeader(st.hdr[:])
+	ftype, tag, n, err := parseHeader(st.hdr[:])
 	if err != nil {
 		return 0, nil, err
 	}
+	st.tag = tag
 	if cap(st.payload) < n {
 		st.payload = make([]byte, n) //mb:allocok capacity miss: first frame this size, then reused
 	}
@@ -217,15 +252,16 @@ func (st *connState) readFrame(br *bufio.Reader) (byte, []byte, error) {
 	return ftype, st.payload, nil
 }
 
-// writeError sends a best-effort error frame; the connection closes
-// right after, so a failed write is not itself an error.
-func writeError(conn net.Conn, msg string) {
+// writeError sends a best-effort error frame echoing the failing
+// request's tag; the connection closes right after, so a failed write
+// is not itself an error.
+func writeError(conn net.Conn, tag uint16, msg string) {
 	if len(msg) > maxStr {
 		msg = msg[:maxStr]
 	}
 	buf := make([]byte, HeaderSize, HeaderSize+2+len(msg))
 	buf, _ = appendStr16(buf, msg)
-	putHeader(buf, FrameError, len(buf)-HeaderSize)
+	putHeaderTag(buf, FrameError, tag, len(buf)-HeaderSize)
 	conn.Write(buf)
 }
 
@@ -248,31 +284,60 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
 				s.errs.Add(1)
 				s.log.Printf("binproto %s: %v", conn.RemoteAddr(), err)
-				writeError(conn, err.Error())
+				writeError(conn, 0, err.Error())
 			}
 			return
 		}
+		t0 := time.Now()
 		var perr error
+		var kind string
 		switch ftype {
 		case FrameScore:
 			s.frames.Add(1)
+			kind = "score"
 			perr = s.process(ctx, st, payload)
 		case FrameOptimize:
 			s.frames.Add(1)
+			kind = "optimize"
 			perr = s.processOptimize(ctx, st, payload)
 		default:
 			s.errs.Add(1)
-			writeError(conn, fmt.Sprintf("binproto: unexpected frame type %d (want score or optimize)", ftype))
+			writeError(conn, st.tag, fmt.Sprintf("binproto: unexpected frame type %d (want score or optimize)", ftype))
 			return
 		}
 		if perr != nil {
 			s.errs.Add(1)
 			s.log.Printf("binproto %s: %v", conn.RemoteAddr(), perr)
-			writeError(conn, perr.Error())
+			writeError(conn, st.tag, perr.Error())
 			return
 		}
 		if _, err := conn.Write(st.out); err != nil {
 			return
 		}
+		d := time.Since(t0)
+		if d < 0 {
+			d = 0
+		}
+		s.frameH.Record(uint64(d))
+		if s.ring != nil && s.ring.Slow(d) {
+			s.traceFrame(st, kind, d)
+		}
 	}
+}
+
+// traceFrame records one slow frame into the trace ring. Reached only
+// past the ring's threshold, so the ID string, model clone and stage
+// slice built here never touch the steady-state frame cycle.
+func (s *Server) traceFrame(st *connState, kind string, d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.ring.Add(obs.Trace{
+		ID:      "mbsp-" + strconv.FormatUint(uint64(st.tag), 10),
+		Proto:   "mbsp",
+		Kind:    kind,
+		Model:   strings.Clone(st.frameModel),
+		Items:   st.frameItems,
+		UnixMS:  time.Now().UnixMilli(),
+		TotalMS: ms,
+		Stages:  []obs.Stage{{Name: "frame", MS: ms}},
+	})
 }

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/stream"
+	"repro/internal/wal"
+)
+
+// newObservedServer wires the full observability stack the way
+// cmd/microserve does: instrumented engine, learner, WAL, trace ring
+// with threshold 0 (every request traces).
+func newObservedServer(t *testing.T) (*httptest.Server, *engine.Engine, *obs.TraceRing) {
+	t.Helper()
+	sessions := testSessions(300)
+	eo := &engine.Observer{}
+	eng := engine.New(engine.WithWorkers(2), engine.WithObserver(eo))
+	if _, err := eng.Fit("pbm", sessions[:200], engine.Iterations(5)); err != nil {
+		t.Fatal(err)
+	}
+	eng.UseMicro(testMicroModel())
+
+	w, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = w.Close() })
+	l, err := stream.New(eng, stream.Config{Models: []string{engine.NameMicro}, WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ring := obs.NewTraceRing(16, 0)
+	ts := httptest.NewServer(New(eng, nil,
+		WithLearner(l), WithWAL(w), WithTracing(ring)))
+	t.Cleanup(ts.Close)
+	return ts, eng, ring
+}
+
+func TestRequestIDEcho(t *testing.T) {
+	ts, _, _ := newObservedServer(t)
+
+	// Client-supplied ID is echoed verbatim.
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "client-pinned-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-pinned-42" {
+		t.Errorf("echoed ID %q, want client-pinned-42", got)
+	}
+
+	// Without one, the server mints a process-unique ID.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); !strings.HasPrefix(got, "mb-") {
+		t.Errorf("minted ID %q does not carry the mb- prefix", got)
+	}
+}
+
+func TestDebugTraces(t *testing.T) {
+	ts, _, ring := newObservedServer(t)
+
+	var sr engine.Response
+	if code := postJSON(t, ts.URL+"/v1/score", engine.Request{
+		Lines: []string{"Acme Air", "Find cheap flights to Rome"},
+	}, &sr); code != http.StatusOK {
+		t.Fatalf("score status %d", code)
+	}
+
+	var body struct {
+		Enabled     bool        `json:"enabled"`
+		ThresholdMS float64     `json:"threshold_ms"`
+		Traces      []obs.Trace `json:"traces"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/traces", &body); code != http.StatusOK {
+		t.Fatalf("debug/traces status %d", code)
+	}
+	if !body.Enabled {
+		t.Fatal("tracing reported disabled with a ring attached")
+	}
+	if len(body.Traces) == 0 {
+		t.Fatal("no traces captured at threshold 0")
+	}
+	var scoreTrace *obs.Trace
+	for i := range body.Traces {
+		if body.Traces[i].Kind == "score" {
+			scoreTrace = &body.Traces[i]
+			break
+		}
+	}
+	if scoreTrace == nil {
+		t.Fatalf("no score trace among %d traces", len(body.Traces))
+	}
+	if scoreTrace.Proto != "http" || !strings.HasPrefix(scoreTrace.ID, "mb-") {
+		t.Errorf("score trace identity (%q, %q)", scoreTrace.Proto, scoreTrace.ID)
+	}
+	if scoreTrace.Model != sr.Model || scoreTrace.Items != 1 {
+		t.Errorf("score trace shape (%q, %d), want (%q, 1)", scoreTrace.Model, scoreTrace.Items, sr.Model)
+	}
+	if len(scoreTrace.Stages) != 2 {
+		t.Errorf("score trace has %d stages, want decode+score", len(scoreTrace.Stages))
+	}
+	if ring.Added() == 0 {
+		t.Error("ring reports nothing added")
+	}
+}
+
+// TestDebugTracesDisabled pins the shape when no ring is attached.
+func TestDebugTracesDisabled(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	var body tracesBody
+	if code := getJSON(t, ts.URL+"/debug/traces", &body); code != http.StatusOK {
+		t.Fatalf("debug/traces status %d", code)
+	}
+	if body.Enabled || len(body.Traces) != 0 {
+		t.Errorf("disabled tracing body = %+v", body)
+	}
+}
+
+// TestMetricsHistogramExposition drives traffic through every
+// instrumented subsystem and asserts /metrics carries valid histogram
+// exposition (_bucket/_sum/_count) for server, engine, stream and WAL.
+func TestMetricsHistogramExposition(t *testing.T) {
+	ts, _, _ := newObservedServer(t)
+
+	if code := postJSON(t, ts.URL+"/v1/score", engine.Request{
+		Lines: []string{"Acme Air", "Find cheap flights to Rome"},
+	}, &engine.Response{}); code != http.StatusOK {
+		t.Fatalf("score status %d", code)
+	}
+	var fr feedbackResponse
+	if code := postJSON(t, ts.URL+"/v1/feedback", map[string]any{
+		"snippet": map[string]any{"lines": []string{"cheap flights"}, "impressions": 10, "clicks": 2},
+	}, &fr); code != http.StatusOK {
+		t.Fatalf("feedback status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+
+	for _, family := range []string{
+		"microserve_http_request_duration_seconds",
+		"microserve_engine_stage_duration_seconds",
+		"microserve_stream_stage_duration_seconds",
+		"microserve_wal_op_duration_seconds",
+		"microserve_model_predicted_ctr",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" histogram") {
+			t.Errorf("missing histogram TYPE header for %s", family)
+		}
+		if !strings.Contains(text, family+"_bucket{") {
+			t.Errorf("missing _bucket series for %s", family)
+		}
+		if !strings.Contains(text, family+"_count") {
+			t.Errorf("missing _count for %s", family)
+		}
+	}
+	if !strings.Contains(text, `microserve_http_request_duration_seconds_bucket{route="score",le="+Inf"} 1`) {
+		t.Error("score route histogram did not count the scored request")
+	}
+	if !strings.Contains(text, "microserve_build_info{go_version=") {
+		t.Error("missing microserve_build_info")
+	}
+	if !strings.Contains(text, "microserve_uptime_seconds") {
+		t.Error("missing microserve_uptime_seconds")
+	}
+}
+
+// TestHealthzObservability checks the new healthz fields: build
+// identity, uptime and the drift block once a second version with a
+// pinned baseline is serving.
+func TestHealthzObservability(t *testing.T) {
+	ts, eng, _ := newObservedServer(t)
+
+	// Score some traffic so v1's CTR histogram has samples, then
+	// install a second micro version: its baseline pins v1's live
+	// distribution and the drift block appears.
+	for i := 0; i < 20; i++ {
+		if code := postJSON(t, ts.URL+"/v1/score", engine.Request{
+			Lines: []string{"Acme Air", "Find cheap flights to Rome"},
+		}, &engine.Response{}); code != http.StatusOK {
+			t.Fatalf("score status %d", code)
+		}
+	}
+	eng.UseMicro(testMicroModel())
+	if code := postJSON(t, ts.URL+"/v1/score", engine.Request{
+		Lines: []string{"Acme Air", "Find cheap flights to Rome"},
+	}, &engine.Response{}); code != http.StatusOK {
+		t.Fatal("score after reinstall failed")
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Build         obs.BuildInfo        `json:"build"`
+		UptimeSeconds float64              `json:"uptime_seconds"`
+		Drift         []engine.DriftStatus `json:"drift"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Build.GoVersion == "" {
+		t.Error("healthz build block missing go_version")
+	}
+	if body.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0", body.UptimeSeconds)
+	}
+	if len(body.Drift) != 1 {
+		t.Fatalf("drift block has %d entries, want 1: %+v", len(body.Drift), body.Drift)
+	}
+	d := body.Drift[0]
+	if d.Model != engine.NameMicro || d.Version != 2 || d.BaselineVersion != 1 {
+		t.Errorf("drift entry = %+v", d)
+	}
+	if d.L1 != 0 {
+		t.Errorf("identical model refit drifted: L1 = %v", d.L1)
+	}
+}

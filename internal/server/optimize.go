@@ -12,6 +12,7 @@ package server
 import (
 	"errors"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -74,10 +75,13 @@ type optimizeResponse struct {
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.met.optimizes.Add(1)
+	ti := traceFrom(r.Context())
+	t0 := time.Now()
 	var req optimizeRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	ti.stage("decode", t0)
 	if len(req.Lines) == 0 {
 		s.writeError(w, http.StatusBadRequest, "optimize needs the base snippet lines")
 		return
@@ -114,7 +118,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	all := make([][]string, 0, len(cands)+1)
 	all = append(all, req.Lines)
 	all = append(all, cands...)
+	t1 := time.Now()
 	scores, info, err := s.eng.ScoreCandidates(r.Context(), req.Model, all, req.MaxN, nil)
+	ti.stage("score", t1)
+	ti.shape(req.Model, len(cands))
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, engine.ErrNoModel) {

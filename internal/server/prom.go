@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"repro/internal/obs"
 )
 
 // GET /metrics — Prometheus text exposition (format 0.0.4) of the same
@@ -28,6 +30,12 @@ func (p *promWriter) gauge(name, help string, v float64) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var p promWriter
+
+	bi := obs.Build()
+	fmt.Fprintf(&p.b, "# HELP microserve_build_info Build identity of the serving binary (value fixed at 1).\n"+
+		"# TYPE microserve_build_info gauge\nmicroserve_build_info{go_version=%q,revision=%q,modified=%q} 1\n",
+		bi.GoVersion, bi.Revision, strconv.FormatBool(bi.Modified))
+	p.gauge("microserve_uptime_seconds", "Seconds since process start.", obs.Uptime().Seconds())
 
 	m := s.met.snapshot()
 	p.counter("microserve_http_requests_total", "HTTP requests routed.", m.Requests)
@@ -84,6 +92,83 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.gauge("microserve_wal_next_seq", "Next sequence number to be appended.", float64(c.NextSeq))
 	}
 
+	s.writeHistograms(&p)
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(p.b.Bytes())
+}
+
+// writeHistograms renders the latency and distribution histogram
+// families: HTTP per-route, binary-protocol frames, engine pipeline
+// stages, per-model predicted-CTR distributions with their drift
+// gauges, online-loop stages and WAL operations. Each subsystem
+// appears only when attached, mirroring the counter blocks above.
+func (s *Server) writeHistograms(p *promWriter) {
+	httpSeries := make([]obs.Series, 0, numRoutes)
+	for i := range s.httpH {
+		httpSeries = append(httpSeries, obs.Series{
+			Labels: `route="` + routeNames[i] + `"`,
+			Snap:   s.httpH[i].Snapshot(),
+		})
+	}
+	obs.WriteProm(&p.b, "microserve_http_request_duration_seconds",
+		"HTTP request latency by route class.", 1e-9, httpSeries...)
+
+	if s.bin != nil {
+		c := s.bin.Counters()
+		p.counter("microserve_mbsp_frames_total", "Binary-protocol frames served.", c.Frames)
+		p.counter("microserve_mbsp_requests_total", "Requests scored over the binary protocol.", c.Requests)
+		p.counter("microserve_mbsp_errors_total", "Binary-protocol connection errors.", c.Errors)
+		obs.WriteProm(&p.b, "microserve_mbsp_frame_duration_seconds",
+			"Binary-protocol frame service time (read done to response written).", 1e-9,
+			obs.Series{Snap: s.bin.FrameLatency()})
+	}
+
+	if o := s.eng.Observer(); o != nil {
+		obs.WriteProm(&p.b, "microserve_engine_stage_duration_seconds",
+			"Engine pipeline stage wall time (score sampled 1-in-64 inside batches).", 1e-9,
+			obs.Series{Labels: `stage="batch"`, Snap: o.Batch.Snapshot()},
+			obs.Series{Labels: `stage="score"`, Snap: o.Score.Snapshot()},
+			obs.Series{Labels: `stage="resolve"`, Snap: o.Resolve.Snapshot()},
+			obs.Series{Labels: `stage="candidates"`, Snap: o.Candidates.Snapshot()})
+
+		if dists := s.eng.CTRDistributions(); len(dists) > 0 {
+			cs := make([]obs.Series, 0, len(dists))
+			for _, d := range dists {
+				cs = append(cs, obs.Series{
+					Labels: `model="` + d.Model + `",version="` + strconv.Itoa(d.Version) + `"`,
+					Snap:   d.Snap,
+				})
+			}
+			obs.WriteProm(&p.b, "microserve_model_predicted_ctr",
+				"Live predicted-CTR distribution of each serving version.", obs.CTRScale, cs...)
+		}
+		if drift := s.eng.Drift(); len(drift) > 0 {
+			fmt.Fprintf(&p.b, "# HELP microserve_model_ctr_drift_l1 Normalised L1 distance between the live predicted-CTR distribution and the publish-time baseline, in [0, 2].\n"+
+				"# TYPE microserve_model_ctr_drift_l1 gauge\n")
+			for _, d := range drift {
+				fmt.Fprintf(&p.b, "microserve_model_ctr_drift_l1{model=%q,version=\"%d\",baseline=\"%d\"} %s\n",
+					d.Model, d.Version, d.BaselineVersion, strconv.FormatFloat(d.L1, 'g', -1, 64))
+			}
+		}
+	}
+
+	if s.learner != nil {
+		h := s.learner.Hists()
+		obs.WriteProm(&p.b, "microserve_stream_stage_duration_seconds",
+			"Online-loop stage durations: sink residence (offer to fold), fold, publish.", 1e-9,
+			obs.Series{Labels: `stage="fold_lag"`, Snap: h.FoldLag},
+			obs.Series{Labels: `stage="fold"`, Snap: h.Fold},
+			obs.Series{Labels: `stage="publish"`, Snap: h.Publish})
+	}
+
+	if s.wal != nil {
+		h := s.wal.Hists()
+		obs.WriteProm(&p.b, "microserve_wal_op_duration_seconds",
+			"WAL operation durations (append sampled 1-in-64; syscalls exact).", 1e-9,
+			obs.Series{Labels: `op="append"`, Snap: h.Append},
+			obs.Series{Labels: `op="flush"`, Snap: h.Flush},
+			obs.Series{Labels: `op="sync"`, Snap: h.Sync},
+			obs.Series{Labels: `op="rotate"`, Snap: h.Rotate})
+	}
 }

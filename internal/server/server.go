@@ -17,6 +17,12 @@
 //	POST /v1/models/{name}/load      — hot-swap a snapshot artifact in
 //	POST /v1/models/{name}/rollback  — move the latest pointer back
 //	POST /v1/models/{name}/snapshot  — export an installed version to disk
+//	GET  /debug/traces               — recent slow-request traces (when tracing is on)
+//
+// Every response carries an X-Request-ID header — the client's, when
+// supplied, else a freshly minted process-unique ID — and every
+// request is timed into a per-route latency histogram exposed on
+// /metrics (see obs.go for the middleware).
 //
 // Scoring endpoints speak engine.Request / engine.Response verbatim
 // (the engine types carry the wire tags); per-request failures travel
@@ -42,6 +48,8 @@ import (
 
 	"repro/internal/clickmodel"
 	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/server/binproto"
 	"repro/internal/snapshot"
 	"repro/internal/stream"
 	"repro/internal/wal"
@@ -68,6 +76,13 @@ type Server struct {
 	mux        *http.ServeMux
 	log        *log.Logger
 	met        metrics
+
+	// httpH distributes request latency per route class (nanosecond
+	// samples, exposed in seconds); ring and bin are the optional
+	// tracing and binary-protocol attachments (see obs.go).
+	httpH [numRoutes]obs.Histogram
+	ring  *obs.TraceRing
+	bin   *binproto.Server
 }
 
 // Option configures a Server at construction time.
@@ -129,13 +144,8 @@ func New(eng *engine.Engine, logger *log.Logger, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}/rollback", s.handleRollback)
 	s.mux.HandleFunc("POST /v1/models/{name}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/models/{name}/snapshot", s.handleSnapshotGet)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return s
-}
-
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.met.requests.Add(1)
-	s.mux.ServeHTTP(w, r)
 }
 
 // pooledEncoder is a reusable JSON encode buffer with its encoder
@@ -205,20 +215,32 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// healthzBody is the GET /healthz wire shape: liveness plus the
-// serving counters, and the stream / WAL / rate-limit blocks when
-// those subsystems are attached.
+// healthzBody is the GET /healthz wire shape: liveness, build and
+// uptime identity, the serving counters, the stream / WAL / rate-limit
+// blocks when those subsystems are attached, and — when the engine is
+// instrumented — the per-model CTR drift block comparing each serving
+// version's live predicted-CTR distribution against the distribution
+// pinned when it was published.
 type healthzBody struct {
-	Status    string             `json:"status"`
-	Models    int                `json:"models"`
-	Serving   MetricsSnapshot    `json:"serving"`
-	Stream    *stream.Counters   `json:"stream,omitempty"`
-	WAL       *wal.Counters      `json:"wal,omitempty"`
-	RateLimit *RateLimitSnapshot `json:"ratelimit,omitempty"`
+	Status        string               `json:"status"`
+	Build         obs.BuildInfo        `json:"build"`
+	UptimeSeconds float64              `json:"uptime_seconds"`
+	Models        int                  `json:"models"`
+	Serving       MetricsSnapshot      `json:"serving"`
+	Stream        *stream.Counters     `json:"stream,omitempty"`
+	WAL           *wal.Counters        `json:"wal,omitempty"`
+	RateLimit     *RateLimitSnapshot   `json:"ratelimit,omitempty"`
+	Drift         []engine.DriftStatus `json:"drift,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	body := healthzBody{Status: "ok", Models: s.eng.ModelCount(), Serving: s.met.snapshot()}
+	body := healthzBody{
+		Status:        "ok",
+		Build:         obs.Build(),
+		UptimeSeconds: obs.Uptime().Seconds(),
+		Models:        s.eng.ModelCount(),
+		Serving:       s.met.snapshot(),
+	}
 	if s.learner != nil {
 		c := s.learner.Counters()
 		body.Stream = &c
@@ -231,6 +253,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		rl := s.limiter.snapshot()
 		body.RateLimit = &rl
 	}
+	if s.eng.Observer() != nil {
+		body.Drift = s.eng.Drift()
+	}
 	s.writeJSON(w, http.StatusOK, body)
 }
 
@@ -242,11 +267,17 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.met.scores.Add(1)
+	ti := traceFrom(r.Context())
+	t0 := time.Now()
 	var req engine.Request
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	ti.stage("decode", t0)
+	t1 := time.Now()
 	resp, err := s.eng.ScoreCTR(r.Context(), req)
+	ti.stage("score", t1)
+	ti.shape(resp.Model, 1)
 	if err != nil {
 		// Model-resolution failures are addressing errors (404); evidence
 		// and validation failures are semantic (422). resp carries Error.
@@ -271,17 +302,25 @@ type batchResponse struct {
 
 func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	s.met.batches.Add(1)
+	ti := traceFrom(r.Context())
+	t0 := time.Now()
 	var req batchRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	ti.stage("decode", t0)
 	if len(req.Requests) > maxBatchItems {
 		s.writeError(w, http.StatusRequestEntityTooLarge,
 			"batch of %d requests exceeds the %d limit; split it", len(req.Requests), maxBatchItems)
 		return
 	}
 	s.met.batchRequests.Add(uint64(len(req.Requests)))
+	t1 := time.Now()
 	resps := s.eng.ScoreBatch(r.Context(), req.Requests)
+	ti.stage("score", t1)
+	if len(req.Requests) > 0 {
+		ti.shape(req.Requests[0].Model, len(req.Requests))
+	}
 	s.writeJSON(w, http.StatusOK, batchResponse{Responses: resps})
 }
 
@@ -309,10 +348,13 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			"online learning is not enabled on this server (start microserve with -online)")
 		return
 	}
+	ti := traceFrom(r.Context())
+	t0 := time.Now()
 	var req feedbackRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	ti.stage("decode", t0)
 	total := len(req.Sessions) + len(req.Snippets)
 	if req.Session != nil {
 		total++
@@ -339,6 +381,8 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.met.feedbackEvents.Add(uint64(total))
+	ti.shape("", total)
+	t1 := time.Now()
 
 	var out feedbackResponse
 	ingest := func(ev stream.Event) {
@@ -364,6 +408,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		ingest(stream.Event{Snippet: &req.Snippets[i]})
 	}
 
+	ti.stage("ingest", t1)
 	// All-dropped is backpressure, not success: tell the producer to
 	// slow down. Partial acceptance stays 200 with the counts.
 	status := http.StatusOK

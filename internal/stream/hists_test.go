@@ -1,0 +1,38 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestLearnerHists(t *testing.T) {
+	l, err := New(engine.New(), Config{Models: []string{engine.NameMicro}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := l.Hists()
+	if h.FoldLag.Count != 0 || h.Fold.Count != 0 || h.Publish.Count != 0 {
+		t.Fatalf("fresh learner has samples: %+v", h)
+	}
+
+	for i := 0; i < 5; i++ {
+		if err := l.Ingest(Event{Snippet: &SnippetEvent{Lines: []string{"cheap flights"}, Impressions: 10, Clicks: 3}}); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	if _, err := l.Publish(); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	h = l.Hists()
+	if h.FoldLag.Count != 5 {
+		t.Fatalf("fold-lag samples = %d, want 5 (one per ingested event)", h.FoldLag.Count)
+	}
+	if h.Fold.Count == 0 {
+		t.Fatal("fold histogram recorded nothing")
+	}
+	if h.Publish.Count != 1 {
+		t.Fatalf("publish samples = %d, want 1", h.Publish.Count)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/clickmodel"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/textproc"
 	"repro/internal/wal"
 )
@@ -158,6 +159,14 @@ type Learner struct {
 	replayed       uint64      // set once in New, read-only after
 	walDown        atomic.Bool // last WAL append failed (log edge-triggered)
 
+	// Loop-health histograms (nanosecond samples, scraped by /metrics):
+	// how long events queue before a fold absorbs them, how long folds
+	// take, how long publishes take. Atomic recording — foldLag lands
+	// from concurrent shard drainers.
+	foldLagH obs.Histogram
+	foldH    obs.Histogram
+	publishH obs.Histogram
+
 	// mu serialises folding, merging and publishing; the ingest path
 	// never takes it.
 	mu         sync.Mutex
@@ -296,6 +305,7 @@ func (l *Learner) Ingest(ev Event) error {
 			return err
 		}
 	}
+	ev.enqueuedNS = time.Now().UnixNano()
 	if !l.sink.Offer(ev) {
 		return ErrDropped
 	}
@@ -324,6 +334,7 @@ func (l *Learner) Ingest(ev Event) error {
 // the shard's Stats delta and window ring and snippets into the
 // shard's term counts. Caller holds l.mu.
 func (l *Learner) foldLocked() {
+	defer l.foldH.RecordSince(time.Now())
 	var wg sync.WaitGroup
 	for i := 0; i < l.sink.Shards(); i++ {
 		wg.Add(1)
@@ -351,6 +362,13 @@ func (l *Learner) foldLocked() {
 // snippets it credited. Callers must own shard i: the drain fan-out
 // does, and replay runs before the learner is shared.
 func (l *Learner) absorb(i int, ev *Event) (sessions, snippets uint64) {
+	if ev.enqueuedNS > 0 {
+		if lag := time.Now().UnixNano() - ev.enqueuedNS; lag > 0 {
+			l.foldLagH.Record(uint64(lag))
+		} else {
+			l.foldLagH.Record(0)
+		}
+	}
 	if ev.Session != nil {
 		if l.deltas[i].Add(*ev.Session) == nil {
 			l.rings[i].add(*ev.Session)
@@ -474,6 +492,7 @@ func (l *Learner) publishLocked() ([]engine.ModelInfo, error) {
 	}
 
 	l.lastPublish = time.Since(start)
+	l.publishH.Record(uint64(l.lastPublish))
 	l.lastInfos = infos
 	if len(infos) > 0 {
 		l.publishes++
@@ -636,4 +655,25 @@ func (l *Learner) Counters() Counters {
 	c.FoldedSnippets = l.foldedSnippets.Load()
 	c.Replayed = l.replayed
 	return c
+}
+
+// HistSnapshots is the loop's latency detail behind the Counters
+// summary: all samples are nanoseconds.
+type HistSnapshots struct {
+	// FoldLag is how long each event sat in the sink between Ingest
+	// and the fold that absorbed it — the freshness of online learning.
+	FoldLag obs.Snapshot
+	// Fold is foldLocked wall time per drain.
+	Fold obs.Snapshot
+	// Publish is publishLocked wall time per publish.
+	Publish obs.Snapshot
+}
+
+// Hists snapshots the loop-health histograms for /metrics.
+func (l *Learner) Hists() HistSnapshots {
+	return HistSnapshots{
+		FoldLag: l.foldLagH.Snapshot(),
+		Fold:    l.foldH.Snapshot(),
+		Publish: l.publishH.Snapshot(),
+	}
 }

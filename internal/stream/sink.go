@@ -44,6 +44,12 @@ type Event struct {
 	Session *clickmodel.Session `json:"session,omitempty"`
 	// Snippet is the micro evidence: one snippet's aggregated counts.
 	Snippet *SnippetEvent `json:"snippet,omitempty"`
+
+	// enqueuedNS is stamped by Learner.Ingest (UnixNano) so the fold
+	// that eventually absorbs the event can record how long it sat in
+	// the sink — the offer→fold lag histogram. Zero (events offered
+	// directly to a Sink, WAL replay) records nothing.
+	enqueuedNS int64
 }
 
 // SnippetEvent aggregates observed impressions and clicks of one

@@ -1,0 +1,32 @@
+package wal
+
+import "testing"
+
+func TestWALHists(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	for i := 0; i < appendSampleEvery+1; i++ {
+		if _, err := w.Append(Record{SnippetLines: []string{"cheap flights"}, Impressions: 5, Clicks: 1}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := w.Hists()
+	// Tickets 0 and appendSampleEvery are the sampled ones.
+	if h.Append.Count < 2 {
+		t.Fatalf("append samples = %d, want >= 2", h.Append.Count)
+	}
+	if h.Sync.Count == 0 {
+		t.Fatal("sync histogram recorded nothing under SyncAlways")
+	}
+	if h.Flush.Count == 0 {
+		t.Fatal("flush histogram recorded nothing")
+	}
+}

@@ -56,6 +56,8 @@ import (
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"repro/internal/obs"
 )
 
 // SyncPolicy selects when appended records are fsynced.
@@ -278,6 +280,16 @@ type WAL struct {
 	truncatedBytes atomic.Uint64
 	prunedSegments atomic.Uint64
 
+	// Durability-latency histograms (nanosecond samples, scraped by
+	// /metrics). Appends are sampled 1-in-appendSampleEvery by ticket —
+	// the accept path is lock-free and ~100ns, so unconditional timing
+	// would be a real tax; flush/fsync/rotate are syscalls and are
+	// timed exactly.
+	appendH obs.Histogram
+	flushH  obs.Histogram
+	syncH   obs.Histogram
+	rotateH obs.Histogram
+
 	stopOnce  sync.Once
 	stop      chan struct{}
 	encDone   chan struct{}
@@ -358,6 +370,10 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 		return 0, *ep
 	}
 	t := w.head.Add(1) - 1
+	var t0 time.Time
+	if t&(appendSampleEvery-1) == 0 {
+		t0 = time.Now()
+	}
 	slot := &w.ring[t&ringMask]
 	for spin := 0; slot.turn.Load() != t; spin++ {
 		// The ring is a full lap ahead of the encoder. Poke it and
@@ -387,8 +403,18 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 			return seq, err
 		}
 	}
+	if !t0.IsZero() {
+		// Sampled ticket: the histogram sees ring backpressure and (for
+		// SyncAlways) the group-commit wait — the latency an ingesting
+		// caller actually pays.
+		w.appendH.RecordSince(t0)
+	}
 	return seq, nil
 }
+
+// appendSampleEvery is Append's sampling stride (power of two; the
+// gate is one mask on the ticket already in hand).
+const appendSampleEvery = 64
 
 // failLocked records a sticky segment error and mirrors it into the
 // atomic pointer the lock-free accept path checks. Caller holds w.mu.
@@ -417,10 +443,12 @@ func (w *WAL) flushLocked() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
+	t0 := time.Now()
 	if _, err := w.f.Write(w.buf); err != nil {
 		w.failLocked(err)
 		return err
 	}
+	w.flushH.RecordSince(t0)
 	w.buf, w.spare = w.spare[:0], w.buf[:0]
 	w.flushes.Add(1)
 	w.flushed.Store(w.nextSeq - 1)
@@ -452,7 +480,11 @@ func (w *WAL) flushWritten() error {
 		// backpressure bound before the write, not after it.
 		w.wrDone.Broadcast()
 		w.mu.Unlock()
+		t0 := time.Now()
 		_, err := f.Write(data)
+		if err == nil {
+			w.flushH.RecordSince(t0)
+		}
 		w.mu.Lock()
 		w.writing = false
 		w.spare = data[:0]
@@ -517,6 +549,7 @@ func (w *WAL) syncTo(seq uint64) error {
 		}
 		return ErrClosed
 	}
+	t0 := time.Now()
 	if err := f.Sync(); err != nil {
 		// A concurrent rotation can seal (sync + close) the file under
 		// us; if that made seq durable, this sync already happened.
@@ -525,6 +558,7 @@ func (w *WAL) syncTo(seq uint64) error {
 		}
 		return err
 	}
+	w.syncH.RecordSince(t0)
 	w.syncs.Add(1)
 	advanceMax(&w.durable, hi)
 	return nil
@@ -707,6 +741,7 @@ func (w *WAL) rotateLocked() error {
 	if w.nextSeq == w.segFirst {
 		return nil
 	}
+	defer w.rotateH.RecordSince(time.Now())
 	if err := w.flushLocked(); err != nil {
 		return err
 	}
@@ -913,6 +948,30 @@ func (w *WAL) Counters() Counters {
 		Bytes:          bytes,
 		DurableSeq:     w.durable.Load(),
 		NextSeq:        w.base + head,
+	}
+}
+
+// HistSnapshots is the durability-latency detail behind the Counters
+// summary: all samples are nanoseconds.
+type HistSnapshots struct {
+	// Append is the sampled (1-in-appendSampleEvery) accept latency,
+	// including ring backpressure and SyncAlways group commit.
+	Append obs.Snapshot
+	// Flush is per-write buffer hand-off latency to the OS.
+	Flush obs.Snapshot
+	// Sync is per-fsync device latency on the syncTo path.
+	Sync obs.Snapshot
+	// Rotate is segment seal-and-reopen latency.
+	Rotate obs.Snapshot
+}
+
+// Hists snapshots the durability-latency histograms for /metrics.
+func (w *WAL) Hists() HistSnapshots {
+	return HistSnapshots{
+		Append: w.appendH.Snapshot(),
+		Flush:  w.flushH.Snapshot(),
+		Sync:   w.syncH.Snapshot(),
+		Rotate: w.rotateH.Snapshot(),
 	}
 }
 

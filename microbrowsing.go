@@ -89,6 +89,10 @@ type (
 	// ModelInfo is the metadata of one installed model version
 	// (Engine.Models, GET /v1/models).
 	ModelInfo = engine.ModelInfo
+	// EngineObserver is the engine's instrument block: stage-timing
+	// histograms plus per-model predicted-CTR distribution tracking
+	// (attach with WithObserver; see /metrics and /healthz drift).
+	EngineObserver = engine.Observer
 )
 
 // ModelMicro is the reserved scorer name of the micro-browsing model.
@@ -108,6 +112,9 @@ var (
 	WithDefaultModel = engine.WithDefaultModel
 	// WithKeepVersions bounds the version history kept per model name.
 	WithKeepVersions = engine.WithKeepVersions
+	// WithObserver attaches an EngineObserver, turning on stage timing
+	// and per-model CTR distribution tracking.
+	WithObserver = engine.WithObserver
 	// NewClickModelScorer adapts a fitted macro click model to Scorer.
 	NewClickModelScorer = engine.NewClickModelScorer
 	// NewMicroScorer adapts a micro-browsing model to Scorer.

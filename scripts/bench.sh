@@ -23,6 +23,9 @@
 #                BENCH_stream.json
 #   wal        — BenchmarkWAL* (feedback-log append per fsync policy,
 #                ingest durability tax, boot replay), BENCH_wal.json
+#   obs        — BenchmarkObs* (Histogram.Record primitive, serial and
+#                contended, plus instrumented-vs-uninstrumented
+#                ScoreBatch — the observability tax), BENCH_obs.json
 #
 # A trajectory file is a JSON array of run records ordered oldest to
 # newest; each record carries the environment and the parsed
@@ -43,7 +46,7 @@ while getopts "s:t:o:l:h" opt; do
     o) out="$OPTARG" ;;
     l) label="$OPTARG" ;;
     h)
-      sed -n '2,22p' "$0"
+      sed -n '2,28p' "$0"
       exit 0
       ;;
     *) exit 2 ;;
@@ -58,7 +61,8 @@ case "$suite" in
   optimize)   pattern="OptimizeCandidates"; default_out="BENCH_optimize.json" ;;
   stream)     pattern="Stream"; default_out="BENCH_stream.json" ;;
   wal)        pattern="WAL"; default_out="BENCH_wal.json" ;;
-  *) echo "bench.sh: unknown suite $suite (clickmodel, engine, micro, serve, optimize, stream, wal)" >&2; exit 2 ;;
+  obs)        pattern="Obs"; default_out="BENCH_obs.json" ;;
+  *) echo "bench.sh: unknown suite $suite (clickmodel, engine, micro, serve, optimize, stream, wal, obs)" >&2; exit 2 ;;
 esac
 out="${out:-$default_out}"
 

@@ -38,6 +38,7 @@ echo "serve_smoke: starting microserve (online learning + WAL on)"
 "$workdir/microserve" -addr "$addr" -load "pbm=$workdir/pbm.bin" \
   -online "model=sdbn+micro,interval=1s,min=100" \
   -wal "dir=$workdir/wal,fsync=interval=50ms" \
+  -trace-slow 0 -trace-ring 64 \
   -ratelimit "rate=100000,burst=200000" >"$workdir/serve.log" 2>&1 &
 srv_pid=$!
 
@@ -165,6 +166,53 @@ check wal-counters "$health" '"wal":'
 check ratelimit-counters "$health" '"ratelimit":'
 check metrics "$(curl -fs "http://$addr/metrics")" 'microserve_wal_appended_total'
 
+# --- observability: histograms, request IDs, traces, pprof gating ---
+echo "serve_smoke: checking histogram exposition"
+metrics=$(curl -fs "http://$addr/metrics")
+for family in \
+  microserve_http_request_duration_seconds \
+  microserve_mbsp_frame_duration_seconds \
+  microserve_engine_stage_duration_seconds \
+  microserve_stream_stage_duration_seconds \
+  microserve_wal_op_duration_seconds \
+  microserve_model_predicted_ctr; do
+  check "hist-$family" "$metrics" "# TYPE $family histogram"
+  check "hist-$family-bucket" "$metrics" "${family}_bucket{"
+done
+check build-info "$metrics" 'microserve_build_info{go_version='
+check uptime "$metrics" 'microserve_uptime_seconds'
+check drift-gauge "$metrics" 'microserve_model_ctr_drift_l1{'
+
+# The score-route histogram must have counted real traffic: its +Inf
+# cumulative bucket carries a non-zero count.
+score_inf=$(printf '%s\n' "$metrics" \
+  | sed -n 's/^microserve_http_request_duration_seconds_bucket{route="score",le="+Inf"} \([0-9]*\)$/\1/p')
+if [ -z "$score_inf" ] || [ "$score_inf" -lt 1 ]; then
+  echo "serve_smoke: score route histogram empty (+Inf bucket ${score_inf:-missing})" >&2
+  exit 1
+fi
+echo "serve_smoke: score-route histogram ok ($score_inf requests)"
+
+echo "serve_smoke: checking request-ID propagation"
+pinned=$(curl -fs -D - -o /dev/null -H "X-Request-ID: smoke-req-7" "http://$addr/healthz" \
+  | tr -d '\r' | sed -n 's/^X-Request-Id: //Ip')
+[ "$pinned" = "smoke-req-7" ] || { echo "serve_smoke: client request ID not echoed (got '$pinned')" >&2; exit 1; }
+minted=$(curl -fs -D - -o /dev/null "http://$addr/healthz" \
+  | tr -d '\r' | sed -n 's/^X-Request-Id: //Ip')
+case "$minted" in
+  mb-*) echo "serve_smoke: request-id ok (echo + minted $minted)" ;;
+  *) echo "serve_smoke: server minted no X-Request-ID (got '$minted')" >&2; exit 1 ;;
+esac
+
+check traces "$(curl -fs "http://$addr/debug/traces")" '"enabled":true'
+check traces-captured "$(curl -fs "http://$addr/debug/traces")" '"proto":"http"'
+
+# pprof must never ride the serving port: it only binds when
+# -debug-addr names a separate listener (checked after the restart).
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/debug/pprof/")
+[ "$code" = "404" ] || { echo "serve_smoke: pprof reachable on the serving port (got $code)" >&2; exit 1; }
+echo "serve_smoke: observability ok"
+
 # --- crash recovery: kill -9, restart on the same log, republish ---
 # A last healthz read pins how much the WAL holds; the 50ms flush
 # interval has long since passed, so every appended record is durable.
@@ -178,10 +226,12 @@ kill -9 "$srv_pid"
 wait "$srv_pid" 2>/dev/null || true
 srv_pid=""
 
-echo "serve_smoke: restarting on the surviving WAL"
+echo "serve_smoke: restarting on the surviving WAL (pprof sidecar on)"
+debug_addr="127.0.0.1:8390"
 "$workdir/microserve" -addr "$addr" -load "pbm=$workdir/pbm.bin" \
   -online "model=sdbn+micro,interval=1s,min=100" \
-  -wal "dir=$workdir/wal,fsync=interval=50ms" >"$workdir/serve2.log" 2>&1 &
+  -wal "dir=$workdir/wal,fsync=interval=50ms" \
+  -debug-addr "$debug_addr" >"$workdir/serve2.log" 2>&1 &
 srv_pid=$!
 up=""
 for _ in $(seq 100); do
@@ -202,6 +252,13 @@ if [ -z "$replayed" ] || [ "$replayed" -lt "$appended" ]; then
   exit 1
 fi
 echo "serve_smoke: crash recovery ok ($replayed records replayed)"
+
+# With -debug-addr set, pprof answers on the sidecar listener and the
+# serving port still refuses it.
+check pprof-sidecar "$(curl -fs "http://$debug_addr/debug/pprof/")" 'profiles'
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/debug/pprof/")
+[ "$code" = "404" ] || { echo "serve_smoke: pprof leaked onto the serving port (got $code)" >&2; exit 1; }
+echo "serve_smoke: pprof gating ok"
 
 # The replayed feedback alone — no fresh traffic — must republish the
 # online model in the restarted process.
